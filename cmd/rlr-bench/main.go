@@ -1,0 +1,91 @@
+// Command rlr-bench regenerates the tables and figures of the RLR-Tree
+// paper's evaluation.
+//
+// Usage:
+//
+//	rlr-bench [-scale small|medium|paper] [-exp id[,id...]] [-csv dir] [-quiet]
+//
+// Without -exp, every experiment runs in the paper's order. Experiment ids
+// follow the paper: table1, table3, table4, fig4a, fig4b, fig5a, fig5b,
+// fig6, fig7, fig8a, fig8bc, fig8d, fig9, fig10.
+//
+// The default scale ("small") completes the full suite in minutes on a
+// laptop; "paper" uses the published dataset and training sizes and takes
+// hours. RNA values are ratios against the classic R-Tree on the same
+// insertion sequence, so the qualitative shapes are stable across scales.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/experiment"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "experiment scale: small, medium, or paper")
+		expList   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		quiet     = flag.Bool("quiet", false, "suppress progress logging")
+		seed      = flag.Int64("seed", 0, "override the scale's random seed")
+	)
+	flag.Parse()
+
+	sc, err := experiment.ScaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+		sc.Cfg.Seed = *seed
+	}
+
+	ids := experiment.Order
+	if *expList != "" {
+		ids = strings.Split(*expList, ",")
+	}
+
+	var logf experiment.Logf
+	if !*quiet {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tables, err := experiment.Run(id, sc, logf)
+		if err != nil {
+			fatal(err)
+		}
+		for _, tb := range tables {
+			fmt.Println(tb.String())
+			if *csvDir != "" {
+				name := strings.ReplaceAll(tb.ID, "/", "_") + ".csv"
+				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(tb.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "# %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlr-bench:", err)
+	os.Exit(1)
+}

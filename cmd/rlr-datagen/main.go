@@ -1,0 +1,57 @@
+// Command rlr-datagen generates the paper's datasets and query workloads
+// as CSV files.
+//
+// Usage:
+//
+//	rlr-datagen -kind GAU -n 100000 -seed 1 -out gau.csv
+//	rlr-datagen -queries 1000 -size 0.0001 -seed 2 -out queries.csv
+//
+// Dataset kinds: UNI, GAU, SKE (squares), CHI, IND (OSM-like points).
+// With -queries set, random range queries of the given area fraction are
+// generated instead of a dataset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "UNI", "dataset kind: UNI, GAU, SKE, CHI, IND")
+		n       = flag.Int("n", 100_000, "number of objects")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output CSV path (required)")
+		queries = flag.Int("queries", 0, "generate this many range queries instead of a dataset")
+		size    = flag.Float64("size", 0.0001, "query area as a fraction of the unit square (with -queries)")
+	)
+	flag.Parse()
+
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+
+	var rects []geom.Rect
+	if *queries > 0 {
+		rects = dataset.RangeQueries(*queries, *size, geom.NewRect(0, 0, 1, 1), *seed)
+	} else {
+		var err error
+		rects, err = dataset.Generate(dataset.Kind(*kind), *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := dataset.WriteCSV(*out, rects); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(rects), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlr-datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command rlr-inspect builds an index over a CSV dataset and reports its
+// structure: per-level node counts and fills, total MBR area and sibling
+// overlap, memory footprint — and optionally renders the bounding-box
+// hierarchy as an SVG, the quickest way to see why one construction policy
+// beats another.
+//
+// Usage:
+//
+//	rlr-inspect -data objs.csv -index rstar
+//	rlr-inspect -data objs.csv -policy policy.json -svg tree.svg -svg-level 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rlr-tree/rlrtree/internal/cliutil"
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+func main() {
+	var (
+		dataPath   = flag.String("data", "", "dataset CSV (required)")
+		policyPath = flag.String("policy", "", "trained RLR-Tree policy JSON")
+		indexKind  = flag.String("index", "rtree", "heuristic index when no policy: rtree, rstar, rrstar")
+		maxE       = flag.Int("max-entries", 50, "node capacity M")
+		minE       = flag.Int("min-entries", 20, "minimum node fill m")
+		svgPath    = flag.String("svg", "", "write an SVG rendering of the MBR hierarchy here")
+		svgLevel   = flag.Int("svg-level", 0, "deepest level to draw (0 = all)")
+		svgObjects = flag.Bool("svg-objects", false, "also draw leaf objects in the SVG")
+	)
+	flag.Parse()
+
+	if *dataPath == "" {
+		fatal(fmt.Errorf("-data is required"))
+	}
+	data, err := dataset.ReadCSV(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	tree, name, err := cliutil.BuildIndex(*policyPath, *indexKind, *maxE, *minE)
+	if err != nil {
+		fatal(err)
+	}
+	for i, r := range data {
+		tree.Insert(r, i)
+	}
+	if err := tree.Validate(); err != nil {
+		fatal(fmt.Errorf("built tree failed validation: %w", err))
+	}
+
+	s := tree.Stats()
+	fmt.Printf("index:        %s\n", name)
+	fmt.Printf("objects:      %d\n", s.Size)
+	fmt.Printf("height:       %d\n", s.Height)
+	fmt.Printf("nodes:        %d (%d leaves)\n", s.Nodes, s.Leaves)
+	fmt.Printf("avg fill:     %.1f%%\n", s.AvgFill*100)
+	fmt.Printf("node area:    %.6g (sum over internal entries)\n", s.TotalArea)
+	fmt.Printf("sibling ovlp: %.6g (sum of pairwise overlap)\n", s.TotalOvlp)
+	fmt.Printf("memory:       %.1f MB\n", float64(s.MemoryBytes)/(1<<20))
+	fmt.Printf("splits:       %d during construction\n", tree.Splits())
+
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fatal(err)
+		}
+		opts := rtree.SVGOptions{MaxLevel: *svgLevel, IncludeObjects: *svgObjects}
+		if err := tree.WriteSVG(f, opts); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("svg:          %s\n", *svgPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlr-inspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module github.com/rlr-tree/rlrtree
+
+go 1.22

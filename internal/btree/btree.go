@@ -1,0 +1,262 @@
+// Package btree implements an in-memory B+-tree over uint64 keys with
+// duplicate support and ordered range scans.
+//
+// It is the substrate of the mapping-based spatial index family the
+// RLR-Tree paper's related work describes: "the spatial dimensions are
+// transformed to 1-dimensional space based on a space filling curve, and
+// then the data objects can be ordered sequentially and indexed by a
+// B+-Tree" (the design Microsoft SQL Server ships). internal/zindex builds
+// that index on top of this package; both exist so the R-Tree variants can
+// be compared against a representative of the third index category.
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultOrder is the default maximum number of keys per node.
+const DefaultOrder = 64
+
+// item is one key with its values (duplicates of the same key are stored
+// together, preserving insertion order).
+type item struct {
+	key    uint64
+	values []any
+}
+
+// node is a B+-tree node: leaves carry items and a next pointer forming
+// the ordered leaf chain; internal nodes carry separator keys and children
+// (len(children) == len(keys)+1, subtree i holds keys < keys[i]).
+type node struct {
+	leaf     bool
+	items    []item   // leaves
+	keys     []uint64 // internal separators
+	children []*node
+	next     *node // leaf chain
+}
+
+// Tree is a B+-tree. Not safe for concurrent mutation.
+type Tree struct {
+	root   *node
+	order  int
+	size   int // stored values (duplicates counted)
+	height int
+}
+
+// New returns an empty tree with the given order (max keys per node);
+// order <= 0 selects DefaultOrder.
+func New(order int) *Tree {
+	if order <= 0 {
+		order = DefaultOrder
+	}
+	if order < 4 {
+		order = 4
+	}
+	return &Tree{root: &node{leaf: true}, order: order, height: 1}
+}
+
+// Len returns the number of stored values.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// Insert stores value under key. Duplicate keys accumulate values.
+func (t *Tree) Insert(key uint64, value any) {
+	t.size++
+	sep, right := t.insert(t.root, key, value)
+	if right != nil {
+		t.root = &node{
+			keys:     []uint64{sep},
+			children: []*node{t.root, right},
+		}
+		t.height++
+	}
+}
+
+// insert adds (key, value) under n and, if n split, returns the separator
+// key and the new right sibling.
+func (t *Tree) insert(n *node, key uint64, value any) (uint64, *node) {
+	if n.leaf {
+		i := sort.Search(len(n.items), func(i int) bool { return n.items[i].key >= key })
+		if i < len(n.items) && n.items[i].key == key {
+			n.items[i].values = append(n.items[i].values, value)
+			return 0, nil
+		}
+		n.items = append(n.items, item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = item{key: key, values: []any{value}}
+		if len(n.items) <= t.order {
+			return 0, nil
+		}
+		// Split the leaf in half; the separator is the right half's first key.
+		mid := len(n.items) / 2
+		right := &node{leaf: true, items: append([]item(nil), n.items[mid:]...), next: n.next}
+		n.items = n.items[:mid]
+		n.next = right
+		return right.items[0].key, right
+	}
+
+	ci := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+	sep, right := t.insert(n.children[ci], key, value)
+	if right == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.keys) <= t.order {
+		return 0, nil
+	}
+	// Split the internal node; the middle key moves up.
+	mid := len(n.keys) / 2
+	upKey := n.keys[mid]
+	rightNode := &node{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return upKey, rightNode
+}
+
+// ScanStats reports the work of one range scan: node accesses follow the
+// same convention as the R-Tree's QueryStats (every visited node counts).
+type ScanStats struct {
+	NodesAccessed int
+	Results       int
+}
+
+// ScanRange invokes fn for every value whose key lies in [lo, hi], in key
+// order (insertion order within a key). fn returning false stops the scan.
+func (t *Tree) ScanRange(lo, hi uint64, fn func(key uint64, value any) bool) ScanStats {
+	var stats ScanStats
+	if lo > hi {
+		return stats
+	}
+	// Descend to the leaf that may contain lo.
+	n := t.root
+	for !n.leaf {
+		stats.NodesAccessed++
+		ci := sort.Search(len(n.keys), func(i int) bool { return lo < n.keys[i] })
+		n = n.children[ci]
+	}
+	// Walk the leaf chain.
+	for n != nil {
+		stats.NodesAccessed++
+		for i := range n.items {
+			it := &n.items[i]
+			if it.key < lo {
+				continue
+			}
+			if it.key > hi {
+				return stats
+			}
+			for _, v := range it.values {
+				stats.Results++
+				if !fn(it.key, v) {
+					return stats
+				}
+			}
+		}
+		n = n.next
+	}
+	return stats
+}
+
+// Get returns the values stored under key.
+func (t *Tree) Get(key uint64) []any {
+	var out []any
+	t.ScanRange(key, key, func(_ uint64, v any) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// NodeCount returns the total number of nodes.
+func (t *Tree) NodeCount() int {
+	var count func(n *node) int
+	count = func(n *node) int {
+		c := 1
+		for _, ch := range n.children {
+			c += count(ch)
+		}
+		return c
+	}
+	return count(t.root)
+}
+
+// Validate checks the structural invariants: key ordering within and
+// across nodes, child counts, uniform leaf depth, and the leaf chain
+// covering all items in order.
+func (t *Tree) Validate() error {
+	depth := -1
+	var prevKey *uint64
+	var walk func(n *node, level int, lower, upper *uint64) error
+	walk = func(n *node, level int, lower, upper *uint64) error {
+		if n.leaf {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("btree: leaves at depths %d and %d", depth, level)
+			}
+			for i := range n.items {
+				k := n.items[i].key
+				if i > 0 && n.items[i-1].key >= k {
+					return fmt.Errorf("btree: leaf keys out of order")
+				}
+				if lower != nil && k < *lower {
+					return fmt.Errorf("btree: key %d below lower bound %d", k, *lower)
+				}
+				if upper != nil && k >= *upper {
+					return fmt.Errorf("btree: key %d at/above upper bound %d", k, *upper)
+				}
+				if prevKey != nil && *prevKey >= k {
+					return fmt.Errorf("btree: global key order violated at %d", k)
+				}
+				kk := k
+				prevKey = &kk
+				if len(n.items[i].values) == 0 {
+					return fmt.Errorf("btree: key %d has no values", k)
+				}
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: %d children for %d keys", len(n.children), len(n.keys))
+		}
+		for i := range n.keys {
+			if i > 0 && n.keys[i-1] >= n.keys[i] {
+				return fmt.Errorf("btree: separators out of order")
+			}
+		}
+		for i, ch := range n.children {
+			lo, hi := lower, upper
+			if i > 0 {
+				lo = &n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				hi = &n.keys[i]
+			}
+			if err := walk(ch, level+1, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, nil, nil); err != nil {
+		return err
+	}
+	// The leaf chain must enumerate exactly size values in order.
+	total := 0
+	t.ScanRange(0, ^uint64(0), func(uint64, any) bool { total++; return true })
+	if total != t.size {
+		return fmt.Errorf("btree: chain enumerates %d values, size is %d", total, t.size)
+	}
+	return nil
+}

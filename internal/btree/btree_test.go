@@ -1,0 +1,182 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	bt := New(0)
+	if bt.Len() != 0 || bt.Height() != 1 {
+		t.Fatalf("empty tree: len=%d h=%d", bt.Len(), bt.Height())
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := bt.ScanRange(0, ^uint64(0), func(uint64, any) bool { return true })
+	if stats.Results != 0 {
+		t.Fatalf("empty scan found %d", stats.Results)
+	}
+	if got := bt.Get(42); got != nil {
+		t.Fatalf("Get on empty tree: %v", got)
+	}
+}
+
+func TestInsertAndScanOrdered(t *testing.T) {
+	bt := New(8)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 100000
+		bt.Insert(keys[i], i)
+	}
+	if bt.Len() != len(keys) {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Height() < 3 {
+		t.Fatalf("expected height >= 3 at order 8, got %d", bt.Height())
+	}
+
+	// A full scan enumerates all values in nondecreasing key order.
+	var scanned []uint64
+	bt.ScanRange(0, ^uint64(0), func(k uint64, _ any) bool {
+		scanned = append(scanned, k)
+		return true
+	})
+	if len(scanned) != len(keys) {
+		t.Fatalf("scan found %d of %d", len(scanned), len(keys))
+	}
+	if !sort.SliceIsSorted(scanned, func(i, j int) bool { return scanned[i] < scanned[j] }) {
+		t.Fatalf("scan out of order")
+	}
+}
+
+func TestScanRangeMatchesBruteForce(t *testing.T) {
+	bt := New(16)
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, 3000)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 10000
+		bt.Insert(keys[i], i)
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Uint64() % 10000
+		hi := lo + rng.Uint64()%2000
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		got := 0
+		stats := bt.ScanRange(lo, hi, func(k uint64, _ any) bool {
+			if k < lo || k > hi {
+				t.Fatalf("scan leaked key %d outside [%d,%d]", k, lo, hi)
+			}
+			got++
+			return true
+		})
+		if got != want || stats.Results != want {
+			t.Fatalf("[%d,%d]: got %d (stats %d), want %d", lo, hi, got, stats.Results, want)
+		}
+		if stats.NodesAccessed == 0 {
+			t.Fatalf("no node accesses recorded")
+		}
+	}
+	// Inverted and empty ranges.
+	if s := bt.ScanRange(10, 5, func(uint64, any) bool { return true }); s.Results != 0 {
+		t.Fatalf("inverted range returned results")
+	}
+}
+
+func TestDuplicatesAndEarlyStop(t *testing.T) {
+	bt := New(4)
+	for i := 0; i < 10; i++ {
+		bt.Insert(7, i)
+	}
+	bt.Insert(3, "three")
+	bt.Insert(9, "nine")
+	if got := bt.Get(7); len(got) != 10 {
+		t.Fatalf("Get(7) = %d values", len(got))
+	}
+	// Insertion order is preserved for duplicates.
+	for i, v := range bt.Get(7) {
+		if v.(int) != i {
+			t.Fatalf("duplicate order broken at %d: %v", i, v)
+		}
+	}
+	// Early termination stops the scan.
+	count := 0
+	bt.ScanRange(0, 100, func(uint64, any) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop scanned %d", count)
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialAndReverseInsertion(t *testing.T) {
+	for name, gen := range map[string]func(i int) uint64{
+		"ascending":  func(i int) uint64 { return uint64(i) },
+		"descending": func(i int) uint64 { return uint64(10000 - i) },
+	} {
+		bt := New(6)
+		for i := 0; i < 5000; i++ {
+			bt.Insert(gen(i), i)
+		}
+		if err := bt.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestQuickRandomWorkloads(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 4 + rng.Intn(60)
+		bt := New(order)
+		n := 100 + rng.Intn(2000)
+		counts := map[uint64]int{}
+		for i := 0; i < n; i++ {
+			k := rng.Uint64() % uint64(50+rng.Intn(5000))
+			bt.Insert(k, i)
+			counts[k]++
+		}
+		if bt.Validate() != nil || bt.Len() != n {
+			return false
+		}
+		// Spot-check ten random keys.
+		for k, c := range counts {
+			if len(bt.Get(k)) != c {
+				return false
+			}
+			break
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeCountGrows(t *testing.T) {
+	bt := New(8)
+	if bt.NodeCount() != 1 {
+		t.Fatalf("fresh tree has %d nodes", bt.NodeCount())
+	}
+	for i := 0; i < 1000; i++ {
+		bt.Insert(uint64(i), i)
+	}
+	if bt.NodeCount() < 100 {
+		t.Fatalf("1000 keys at order 8 in only %d nodes", bt.NodeCount())
+	}
+}

@@ -1,0 +1,83 @@
+// Package cliutil holds the small pieces shared by the command-line
+// tools: building an index from a named heuristic or a trained policy
+// file, and parsing rectangle/point literals from flags.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/rlr-tree/rlrtree/internal/core"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// IndexKinds lists the heuristic index names accepted by BuildIndex.
+var IndexKinds = []string{"rtree", "rstar", "rrstar"}
+
+// BuildIndex returns an empty index: the RLR-Tree from policyPath when it
+// is non-empty, otherwise the named heuristic baseline. The returned name
+// labels the index in tool output.
+func BuildIndex(policyPath, indexKind string, maxE, minE int) (*rtree.Tree, string, error) {
+	if policyPath != "" {
+		pol, err := core.LoadPolicy(policyPath)
+		if err != nil {
+			return nil, "", err
+		}
+		return pol.NewTree(), "RLR-Tree", nil
+	}
+	opts := rtree.Options{MaxEntries: maxE, MinEntries: minE}
+	switch indexKind {
+	case "rtree":
+		opts.Chooser, opts.Splitter = rtree.GuttmanChooser{}, rtree.QuadraticSplit{}
+	case "rstar":
+		opts.Chooser, opts.Splitter = rtree.RStarChooser{}, rtree.RStarSplit{}
+		opts.ForcedReinsert = true
+	case "rrstar":
+		opts.Chooser, opts.Splitter = rtree.RRStarChooser{}, rtree.RRStarSplit{}
+	default:
+		return nil, "", fmt.Errorf("unknown index %q (have %s)", indexKind, strings.Join(IndexKinds, ", "))
+	}
+	t, err := rtree.NewChecked(opts)
+	return t, indexKind, err
+}
+
+// ParseFloats parses exactly n comma-separated numbers.
+func ParseFloats(s string, n int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d comma-separated numbers, got %q", n, s)
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseRect parses "minx,miny,maxx,maxy" into a validated rectangle.
+func ParseRect(s string) (geom.Rect, error) {
+	v, err := ParseFloats(s, 4)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	r := geom.Rect{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}
+	if !r.Valid() {
+		return geom.Rect{}, fmt.Errorf("invalid rect %v", r)
+	}
+	return r, nil
+}
+
+// ParsePoint parses "x,y" into a point.
+func ParsePoint(s string) (geom.Point, error) {
+	v, err := ParseFloats(s, 2)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Pt(v[0], v[1]), nil
+}

@@ -1,0 +1,90 @@
+package cliutil
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/core"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+func TestBuildIndexHeuristics(t *testing.T) {
+	for _, kind := range IndexKinds {
+		tree, name, err := BuildIndex("", kind, 16, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if name != kind {
+			t.Fatalf("name %q, want %q", name, kind)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 200; i++ {
+			tree.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.01), i)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if _, _, err := BuildIndex("", "btree", 16, 6); err == nil {
+		t.Fatalf("unknown kind accepted")
+	}
+	if _, _, err := BuildIndex("", "rtree", 3, 1); err == nil {
+		t.Fatalf("invalid capacities accepted")
+	}
+}
+
+func TestBuildIndexFromPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]geom.Rect, 800)
+	for i := range data {
+		data[i] = geom.Square(rng.Float64(), rng.Float64(), 0.002)
+	}
+	pol, _, err := core.TrainCombined(data, core.Config{
+		K: 2, P: 4, ChooseEpochs: 1, SplitEpochs: 1, Parts: 3,
+		MaxEntries: 16, MinEntries: 6, TrainingQueryFrac: 0.001, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := pol.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	tree, name, err := BuildIndex(path, "ignored", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "RLR-Tree" {
+		t.Fatalf("name %q", name)
+	}
+	for i, r := range data {
+		tree.Insert(r, i)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := BuildIndex(filepath.Join(t.TempDir(), "missing.json"), "", 0, 0); err == nil {
+		t.Fatalf("missing policy accepted")
+	}
+}
+
+func TestParsers(t *testing.T) {
+	r, err := ParseRect("0.1, 0.2,0.3,0.4")
+	if err != nil || r != (geom.Rect{MinX: 0.1, MinY: 0.2, MaxX: 0.3, MaxY: 0.4}) {
+		t.Fatalf("ParseRect: %v %v", r, err)
+	}
+	p, err := ParsePoint("0.5,0.75")
+	if err != nil || p != geom.Pt(0.5, 0.75) {
+		t.Fatalf("ParsePoint: %v %v", p, err)
+	}
+	bad := []string{"1,2,3", "a,b,c,d", "1,0,0,1"} // wrong arity, NaNs, inverted
+	for _, s := range bad {
+		if _, err := ParseRect(s); err == nil {
+			t.Fatalf("ParseRect(%q) accepted", s)
+		}
+	}
+	if _, err := ParsePoint("1"); err == nil {
+		t.Fatalf("ParsePoint arity accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/mlp"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// numCostFuncs is the size of the rejected cost-function action space of
+// Table 1: minimum area enlargement, minimum perimeter increase, minimum
+// overlap increase.
+const numCostFuncs = 3
+
+// applyCostFunc applies the a-th classic cost function over all children
+// of n and returns the winning child index. Ties break toward the smaller
+// MBR area, matching the corresponding heuristics.
+func applyCostFunc(a int, n *rtree.Node, r geom.Rect) int {
+	entries := n.Entries()
+	best := 0
+	bestCost := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range entries {
+		var cost float64
+		switch a {
+		case 0:
+			cost = entries[i].Rect.Enlargement(r)
+		case 1:
+			cost = entries[i].Rect.PerimeterIncrease(r)
+		default:
+			grown := entries[i].Rect.Union(r)
+			for j := range entries {
+				if j == i {
+					continue
+				}
+				cost += grown.OverlapArea(entries[j].Rect) - entries[i].Rect.OverlapArea(entries[j].Rect)
+			}
+		}
+		area := entries[i].Rect.Area()
+		if cost < bestCost || (cost == bestCost && area < bestArea) {
+			best, bestCost, bestArea = i, cost, area
+		}
+	}
+	return best
+}
+
+// CostFuncPolicy is the trained artifact of the rejected action-space
+// design: a Q-network over the usual top-k state whose three actions are
+// the classic cost functions. It exists so that Table 1 of the paper can
+// be reproduced.
+type CostFuncPolicy struct {
+	Net                    *mlp.Network
+	K                      int
+	MaxEntries, MinEntries int
+}
+
+// NewTree returns an empty tree whose ChooseSubtree applies the learned
+// cost-function selection greedily; Split is the reference min-overlap
+// partition (as in the paper's Table 1 experiment, which isolates
+// ChooseSubtree).
+func (p *CostFuncPolicy) NewTree() *rtree.Tree {
+	return p.NewTreeWithSplitter(rtree.MinOverlapSplit{})
+}
+
+// NewTreeWithSplitter is NewTree with an explicit Split strategy, used by
+// the Table 1 experiment to isolate the ChooseSubtree contribution by
+// pairing the learned chooser with the baseline R-Tree's own split.
+func (p *CostFuncPolicy) NewTreeWithSplitter(sp rtree.Splitter) *rtree.Tree {
+	return rtree.New(rtree.Options{
+		MaxEntries: p.MaxEntries,
+		MinEntries: p.MinEntries,
+		Chooser:    &costFuncChooser{net: p.Net, k: p.K},
+		Splitter:   sp,
+	})
+}
+
+type costFuncChooser struct {
+	net *mlp.Network
+	k   int
+}
+
+// Name implements rtree.SubtreeChooser.
+func (c *costFuncChooser) Name() string { return "rl-costfunc" }
+
+// Choose implements rtree.SubtreeChooser.
+func (c *costFuncChooser) Choose(t *rtree.Tree, n *rtree.Node, r geom.Rect) int {
+	cc := chooseState(n, r, c.k, t.MaxEntries(), false)
+	if cc.Contained >= 0 {
+		return cc.Contained
+	}
+	q := c.net.Forward(cc.State)
+	best := 0
+	for i := 1; i < numCostFuncs; i++ {
+		if q[i] > q[best] {
+			best = i
+		}
+	}
+	return applyCostFunc(best, n, r)
+}
+
+// TrainCostFuncPolicy trains the Table 1 ablation: same state, reward and
+// training loop as the final design, but the action space is the three
+// classic cost functions. The paper's finding — that this leaves almost no
+// room for improvement because the functions usually agree — is reproduced
+// by BenchmarkTable1.
+func TrainCostFuncPolicy(data []geom.Rect, cfg Config) (*CostFuncPolicy, *TrainReport, error) {
+	cfg = cfg.withDefaults()
+	cfg.ActionMode = ActionCostFunc
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("core: empty training dataset")
+	}
+
+	start := time.Now()
+	world := worldOf(data)
+	agent := newChooseAgent(cfg)
+	report := &TrainReport{}
+	for epoch := 1; epoch <= cfg.ChooseEpochs; epoch++ {
+		loss := trainChooseEpoch(data, world, cfg, agent, rtree.MinOverlapSplit{})
+		report.ChooseLosses = append(report.ChooseLosses, loss)
+		cfg.logf("costfunc epoch %d/%d: loss=%.6f", epoch, cfg.ChooseEpochs, loss)
+	}
+	report.ChooseUpdates = agent.Updates()
+	report.Duration = time.Since(start)
+	return &CostFuncPolicy{
+		Net:        agent.Network(),
+		K:          cfg.K,
+		MaxEntries: cfg.MaxEntries,
+		MinEntries: cfg.MinEntries,
+	}, report, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rl"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// TrainCombined trains the full RLR-Tree with the paper's enhanced
+// alternating schedule (Section 4.3): in odd epochs the ChooseSubtree
+// agent trains while the Split strategy is frozen to the current learned
+// Split policy; in even epochs the Split agent trains while ChooseSubtree
+// is frozen to the current learned policy. cfg.ChooseEpochs and
+// cfg.SplitEpochs bound how many epochs each agent receives; once one
+// budget is exhausted the remaining epochs all go to the other agent.
+//
+// The returned policy carries both trained networks.
+func TrainCombined(data []geom.Rect, cfg Config) (*Policy, *TrainReport, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.ActionMode != ActionTopK {
+		return nil, nil, fmt.Errorf("core: TrainCombined supports only the top-k action design")
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("core: empty training dataset")
+	}
+
+	start := time.Now()
+	world := worldOf(data)
+	chooseAgent := newChooseAgent(cfg)
+	splitAgent := newSplitAgent(cfg)
+	report := &TrainReport{}
+
+	// Frozen greedy views of the current policies, used while the other
+	// agent trains. They read the live networks, which only change during
+	// their own epochs.
+	frozenChooser := &policyChooser{net: chooseAgent.Network(), k: cfg.K, padded: cfg.PaddedState}
+	frozenSplitter := &policySplitter{net: splitAgent.Network(), k: cfg.K, byArea: cfg.SplitSortByArea}
+
+	chooseLeft, splitLeft := cfg.ChooseEpochs, cfg.SplitEpochs
+	total := cfg.ChooseEpochs + cfg.SplitEpochs
+	for epoch := 1; epoch <= total; epoch++ {
+		trainChoose := epoch%2 == 1
+		if trainChoose && chooseLeft == 0 {
+			trainChoose = false
+		}
+		if !trainChoose && splitLeft == 0 {
+			trainChoose = true
+		}
+		if trainChoose {
+			loss := trainChooseEpoch(data, world, cfg, chooseAgent, frozenSplitter)
+			report.ChooseLosses = append(report.ChooseLosses, loss)
+			chooseLeft--
+			cfg.logf("combined epoch %d/%d (choose): loss=%.6f eps=%.3f", epoch, total, loss, chooseAgent.Epsilon())
+		} else {
+			loss := trainSplitEpoch(data, world, cfg, splitAgent, frozenChooser)
+			report.SplitLosses = append(report.SplitLosses, loss)
+			splitLeft--
+			cfg.logf("combined epoch %d/%d (split): loss=%.6f eps=%.3f", epoch, total, loss, splitAgent.Epsilon())
+		}
+	}
+	report.ChooseUpdates = chooseAgent.Updates()
+	report.SplitUpdates = splitAgent.Updates()
+	report.Duration = time.Since(start)
+
+	pol := &Policy{
+		ChooseNet:       chooseAgent.Network(),
+		SplitNet:        splitAgent.Network(),
+		K:               cfg.K,
+		MaxEntries:      cfg.MaxEntries,
+		MinEntries:      cfg.MinEntries,
+		PaddedState:     cfg.PaddedState,
+		SplitSortByArea: cfg.SplitSortByArea,
+	}
+	return pol, report, pol.Validate()
+}
+
+// ResumeCombined continues alternating training of a previously trained
+// combined policy on (possibly different) data — e.g. to adapt a policy to
+// a drifted distribution without starting from random weights. The input
+// policy is not modified; the returned policy carries freshly trained
+// copies of its networks. cfg's featurization parameters (K, capacities,
+// PaddedState, SplitSortByArea) are taken from the policy and must not be
+// overridden; epoch counts, p, seeds etc. come from cfg.
+func ResumeCombined(prev *Policy, data []geom.Rect, cfg Config) (*Policy, *TrainReport, error) {
+	if err := prev.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if prev.ChooseNet == nil || prev.SplitNet == nil {
+		return nil, nil, fmt.Errorf("core: ResumeCombined needs a combined policy with both networks")
+	}
+	cfg.K = prev.K
+	cfg.MaxEntries = prev.MaxEntries
+	cfg.MinEntries = prev.MinEntries
+	cfg.PaddedState = prev.PaddedState
+	cfg.SplitSortByArea = prev.SplitSortByArea
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("core: empty training dataset")
+	}
+
+	start := time.Now()
+	world := worldOf(data)
+	chooseAgent := rl.NewDQNFromNetwork(rl.Config{
+		StateDim:     cfg.chooseStateDim(),
+		NumActions:   cfg.chooseNumActions(),
+		LearningRate: cfg.ChooseLR,
+		Gamma:        cfg.ChooseGamma,
+		DoubleDQN:    cfg.DoubleDQN,
+		Seed:         cfg.Seed,
+	}, prev.ChooseNet.Clone())
+	splitAgent := rl.NewDQNFromNetwork(rl.Config{
+		StateDim:     4 * cfg.K,
+		NumActions:   cfg.K,
+		LearningRate: cfg.SplitLR,
+		Gamma:        cfg.SplitGamma,
+		DoubleDQN:    cfg.DoubleDQN,
+		Seed:         cfg.Seed + 1,
+	}, prev.SplitNet.Clone())
+
+	report := &TrainReport{}
+	frozenChooser := &policyChooser{net: chooseAgent.Network(), k: cfg.K, padded: cfg.PaddedState}
+	frozenSplitter := &policySplitter{net: splitAgent.Network(), k: cfg.K, byArea: cfg.SplitSortByArea}
+
+	total := cfg.ChooseEpochs + cfg.SplitEpochs
+	chooseLeft, splitLeft := cfg.ChooseEpochs, cfg.SplitEpochs
+	for epoch := 1; epoch <= total; epoch++ {
+		trainChoose := epoch%2 == 1
+		if trainChoose && chooseLeft == 0 {
+			trainChoose = false
+		}
+		if !trainChoose && splitLeft == 0 {
+			trainChoose = true
+		}
+		if trainChoose {
+			loss := trainChooseEpoch(data, world, cfg, chooseAgent, frozenSplitter)
+			report.ChooseLosses = append(report.ChooseLosses, loss)
+			chooseLeft--
+			cfg.logf("resume epoch %d/%d (choose): loss=%.6f", epoch, total, loss)
+		} else {
+			loss := trainSplitEpoch(data, world, cfg, splitAgent, frozenChooser)
+			report.SplitLosses = append(report.SplitLosses, loss)
+			splitLeft--
+			cfg.logf("resume epoch %d/%d (split): loss=%.6f", epoch, total, loss)
+		}
+	}
+	report.ChooseUpdates = chooseAgent.Updates()
+	report.SplitUpdates = splitAgent.Updates()
+	report.Duration = time.Since(start)
+
+	pol := &Policy{
+		ChooseNet:       chooseAgent.Network(),
+		SplitNet:        splitAgent.Network(),
+		K:               cfg.K,
+		MaxEntries:      cfg.MaxEntries,
+		MinEntries:      cfg.MinEntries,
+		PaddedState:     cfg.PaddedState,
+		SplitSortByArea: cfg.SplitSortByArea,
+	}
+	return pol, report, pol.Validate()
+}
+
+// BuildTree constructs an R-Tree over data by one-by-one insertion with
+// the policy's learned strategies, i.e. the final RLR-Tree of the paper.
+// Payloads are the data indices.
+func BuildTree(p *Policy, data []geom.Rect) *rtree.Tree {
+	t := p.NewTree()
+	for i, r := range data {
+		t.Insert(r, i)
+	}
+	return t
+}

@@ -1,0 +1,222 @@
+// Package core implements the RLR-Tree: an R-Tree whose ChooseSubtree and
+// Split decisions are made by policies learned with deep Q-learning instead
+// of hand-crafted heuristics (Gu et al., SIGMOD 2023).
+//
+// The package provides:
+//
+//   - the MDP state featurizations for both operations (state.go);
+//   - the reference-tree reward signal (reward.go);
+//   - the two training loops — Algorithm 1 for ChooseSubtree and
+//     Algorithm 2 for Split — plus the alternating "combined" schedule
+//     (train_choose.go, train_split.go, combined.go);
+//   - a persistent Policy (the two trained Q-networks) and the inference
+//     strategies that plug it into internal/rtree (policy.go);
+//   - the unsuccessful designs the paper reports, kept as runnable
+//     ablations: the cost-function action space of Table 1, the
+//     zero-padded all-children state, and the raw (reference-free) reward
+//     (ablation.go).
+//
+// The tree structure and all query algorithms come unchanged from
+// internal/rtree — the defining property of the RLR-Tree.
+package core
+
+import (
+	"fmt"
+
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// Default hyperparameters, taken from Section 5.1 of the paper.
+const (
+	// DefaultK is the action-space size k: top-k candidate children
+	// (ChooseSubtree) or top-k candidate splits (Split).
+	DefaultK = 2
+	// DefaultP is the number of insertions that share one reward
+	// computation. The paper leaves p unspecified; the sweep recorded in
+	// EXPERIMENTS.md shows small p (sharper credit assignment) wins, so
+	// the default is 2.
+	DefaultP = 2
+	// DefaultTrainingQueryFrac is the area of a training range query as a
+	// fraction of the data space (paper default 0.01%).
+	DefaultTrainingQueryFrac = 0.0001
+	// DefaultChooseEpochs and DefaultSplitEpochs are the training epoch
+	// counts (paper: 20 and 15).
+	DefaultChooseEpochs = 20
+	DefaultSplitEpochs  = 15
+	// DefaultParts is the number of dataset slices used to build
+	// almost-full base trees in Split training (paper: 15).
+	DefaultParts = 15
+	// Learning rates (paper: 0.003 ChooseSubtree, 0.01 Split).
+	DefaultChooseLR = 0.003
+	DefaultSplitLR  = 0.01
+	// Discount factors (paper: 0.95 ChooseSubtree, 0.8 Split).
+	DefaultChooseGamma = 0.95
+	DefaultSplitGamma  = 0.8
+)
+
+// ActionMode selects the ChooseSubtree action-space design.
+type ActionMode int
+
+const (
+	// ActionTopK is the paper's final design: the agent picks one of the
+	// top-k children directly.
+	ActionTopK ActionMode = iota
+	// ActionCostFunc is the rejected design of Table 1: the agent picks
+	// one of three classic cost functions (minimum area enlargement,
+	// minimum perimeter increase, minimum overlap increase), which is then
+	// applied over all children.
+	ActionCostFunc
+)
+
+// RewardMode selects the reward-signal design.
+type RewardMode int
+
+const (
+	// RewardReference is the paper's final design: the gap between the
+	// normalized node-access rates of the reference tree and the RLR-Tree.
+	RewardReference RewardMode = iota
+	// RewardRaw is the rejected design: the negated normalized node-access
+	// rate of the RLR-Tree alone.
+	RewardRaw
+)
+
+// Config collects every hyperparameter of RLR-Tree training. The zero
+// value (with defaults applied) reproduces the paper's setup.
+type Config struct {
+	// K is the action-space size (paper default 2; Figure 8a sweeps it).
+	K int
+	// P is the number of insertions per reward computation.
+	P int
+	// TrainingQueryFrac is the training range-query area as a fraction of
+	// the data-space area (Figure 8d sweeps it).
+	TrainingQueryFrac float64
+	// ChooseEpochs / SplitEpochs are the epoch counts for the two agents.
+	ChooseEpochs int
+	SplitEpochs  int
+	// Parts is the number of dataset slices in Split training.
+	Parts int
+	// MaxEntries / MinEntries are the node capacity bounds (paper: 50/20).
+	MaxEntries int
+	MinEntries int
+	// ChooseLR, SplitLR, ChooseGamma, SplitGamma override the DQN
+	// hyperparameters per agent.
+	ChooseLR, SplitLR       float64
+	ChooseGamma, SplitGamma float64
+	// HiddenSize overrides the Q-networks' hidden-layer width (paper: 64).
+	// Zero selects the default; a negative value selects a *linear*
+	// Q-function (no hidden layer), an ablation toward simpler models.
+	HiddenSize int
+	// DoubleDQN enables the Double-DQN bootstrap target for both agents —
+	// an extension beyond the paper's vanilla DQN.
+	DoubleDQN bool
+	// Seed drives all randomness in training.
+	Seed int64
+	// ActionMode and RewardMode select ablation variants; the zero values
+	// are the paper's final design.
+	ActionMode ActionMode
+	RewardMode RewardMode
+	// PaddedState switches the ChooseSubtree state to the rejected
+	// zero-padded all-children representation (4·MaxEntries features).
+	PaddedState bool
+	// SplitSortByArea orders the Split MDP's candidate shortlist by total
+	// area, the paper's literal wording, instead of the default total
+	// margin. Area ordering admits sliver distributions into the
+	// shortlist and measurably hurts the learned splits (see
+	// EXPERIMENTS.md); it is kept as a documented ablation.
+	SplitSortByArea bool
+	// Progress, when non-nil, receives one line per finished epoch.
+	Progress func(msg string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = DefaultK
+	}
+	if c.P == 0 {
+		c.P = DefaultP
+	}
+	if c.TrainingQueryFrac == 0 {
+		c.TrainingQueryFrac = DefaultTrainingQueryFrac
+	}
+	if c.ChooseEpochs == 0 {
+		c.ChooseEpochs = DefaultChooseEpochs
+	}
+	if c.SplitEpochs == 0 {
+		c.SplitEpochs = DefaultSplitEpochs
+	}
+	if c.Parts == 0 {
+		c.Parts = DefaultParts
+	}
+	if c.MaxEntries == 0 {
+		c.MaxEntries = rtree.DefaultMaxEntries
+	}
+	if c.MinEntries == 0 {
+		c.MinEntries = rtree.DefaultMinEntries
+		if c.MinEntries > c.MaxEntries/2 {
+			c.MinEntries = c.MaxEntries / 2
+		}
+	}
+	if c.ChooseLR == 0 {
+		c.ChooseLR = DefaultChooseLR
+	}
+	if c.SplitLR == 0 {
+		c.SplitLR = DefaultSplitLR
+	}
+	if c.ChooseGamma == 0 {
+		c.ChooseGamma = DefaultChooseGamma
+	}
+	if c.SplitGamma == 0 {
+		c.SplitGamma = DefaultSplitGamma
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K < 2 {
+		return fmt.Errorf("core: K must be >= 2 (K=1 degenerates to the reference tree), got %d", c.K)
+	}
+	if c.P < 1 {
+		return fmt.Errorf("core: P must be >= 1, got %d", c.P)
+	}
+	if c.TrainingQueryFrac <= 0 || c.TrainingQueryFrac > 1 {
+		return fmt.Errorf("core: TrainingQueryFrac must be in (0,1], got %g", c.TrainingQueryFrac)
+	}
+	if c.Parts < 2 {
+		return fmt.Errorf("core: Parts must be >= 2, got %d", c.Parts)
+	}
+	return nil
+}
+
+// treeOptions returns rtree options with this config's capacity bounds.
+func (c Config) treeOptions(chooser rtree.SubtreeChooser, splitter rtree.Splitter) rtree.Options {
+	return rtree.Options{
+		MaxEntries: c.MaxEntries,
+		MinEntries: c.MinEntries,
+		Chooser:    chooser,
+		Splitter:   splitter,
+	}
+}
+
+// chooseStateDim returns the ChooseSubtree state dimensionality for this
+// config.
+func (c Config) chooseStateDim() int {
+	if c.PaddedState {
+		return 4 * c.MaxEntries
+	}
+	return 4 * c.K
+}
+
+// chooseNumActions returns the ChooseSubtree action count for this config.
+func (c Config) chooseNumActions() int {
+	if c.ActionMode == ActionCostFunc {
+		return numCostFuncs
+	}
+	return c.K
+}
+
+// logf reports progress if a sink is configured.
+func (c Config) logf(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/mlp"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// Policy holds the trained artifacts of an RLR-Tree: the two Q-networks
+// and the hyperparameters needed to featurize states at insertion time. A
+// Policy with a nil network falls back to the reference heuristic for that
+// operation, so policies trained for a single operation (the paper's "RL
+// ChooseSubtree" and "RL Split" models) are represented naturally.
+type Policy struct {
+	// ChooseNet decides ChooseSubtree; nil selects Guttman least
+	// enlargement (the reference rule).
+	ChooseNet *mlp.Network
+	// SplitNet decides Split; nil selects the minimum-overlap partition
+	// (the reference rule).
+	SplitNet *mlp.Network
+	// K is the action-space size both networks were trained with.
+	K int
+	// MaxEntries / MinEntries are the node capacity bounds the policy was
+	// trained for.
+	MaxEntries, MinEntries int
+	// PaddedState records whether ChooseNet consumes the padded
+	// all-children state (ablation variant).
+	PaddedState bool
+	// SplitSortByArea records whether SplitNet was trained on the
+	// area-ordered candidate shortlist (ablation variant).
+	SplitSortByArea bool
+}
+
+// Validate checks that the networks (when present) match the policy's
+// featurization parameters.
+func (p *Policy) Validate() error {
+	if p.K < 2 {
+		return fmt.Errorf("core: policy K = %d, want >= 2", p.K)
+	}
+	if p.MaxEntries < 4 || p.MinEntries < 2 || p.MinEntries > p.MaxEntries/2 {
+		return fmt.Errorf("core: policy capacities %d/%d invalid", p.MinEntries, p.MaxEntries)
+	}
+	if p.ChooseNet != nil {
+		wantIn := 4 * p.K
+		if p.PaddedState {
+			wantIn = 4 * p.MaxEntries
+		}
+		if p.ChooseNet.InputSize() != wantIn {
+			return fmt.Errorf("core: ChooseNet input %d, want %d", p.ChooseNet.InputSize(), wantIn)
+		}
+	}
+	if p.SplitNet != nil {
+		if p.SplitNet.InputSize() != 4*p.K {
+			return fmt.Errorf("core: SplitNet input %d, want %d", p.SplitNet.InputSize(), 4*p.K)
+		}
+		if p.SplitNet.OutputSize() != p.K {
+			return fmt.Errorf("core: SplitNet outputs %d, want %d", p.SplitNet.OutputSize(), p.K)
+		}
+	}
+	return nil
+}
+
+// NewTree returns an empty R-Tree wired to this policy: insertions use the
+// learned ChooseSubtree and Split decisions (greedy, maximum Q-value), and
+// every query algorithm of internal/rtree works on it unchanged.
+func (p *Policy) NewTree() *rtree.Tree {
+	return rtree.New(rtree.Options{
+		MaxEntries: p.MaxEntries,
+		MinEntries: p.MinEntries,
+		Chooser:    p.Chooser(),
+		Splitter:   p.Splitter(),
+	})
+}
+
+// Chooser returns the policy's ChooseSubtree strategy: the greedy learned
+// policy when ChooseNet is present, otherwise the reference heuristic.
+func (p *Policy) Chooser() rtree.SubtreeChooser {
+	if p.ChooseNet == nil {
+		return rtree.GuttmanChooser{}
+	}
+	return &policyChooser{net: p.ChooseNet, k: p.K, padded: p.PaddedState}
+}
+
+// Splitter returns the policy's Split strategy: the greedy learned policy
+// when SplitNet is present, otherwise the reference heuristic.
+func (p *Policy) Splitter() rtree.Splitter {
+	if p.SplitNet == nil {
+		return rtree.MinOverlapSplit{}
+	}
+	return &policySplitter{net: p.SplitNet, k: p.K, byArea: p.SplitSortByArea}
+}
+
+// policyChooser descends by the maximum Q-value over the top-k children,
+// honoring the containment shortcut.
+type policyChooser struct {
+	net    *mlp.Network
+	k      int
+	padded bool
+}
+
+// Name implements rtree.SubtreeChooser.
+func (c *policyChooser) Name() string { return "rl-choose" }
+
+// Choose implements rtree.SubtreeChooser.
+func (c *policyChooser) Choose(t *rtree.Tree, n *rtree.Node, r geom.Rect) int {
+	cc := chooseState(n, r, c.k, t.MaxEntries(), c.padded)
+	if cc.Contained >= 0 {
+		return cc.Contained
+	}
+	q := c.net.Forward(cc.State)
+	valid := len(cc.Children)
+	if !c.padded && valid > c.k {
+		valid = c.k
+	}
+	best := 0
+	for i := 1; i < valid && i < len(q); i++ {
+		if q[i] > q[best] {
+			best = i
+		}
+	}
+	return cc.Children[best]
+}
+
+// policySplitter splits by the maximum Q-value over the top-k
+// overlap-free candidate splits, falling back to the minimum-overlap
+// partition when fewer than two such candidates exist.
+type policySplitter struct {
+	net    *mlp.Network
+	k      int
+	byArea bool
+}
+
+// Name implements rtree.Splitter.
+func (s *policySplitter) Name() string { return "rl-split" }
+
+// Split implements rtree.Splitter.
+func (s *policySplitter) Split(t *rtree.Tree, n *rtree.Node) ([]rtree.Entry, []rtree.Entry) {
+	sc := splitState(n.Entries(), t.MinEntries(), s.k, s.byArea)
+	if !sc.UseModel {
+		return (rtree.MinOverlapSplit{}).Split(t, n)
+	}
+	q := s.net.Forward(sc.State)
+	best := 0
+	for i := 1; i < len(sc.Cands) && i < len(q); i++ {
+		if q[i] > q[best] {
+			best = i
+		}
+	}
+	return sc.Enum.Materialize(sc.Cands[best])
+}
+
+// policyFile is the on-disk JSON form of a Policy.
+type policyFile struct {
+	Format          string       `json:"format"`
+	K               int          `json:"k"`
+	MaxEntries      int          `json:"max_entries"`
+	MinEntries      int          `json:"min_entries"`
+	PaddedState     bool         `json:"padded_state,omitempty"`
+	SplitSortByArea bool         `json:"split_sort_by_area,omitempty"`
+	ChooseNet       *mlp.Network `json:"choose_net,omitempty"`
+	SplitNet        *mlp.Network `json:"split_net,omitempty"`
+}
+
+const policyFormat = "rlrtree-policy-v1"
+
+// Save writes the policy to path as JSON.
+func (p *Policy) Save(path string) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(policyFile{
+		Format:          policyFormat,
+		K:               p.K,
+		MaxEntries:      p.MaxEntries,
+		MinEntries:      p.MinEntries,
+		PaddedState:     p.PaddedState,
+		SplitSortByArea: p.SplitSortByArea,
+		ChooseNet:       p.ChooseNet,
+		SplitNet:        p.SplitNet,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encode policy: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: write policy: %w", err)
+	}
+	return nil
+}
+
+// LoadPolicy reads a policy previously written by Save.
+func LoadPolicy(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read policy: %w", err)
+	}
+	var pf policyFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return nil, fmt.Errorf("core: decode policy: %w", err)
+	}
+	if pf.Format != policyFormat {
+		return nil, fmt.Errorf("core: unsupported policy format %q", pf.Format)
+	}
+	p := &Policy{
+		ChooseNet:       pf.ChooseNet,
+		SplitNet:        pf.SplitNet,
+		K:               pf.K,
+		MaxEntries:      pf.MaxEntries,
+		MinEntries:      pf.MinEntries,
+		PaddedState:     pf.PaddedState,
+		SplitSortByArea: pf.SplitSortByArea,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

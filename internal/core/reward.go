@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// worldOf returns the bounding rectangle of the training data, which
+// anchors the absolute size of training range queries. For the paper's
+// synthetic datasets this is (approximately) the unit square.
+func worldOf(data []geom.Rect) geom.Rect {
+	if len(data) == 0 {
+		return geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	}
+	w := data[0]
+	for _, r := range data[1:] {
+		w = w.Union(r)
+	}
+	return w
+}
+
+// queryAround returns the square training query of the given area centered
+// at c, following the paper: every inserted object contributes one range
+// query of a predefined size centered at the object.
+func queryAround(c geom.Point, area float64) geom.Rect {
+	side := math.Sqrt(area)
+	return geom.Square(c.X, c.Y, side)
+}
+
+// normalizedAccessRate is the paper's per-query cost measure
+// (#accessed nodes / tree height) averaged over the query set.
+func normalizedAccessRate(t *rtree.Tree, queries []geom.Rect) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	h := float64(t.Height())
+	var sum float64
+	for _, q := range queries {
+		stats := t.SearchCount(q)
+		sum += float64(stats.NodesAccessed) / h
+	}
+	return sum / float64(len(queries))
+}
+
+// groupReward computes the shared reward of one p-object group: the gap
+// R' − R between the reference tree's and the RLR-Tree's normalized
+// access rates (RewardReference, the paper's design), or the RLR-Tree's
+// negated rate alone (RewardRaw, the rejected design kept as an ablation).
+func groupReward(ref, rlr *rtree.Tree, queries []geom.Rect, mode RewardMode) float64 {
+	r := normalizedAccessRate(rlr, queries)
+	if mode == RewardRaw {
+		return -r
+	}
+	return normalizedAccessRate(ref, queries) - r
+}

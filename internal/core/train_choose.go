@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rl"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// TrainReport summarizes a training run.
+type TrainReport struct {
+	// ChooseLosses and SplitLosses hold the mean TD loss of each finished
+	// epoch of the respective agent.
+	ChooseLosses []float64
+	SplitLosses  []float64
+	// ChooseUpdates and SplitUpdates count network updates.
+	ChooseUpdates int
+	SplitUpdates  int
+	// Duration is the wall-clock training time.
+	Duration time.Duration
+}
+
+// policyStep is one recorded (state, action) of an episode, together with
+// the number of valid actions at that state (needed to mask the bootstrap
+// maximum).
+type policyStep struct {
+	state      []float64
+	action     int
+	numActions int
+}
+
+// chooseRecorder is an rtree.SubtreeChooser that delegates decisions to a
+// DQN agent (ε-greedy) and records the visited (state, action) pairs of
+// the current insertion. It implements both the final top-k action design
+// and the rejected cost-function design of Table 1.
+type chooseRecorder struct {
+	agent  *rl.DQN
+	cfg    Config
+	steps  []policyStep
+	record bool
+}
+
+// Name implements rtree.SubtreeChooser.
+func (c *chooseRecorder) Name() string { return "rl-choose-training" }
+
+// Choose implements rtree.SubtreeChooser.
+func (c *chooseRecorder) Choose(t *rtree.Tree, n *rtree.Node, r geom.Rect) int {
+	cc := chooseState(n, r, c.cfg.K, t.MaxEntries(), c.cfg.PaddedState)
+	if cc.Contained >= 0 {
+		// Containment shortcut: no decision, no transition.
+		return cc.Contained
+	}
+	if c.cfg.ActionMode == ActionCostFunc {
+		a := c.agent.SelectAction(cc.State, numCostFuncs)
+		if c.record {
+			c.steps = append(c.steps, policyStep{state: cc.State, action: a, numActions: numCostFuncs})
+		}
+		return applyCostFunc(a, n, r)
+	}
+	numActions := len(cc.Children)
+	if numActions > c.cfg.K {
+		numActions = c.cfg.K
+	}
+	a := c.agent.SelectAction(cc.State, numActions)
+	if c.record {
+		c.steps = append(c.steps, policyStep{state: cc.State, action: a, numActions: numActions})
+	}
+	return cc.Children[a]
+}
+
+// observeEpisodes pushes the recorded episodes into the agent's replay
+// buffer, chaining successive steps of each insertion into (s, a, r, s')
+// transitions that all share the group reward.
+func observeEpisodes(agent *rl.DQN, episodes [][]policyStep, reward float64) {
+	for _, ep := range episodes {
+		for i, st := range ep {
+			tr := rl.Transition{State: st.state, Action: st.action, Reward: reward}
+			if i+1 < len(ep) {
+				tr.Next = ep[i+1].state
+				tr.NextActions = ep[i+1].numActions
+			}
+			agent.Observe(tr)
+		}
+	}
+}
+
+// trainChooseEpoch runs one epoch of Algorithm 1: insert the whole
+// training dataset into a fresh RLR-Tree with ε-greedy subtree choices,
+// synchronizing a reference tree and computing the reference-gap reward
+// every cfg.P insertions. splitter is the Split strategy shared by both
+// trees (the paper's min-overlap partition, or the current learned Split
+// policy during combined training). It returns the mean TD loss.
+func trainChooseEpoch(data []geom.Rect, world geom.Rect, cfg Config, agent *rl.DQN, splitter rtree.Splitter) float64 {
+	agent.Replay().Reset()
+	rec := &chooseRecorder{agent: agent, cfg: cfg, record: true}
+	trl := rtree.New(cfg.treeOptions(rec, splitter))
+	qArea := cfg.TrainingQueryFrac * world.Area()
+
+	var lossSum float64
+	var lossN int
+	episodes := make([][]policyStep, 0, cfg.P)
+	queries := make([]geom.Rect, 0, cfg.P)
+
+	for start := 0; start < len(data); start += cfg.P {
+		end := start + cfg.P
+		if end > len(data) {
+			end = len(data)
+		}
+		group := data[start:end]
+
+		// Synchronize the reference tree with the RLR-Tree (same
+		// structure, reference ChooseSubtree, shared Split).
+		ref := trl.CloneWith(rtree.GuttmanChooser{}, splitter)
+
+		episodes = episodes[:0]
+		queries = queries[:0]
+		for _, o := range group {
+			ref.Insert(o, nil)
+			rec.steps = rec.steps[:0]
+			trl.Insert(o, nil)
+			if len(rec.steps) > 0 {
+				episodes = append(episodes, append([]policyStep(nil), rec.steps...))
+			}
+			queries = append(queries, queryAround(o.Center(), qArea))
+		}
+
+		r := groupReward(ref, trl, queries, cfg.RewardMode)
+		observeEpisodes(agent, episodes, r)
+		if loss := agent.TrainStep(); !math.IsNaN(loss) {
+			lossSum += loss
+			lossN++
+		}
+	}
+	if lossN == 0 {
+		return math.NaN()
+	}
+	return lossSum / float64(lossN)
+}
+
+// newChooseAgent builds the DQN for the ChooseSubtree MDP from the config.
+func newChooseAgent(cfg Config) *rl.DQN {
+	return rl.NewDQN(rl.Config{
+		StateDim:     cfg.chooseStateDim(),
+		NumActions:   cfg.chooseNumActions(),
+		HiddenSize:   cfg.HiddenSize,
+		LearningRate: cfg.ChooseLR,
+		Gamma:        cfg.ChooseGamma,
+		DoubleDQN:    cfg.DoubleDQN,
+		Seed:         cfg.Seed,
+	})
+}
+
+// TrainChoosePolicy trains the RL ChooseSubtree model alone (the paper's
+// "RL ChooseSubtree" index): the Split strategy of both the RLR-Tree and
+// the reference tree is fixed to the minimum-overlap partition. The
+// returned policy has only ChooseNet set.
+func TrainChoosePolicy(data []geom.Rect, cfg Config) (*Policy, *TrainReport, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.ActionMode != ActionTopK {
+		return nil, nil, fmt.Errorf("core: TrainChoosePolicy requires ActionTopK; use TrainCostFuncPolicy for the ablation")
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("core: empty training dataset")
+	}
+
+	start := time.Now()
+	world := worldOf(data)
+	agent := newChooseAgent(cfg)
+	report := &TrainReport{}
+	for epoch := 1; epoch <= cfg.ChooseEpochs; epoch++ {
+		loss := trainChooseEpoch(data, world, cfg, agent, rtree.MinOverlapSplit{})
+		report.ChooseLosses = append(report.ChooseLosses, loss)
+		cfg.logf("choose epoch %d/%d: loss=%.6f eps=%.3f", epoch, cfg.ChooseEpochs, loss, agent.Epsilon())
+	}
+	report.ChooseUpdates = agent.Updates()
+	report.Duration = time.Since(start)
+
+	pol := &Policy{
+		ChooseNet:   agent.Network(),
+		K:           cfg.K,
+		MaxEntries:  cfg.MaxEntries,
+		MinEntries:  cfg.MinEntries,
+		PaddedState: cfg.PaddedState,
+	}
+	return pol, report, pol.Validate()
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rl"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// splitRecorder is an rtree.Splitter that delegates the choice among the
+// top-k overlap-free candidate splits to a DQN agent (ε-greedy) and
+// records the visited (state, action) pairs. Per the paper's remark, when
+// fewer than two overlap-free candidates exist it falls back to the
+// minimum-overlap partition without consulting (or training) the agent.
+type splitRecorder struct {
+	agent  *rl.DQN
+	k      int
+	byArea bool
+	steps  []policyStep
+	record bool
+}
+
+// Name implements rtree.Splitter.
+func (s *splitRecorder) Name() string { return "rl-split-training" }
+
+// Split implements rtree.Splitter.
+func (s *splitRecorder) Split(t *rtree.Tree, n *rtree.Node) ([]rtree.Entry, []rtree.Entry) {
+	sc := splitState(n.Entries(), t.MinEntries(), s.k, s.byArea)
+	if !sc.UseModel {
+		return (rtree.MinOverlapSplit{}).Split(t, n)
+	}
+	a := s.agent.SelectAction(sc.State, len(sc.Cands))
+	if s.record {
+		s.steps = append(s.steps, policyStep{state: sc.State, action: a, numActions: len(sc.Cands)})
+	}
+	return sc.Enum.Materialize(sc.Cands[a])
+}
+
+// trainSplitEpoch runs one epoch of Algorithm 2. For each j in
+// [1, parts-1] it builds an "almost full" base tree from the first
+// j/parts of the data — diverting objects whose insertion would cause a
+// split into the training pool O_train — and then trains on O_train in
+// groups of cfg.P objects, resetting both the RLR-Tree and the reference
+// tree to the base tree at every group boundary so splits stay frequent.
+// chooser is the ChooseSubtree strategy shared by both trees (the paper's
+// least-enlargement rule, or the current learned ChooseSubtree policy
+// during combined training). It returns the mean TD loss.
+func trainSplitEpoch(data []geom.Rect, world geom.Rect, cfg Config, agent *rl.DQN, chooser rtree.SubtreeChooser) float64 {
+	qArea := cfg.TrainingQueryFrac * world.Area()
+	rec := &splitRecorder{agent: agent, k: cfg.K, byArea: cfg.SplitSortByArea, record: true}
+
+	var lossSum float64
+	var lossN int
+	for j := 1; j < cfg.Parts; j++ {
+		cut := len(data) * j / cfg.Parts
+		if cut == 0 {
+			continue
+		}
+
+		// Build the almost-full base tree with the reference strategies.
+		base := rtree.New(cfg.treeOptions(chooser, rtree.MinOverlapSplit{}))
+		for _, o := range data[:cut] {
+			base.Insert(o, nil)
+		}
+		var otrain []geom.Rect
+		for _, o := range data[cut:] {
+			if base.WouldSplit(o) {
+				otrain = append(otrain, o)
+			} else {
+				base.Insert(o, nil)
+			}
+		}
+
+		for start := 0; start < len(otrain); start += cfg.P {
+			end := start + cfg.P
+			if end > len(otrain) {
+				end = len(otrain)
+			}
+			group := otrain[start:end]
+
+			// Reset both trees to the (almost full) base structure.
+			trl := base.CloneWith(chooser, rec)
+			ref := base.CloneWith(chooser, rtree.MinOverlapSplit{})
+
+			var episodes [][]policyStep
+			var queries []geom.Rect
+			for _, o := range group {
+				ref.Insert(o, nil)
+				rec.steps = rec.steps[:0]
+				splitsBefore := trl.Splits()
+				trl.Insert(o, nil)
+				if trl.Splits() > splitsBefore {
+					// A node overflowed: this insertion contributes a
+					// reward query, whether or not the model was consulted.
+					queries = append(queries, queryAround(o.Center(), qArea))
+				}
+				if len(rec.steps) > 0 {
+					episodes = append(episodes, append([]policyStep(nil), rec.steps...))
+				}
+			}
+			if len(queries) == 0 || len(episodes) == 0 {
+				continue
+			}
+			r := groupReward(ref, trl, queries, cfg.RewardMode)
+			observeEpisodes(agent, episodes, r)
+			if loss := agent.TrainStep(); !math.IsNaN(loss) {
+				lossSum += loss
+				lossN++
+			}
+		}
+	}
+	if lossN == 0 {
+		return math.NaN()
+	}
+	return lossSum / float64(lossN)
+}
+
+// newSplitAgent builds the DQN for the Split MDP from the config.
+func newSplitAgent(cfg Config) *rl.DQN {
+	return rl.NewDQN(rl.Config{
+		StateDim:     4 * cfg.K,
+		NumActions:   cfg.K,
+		HiddenSize:   cfg.HiddenSize,
+		LearningRate: cfg.SplitLR,
+		Gamma:        cfg.SplitGamma,
+		DoubleDQN:    cfg.DoubleDQN,
+		Seed:         cfg.Seed + 1,
+	})
+}
+
+// TrainSplitPolicy trains the RL Split model alone (the paper's "RL
+// Split" index): the ChooseSubtree strategy of both trees is fixed to the
+// reference least-enlargement rule. The returned policy has only SplitNet
+// set.
+func TrainSplitPolicy(data []geom.Rect, cfg Config) (*Policy, *TrainReport, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("core: empty training dataset")
+	}
+
+	start := time.Now()
+	world := worldOf(data)
+	agent := newSplitAgent(cfg)
+	report := &TrainReport{}
+	for epoch := 1; epoch <= cfg.SplitEpochs; epoch++ {
+		loss := trainSplitEpoch(data, world, cfg, agent, rtree.GuttmanChooser{})
+		report.SplitLosses = append(report.SplitLosses, loss)
+		cfg.logf("split epoch %d/%d: loss=%.6f eps=%.3f", epoch, cfg.SplitEpochs, loss, agent.Epsilon())
+	}
+	report.SplitUpdates = agent.Updates()
+	report.Duration = time.Since(start)
+
+	pol := &Policy{
+		SplitNet:        agent.Network(),
+		K:               cfg.K,
+		MaxEntries:      cfg.MaxEntries,
+		MinEntries:      cfg.MinEntries,
+		SplitSortByArea: cfg.SplitSortByArea,
+	}
+	return pol, report, pol.Validate()
+}

@@ -1,0 +1,317 @@
+package dataset
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+func inUnitSquare(r geom.Rect) bool {
+	return r.MinX >= 0 && r.MinY >= 0 && r.MaxX <= 1 && r.MaxY <= 1
+}
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range Kinds {
+		data, err := Generate(kind, 2000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(data) != 2000 {
+			t.Fatalf("%s: got %d objects", kind, len(data))
+		}
+		for i, r := range data {
+			if !r.Valid() {
+				t.Fatalf("%s[%d]: invalid rect %v", kind, i, r)
+			}
+			if !inUnitSquare(r) {
+				t.Fatalf("%s[%d]: outside unit square: %v", kind, i, r)
+			}
+		}
+	}
+	if _, err := Generate(Kind("nope"), 10, 1); err == nil {
+		t.Fatalf("unknown kind accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range Kinds {
+		a := MustGenerate(kind, 500, 7)
+		b := MustGenerate(kind, 500, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: generation not deterministic at %d", kind, i)
+			}
+		}
+		c := MustGenerate(kind, 500, 8)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%s: different seeds produced identical data", kind)
+		}
+	}
+}
+
+func TestSyntheticAreSquaresOfFixedSize(t *testing.T) {
+	for _, kind := range SyntheticKinds {
+		data := MustGenerate(kind, 300, 2)
+		for _, r := range data {
+			if math.Abs(r.Width()-DefaultSquareSide) > 1e-12 || math.Abs(r.Height()-DefaultSquareSide) > 1e-12 {
+				t.Fatalf("%s: object %v is not a %g square", kind, r, DefaultSquareSide)
+			}
+		}
+	}
+}
+
+func TestOSMLikeArePoints(t *testing.T) {
+	for _, kind := range []Kind{CHI, IND} {
+		data := MustGenerate(kind, 300, 3)
+		for _, r := range data {
+			if r.Width() != 0 || r.Height() != 0 {
+				t.Fatalf("%s: object %v is not a point", kind, r)
+			}
+		}
+	}
+}
+
+// TestDistributionShapes sanity-checks the statistical signatures that make
+// each distribution what it is.
+func TestDistributionShapes(t *testing.T) {
+	const n = 20000
+
+	// SKE: mass concentrated at small y.
+	ske := MustGenerate(SKE, n, 4)
+	below := 0
+	for _, r := range ske {
+		if r.Center().Y < 0.1 {
+			below++
+		}
+	}
+	// P(y^9 < 0.1) = 0.1^(1/9) ≈ 0.774.
+	if frac := float64(below) / n; frac < 0.7 || frac > 0.85 {
+		t.Fatalf("SKE: %.3f of mass below y=0.1, want ~0.774", frac)
+	}
+
+	// GAU: mass concentrated near the center.
+	gau := MustGenerate(GAU, n, 4)
+	near := 0
+	for _, r := range gau {
+		c := r.Center()
+		if math.Hypot(c.X-0.5, c.Y-0.5) < 0.3 {
+			near++
+		}
+	}
+	if frac := float64(near) / n; frac < 0.6 {
+		t.Fatalf("GAU: only %.3f of mass within 0.3 of center", frac)
+	}
+
+	// UNI: roughly uniform quadrant counts.
+	uni := MustGenerate(UNI, n, 4)
+	var q [4]int
+	for _, r := range uni {
+		c := r.Center()
+		idx := 0
+		if c.X > 0.5 {
+			idx++
+		}
+		if c.Y > 0.5 {
+			idx += 2
+		}
+		q[idx]++
+	}
+	for i, cnt := range q {
+		if cnt < n/4-n/20 || cnt > n/4+n/20 {
+			t.Fatalf("UNI: quadrant %d has %d of %d", i, cnt, n)
+		}
+	}
+
+	// CHI: strongly clustered — the densest 1% of grid cells must hold far
+	// more than 1% of the points (true for OSM extracts, false for UNI).
+	chi := MustGenerate(CHI, n, 4)
+	if top := densestCellShare(chi, 32, 10); top < 0.05 {
+		t.Fatalf("CHI: densest cells hold only %.3f of points; not clustered", top)
+	}
+	if top := densestCellShare(uni, 32, 10); top > 0.05 {
+		t.Fatalf("UNI unexpectedly clustered: %.3f", top)
+	}
+
+	// CHI is tilted toward large x (the simulated populous east).
+	east := 0
+	for _, r := range chi {
+		if r.Center().X > 0.5 {
+			east++
+		}
+	}
+	if frac := float64(east) / n; frac < 0.55 {
+		t.Fatalf("CHI east share %.3f, want > 0.55", frac)
+	}
+}
+
+// densestCellShare grids the unit square g×g and returns the fraction of
+// points in the top cells densest cells.
+func densestCellShare(data []geom.Rect, g, cells int) float64 {
+	counts := make([]int, g*g)
+	for _, r := range data {
+		c := r.Center()
+		x := int(c.X * float64(g))
+		y := int(c.Y * float64(g))
+		if x >= g {
+			x = g - 1
+		}
+		if y >= g {
+			y = g - 1
+		}
+		counts[y*g+x]++
+	}
+	// Partial selection of the top `cells` counts.
+	top := 0
+	for i := 0; i < cells; i++ {
+		best := -1
+		for j, c := range counts {
+			if best == -1 || c > counts[best] {
+				best = j
+			}
+			_ = c
+		}
+		top += counts[best]
+		counts[best] = -1
+	}
+	return float64(top) / float64(len(data))
+}
+
+func TestRangeQueries(t *testing.T) {
+	world := geom.NewRect(0, 0, 1, 1)
+	qs := RangeQueries(100, 0.01, world, 5)
+	if len(qs) != 100 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if math.Abs(q.Area()-0.01) > 1e-9 {
+			t.Fatalf("query area %v, want 0.01", q.Area())
+		}
+		c := q.Center()
+		if !world.ContainsPoint(c) {
+			t.Fatalf("query center %v outside world", c)
+		}
+	}
+	// Scaled world: area fraction applies to the world's area.
+	big := geom.NewRect(0, 0, 10, 10)
+	qs = RangeQueries(10, 0.01, big, 5)
+	if math.Abs(qs[0].Area()-1.0) > 1e-9 {
+		t.Fatalf("scaled query area %v, want 1", qs[0].Area())
+	}
+}
+
+func TestDataCenteredQueries(t *testing.T) {
+	data := MustGenerate(GAU, 1000, 6)
+	world := geom.NewRect(0, 0, 1, 1)
+	qs := DataCenteredQueries(data, 50, 0.0001, world, 7)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	// Every query center coincides (up to float round-trip through
+	// Square/Center) with some object center.
+	for _, q := range qs {
+		c := q.Center()
+		found := false
+		for _, r := range data {
+			oc := r.Center()
+			if math.Abs(oc.X-c.X) < 1e-9 && math.Abs(oc.Y-c.Y) < 1e-9 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query center %v is not an object center", c)
+		}
+	}
+}
+
+func TestKNNQueryPoints(t *testing.T) {
+	world := geom.NewRect(0.2, 0.2, 0.8, 0.8)
+	pts := KNNQueryPoints(200, world, 8)
+	if len(pts) != 200 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !world.ContainsPoint(p) {
+			t.Fatalf("point %v outside world", p)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	data := MustGenerate(UNI, 100, 9)
+	if got := Sample(data, 10); len(got) != 10 {
+		t.Fatalf("sample len %d", len(got))
+	}
+	if got := Sample(data, 1000); len(got) != 100 {
+		t.Fatalf("oversized sample len %d", len(got))
+	}
+}
+
+func TestCSVRoundTripRects(t *testing.T) {
+	data := MustGenerate(GAU, 200, 10)
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := WriteCSV(path, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(data) {
+		t.Fatalf("round trip: %d vs %d", len(back), len(data))
+	}
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("row %d: %v vs %v", i, back[i], data[i])
+		}
+	}
+}
+
+func TestCSVRoundTripPoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	content := "x,y\n0.25,0.75\n0.5,0.5\n"
+	if err := writeFile(path, content); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != geom.PointRect(geom.Pt(0.25, 0.75)) {
+		t.Fatalf("points parse wrong: %v", back)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	cases := map[string]string{
+		"threecol.csv": "1,2,3\n",
+		"badnum.csv":   "0,0,1,1\nx,y,z,w\n",
+		"badrect.csv":  "1,1,0,0\n",
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := writeFile(p, content); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCSV(p); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

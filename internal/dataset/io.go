@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// WriteCSV writes rectangles to path as "minx,miny,maxx,maxy" rows (no
+// header). Points may be written as 2-column "x,y" rows by WritePointsCSV.
+func WriteCSV(path string, rects []geom.Rect) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, r := range rects {
+		fmt.Fprintf(w, "%g,%g,%g,%g\n", r.MinX, r.MinY, r.MaxX, r.MaxY)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("dataset: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadCSV reads a dataset from a CSV file. Rows with two columns are
+// parsed as points (x, y); rows with four columns as rectangles
+// (minx, miny, maxx, maxy). A header row is skipped if its first field is
+// not numeric.
+func ReadCSV(path string) ([]geom.Rect, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+
+	r := csv.NewReader(bufio.NewReader(f))
+	r.FieldsPerRecord = -1
+	var out []geom.Rect
+	line := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: parse %s: %w", path, err)
+		}
+		line++
+		vals := make([]float64, len(rec))
+		ok := true
+		for i, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[i] = v
+		}
+		if !ok {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("dataset: %s line %d: non-numeric field", path, line)
+		}
+		switch len(vals) {
+		case 2:
+			out = append(out, geom.PointRect(geom.Pt(vals[0], vals[1])))
+		case 4:
+			rect := geom.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+			if !rect.Valid() {
+				return nil, fmt.Errorf("dataset: %s line %d: invalid rect %v", path, line, rect)
+			}
+			out = append(out, rect)
+		default:
+			return nil, fmt.Errorf("dataset: %s line %d: want 2 or 4 columns, got %d", path, line, len(vals))
+		}
+	}
+	return out, nil
+}

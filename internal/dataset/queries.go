@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// QuerySizes are the testing range-query sizes of the paper, as fractions
+// of the data-space area (0.005% … 2%).
+var QuerySizes = []float64{0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.02}
+
+// QuerySizeLabels renders QuerySizes the way the paper labels them.
+var QuerySizeLabels = []string{"0.005%", "0.01%", "0.05%", "0.1%", "0.5%", "1%", "2%"}
+
+// KNNValues are the K values of the paper's KNN experiments.
+var KNNValues = []int{1, 5, 25, 125, 625}
+
+// RangeQueries generates n random square range queries covering frac of
+// world's area each, with centers uniform in world. This is the paper's
+// test workload (1 000 queries per size).
+func RangeQueries(n int, frac float64, world geom.Rect, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	side := math.Sqrt(frac * world.Area())
+	out := make([]geom.Rect, n)
+	for i := range out {
+		cx := world.MinX + rng.Float64()*world.Width()
+		cy := world.MinY + rng.Float64()*world.Height()
+		out[i] = geom.Square(cx, cy, side)
+	}
+	return out
+}
+
+// DataCenteredQueries generates one query of the given area fraction
+// centered at each of n objects sampled from data. Query workloads centered
+// on the data measure performance where the objects actually are, which
+// matters for heavily skewed distributions.
+func DataCenteredQueries(data []geom.Rect, n int, frac float64, world geom.Rect, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	side := math.Sqrt(frac * world.Area())
+	out := make([]geom.Rect, n)
+	for i := range out {
+		c := data[rng.Intn(len(data))].Center()
+		out[i] = geom.Square(c.X, c.Y, side)
+	}
+	return out
+}
+
+// KNNQueryPoints generates n uniformly distributed query points in world,
+// matching the paper's KNN workload.
+func KNNQueryPoints(n int, world geom.Rect, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Pt(
+			world.MinX+rng.Float64()*world.Width(),
+			world.MinY+rng.Float64()*world.Height(),
+		)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/rlr-tree/rlrtree/internal/core"
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+)
+
+// ablations compares the paper's final design against each rejected (or
+// deviating) design choice called out in DESIGN.md §6, on the three
+// synthetic datasets at the default query size:
+//
+//   - cost-function action space (Table 1's rejected design);
+//   - zero-padded all-children state (rejected in Section 4.1.1);
+//   - raw reward without the reference tree (rejected in Section 4.1.1);
+//   - area-ordered split shortlist (the paper's literal wording; this
+//     implementation defaults to margin ordering — see EXPERIMENTS.md).
+//
+// Rows are RNA values: the final design should dominate.
+func ablations(sc Scale, logf Logf) []*Table {
+	t := &Table{
+		ID:     "ablations",
+		Title:  "Ablations: final design vs rejected design choices (RNA)",
+		Header: []string{"variant", "SKE", "GAU", "UNI"},
+	}
+
+	type variant struct {
+		name string
+		run  func(dk dataset.Kind) float64
+	}
+
+	measureChoose := func(dk dataset.Kind, cfg core.Config) float64 {
+		data := dataset.MustGenerate(dk, sc.DatasetSize, sc.Seed)
+		base := RTreeBuilder(sc.Cfg.MaxEntries, sc.Cfg.MinEntries).Build(data)
+		queries := dataset.RangeQueries(sc.NumQueries, defaultQueryFrac, dataWorld(data), sc.Seed+1500)
+		pol := trainPolicy(trainChoose, dk, sc.TrainSize, cfg, sc.Seed)
+		return MeasureRNA(PolicyBuilder("rl", pol).Build(data), base, queries)
+	}
+	measureSplit := func(dk dataset.Kind, cfg core.Config) float64 {
+		data := dataset.MustGenerate(dk, sc.DatasetSize, sc.Seed)
+		base := RTreeBuilder(sc.Cfg.MaxEntries, sc.Cfg.MinEntries).Build(data)
+		queries := dataset.RangeQueries(sc.NumQueries, defaultQueryFrac, dataWorld(data), sc.Seed+1500)
+		pol := trainPolicy(trainSplit, dk, sc.TrainSize, cfg, sc.Seed)
+		return MeasureRNA(PolicyBuilder("rl", pol).Build(data), base, queries)
+	}
+
+	variants := []variant{
+		{"final design (ChooseSubtree)", func(dk dataset.Kind) float64 {
+			return measureChoose(dk, sc.Cfg)
+		}},
+		{"cost-function actions", func(dk dataset.Kind) float64 {
+			data := dataset.MustGenerate(dk, sc.DatasetSize, sc.Seed)
+			base := RTreeBuilder(sc.Cfg.MaxEntries, sc.Cfg.MinEntries).Build(data)
+			queries := dataset.RangeQueries(sc.NumQueries, defaultQueryFrac, dataWorld(data), sc.Seed+1500)
+			train := dataset.MustGenerate(dk, sc.TrainSize, sc.Seed)
+			pol, _, err := core.TrainCostFuncPolicy(train, sc.Cfg)
+			if err != nil {
+				panic(fmt.Sprintf("ablations: %v", err))
+			}
+			tree := pol.NewTree()
+			for i, r := range data {
+				tree.Insert(r, i)
+			}
+			return MeasureRNA(tree, base, queries)
+		}},
+		{"padded all-children state", func(dk dataset.Kind) float64 {
+			cfg := sc.Cfg
+			cfg.PaddedState = true
+			return measureChoose(dk, cfg)
+		}},
+		{"raw reward (no reference tree)", func(dk dataset.Kind) float64 {
+			cfg := sc.Cfg
+			cfg.RewardMode = core.RewardRaw
+			return measureChoose(dk, cfg)
+		}},
+		{"final design (Split)", func(dk dataset.Kind) float64 {
+			return measureSplit(dk, sc.Cfg)
+		}},
+		{"area-ordered split shortlist", func(dk dataset.Kind) float64 {
+			cfg := sc.Cfg
+			cfg.SplitSortByArea = true
+			return measureSplit(dk, cfg)
+		}},
+	}
+
+	for _, v := range variants {
+		row := []string{v.name}
+		for _, dk := range dataset.SyntheticKinds {
+			logf.printf("ablations: %s on %s", v.name, dk)
+			row = append(row, F(v.run(dk)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}

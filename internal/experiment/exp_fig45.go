@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+)
+
+// singleOpVsQuerySize renders RNA of a single-operation model (RL
+// ChooseSubtree or RL Split) against the R-Tree as the query size sweeps
+// the paper's range (Figures 4a and 5a).
+func singleOpVsQuerySize(id, title string, kind trainKind, sc Scale, logf Logf) []*Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"dataset"}, dataset.QuerySizeLabels...),
+	}
+	for _, dk := range dataset.SyntheticKinds {
+		logf.printf("%s: %s", id, dk)
+		pol := trainPolicy(kind, dk, sc.TrainSize, sc.Cfg, sc.Seed)
+		data := dataset.MustGenerate(dk, sc.DatasetSize, sc.Seed)
+		world := dataWorld(data)
+		base := RTreeBuilder(sc.Cfg.MaxEntries, sc.Cfg.MinEntries).Build(data)
+		idx := PolicyBuilder(string(kind), pol).Build(data)
+		row := []string{string(dk)}
+		for i, frac := range dataset.QuerySizes {
+			queries := dataset.RangeQueries(sc.NumQueries, frac, world, sc.Seed+int64(2000+i))
+			row = append(row, F(MeasureRNA(idx, base, queries)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// singleOpVsDataSize renders RNA of a single-operation model at the
+// default query size as the dataset size sweeps the paper's range
+// (Figures 4b and 5b). The policy is trained once on the small training
+// sample and applied to every dataset size, as in the paper.
+func singleOpVsDataSize(id, title string, kind trainKind, sc Scale, logf Logf) []*Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"dataset"}, sc.DatasetSizeLabels...),
+	}
+	for _, dk := range dataset.SyntheticKinds {
+		pol := trainPolicy(kind, dk, sc.TrainSize, sc.Cfg, sc.Seed)
+		row := []string{string(dk)}
+		for i, n := range sc.DatasetSizes {
+			logf.printf("%s: %s size %s", id, dk, sc.DatasetSizeLabels[i])
+			data := dataset.MustGenerate(dk, n, sc.Seed)
+			world := dataWorld(data)
+			base := RTreeBuilder(sc.Cfg.MaxEntries, sc.Cfg.MinEntries).Build(data)
+			idx := PolicyBuilder(string(kind), pol).Build(data)
+			queries := dataset.RangeQueries(sc.NumQueries, defaultQueryFrac, world, sc.Seed+int64(3000+i))
+			row = append(row, F(MeasureRNA(idx, base, queries)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+func fig4a(sc Scale, logf Logf) []*Table {
+	return singleOpVsQuerySize("fig4a",
+		"Figure 4a: RL ChooseSubtree RNA vs query size", trainChoose, sc, logf)
+}
+
+func fig4b(sc Scale, logf Logf) []*Table {
+	return singleOpVsDataSize("fig4b",
+		"Figure 4b: RL ChooseSubtree RNA vs dataset size", trainChoose, sc, logf)
+}
+
+func fig5a(sc Scale, logf Logf) []*Table {
+	return singleOpVsQuerySize("fig5a",
+		"Figure 5a: RL Split RNA vs query size", trainSplit, sc, logf)
+}
+
+func fig5b(sc Scale, logf Logf) []*Table {
+	return singleOpVsDataSize("fig5b",
+		"Figure 5b: RL Split RNA vs dataset size", trainSplit, sc, logf)
+}

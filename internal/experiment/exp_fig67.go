@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// fig6 reproduces Figure 6: range-query RNA of the RLR-Tree against the
+// R-Tree, R*-Tree and RR*-Tree across query sizes, on all five datasets
+// (one table per dataset; the paper groups them into subplots a–d).
+func fig6(sc Scale, logf Logf) []*Table {
+	var tables []*Table
+	maxE, minE := sc.Cfg.MaxEntries, sc.Cfg.MinEntries
+	for _, dk := range dataset.Kinds {
+		logf.printf("fig6: %s", dk)
+		pol := trainPolicy(trainCombined, dk, sc.TrainSize, sc.Cfg, sc.Seed)
+		data := dataset.MustGenerate(dk, sc.DatasetSize, sc.Seed)
+		world := dataWorld(data)
+
+		builders := []Builder{
+			RTreeBuilder(maxE, minE),
+			RStarBuilder(maxE, minE),
+			RRStarBuilder(maxE, minE),
+			PolicyBuilder("RLR-Tree", pol),
+		}
+		trees := make([]*rtree.Tree, len(builders))
+		for i, b := range builders {
+			trees[i] = b.Build(data)
+		}
+		base := trees[0]
+
+		t := &Table{
+			ID:     "fig6/" + string(dk),
+			Title:  fmt.Sprintf("Figure 6: range-query RNA on %s", dk),
+			Header: append([]string{"index"}, dataset.QuerySizeLabels...),
+		}
+		for bi, b := range builders {
+			row := []string{b.Name}
+			for qi, frac := range dataset.QuerySizes {
+				queries := dataset.RangeQueries(sc.NumQueries, frac, world, sc.Seed+int64(4000+qi))
+				row = append(row, F(MeasureRNA(trees[bi], base, queries)))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// fig7 reproduces Figure 7: KNN-query RNA for K in {1, 5, 25, 125, 625} on
+// all five datasets. The KNN algorithm is identical across indexes; only
+// the tree construction differs — the paper's point that the RLR-Tree wins
+// on a query type it was never trained for.
+func fig7(sc Scale, logf Logf) []*Table {
+	var tables []*Table
+	maxE, minE := sc.Cfg.MaxEntries, sc.Cfg.MinEntries
+	for _, dk := range dataset.Kinds {
+		logf.printf("fig7: %s", dk)
+		pol := trainPolicy(trainCombined, dk, sc.TrainSize, sc.Cfg, sc.Seed)
+		data := dataset.MustGenerate(dk, sc.DatasetSize, sc.Seed)
+		world := dataWorld(data)
+		points := dataset.KNNQueryPoints(sc.NumQueries, world, sc.Seed+5000)
+
+		builders := []Builder{
+			RTreeBuilder(maxE, minE),
+			RStarBuilder(maxE, minE),
+			RRStarBuilder(maxE, minE),
+			PolicyBuilder("RLR-Tree", pol),
+		}
+		trees := make([]*rtree.Tree, len(builders))
+		for i, b := range builders {
+			trees[i] = b.Build(data)
+		}
+		base := trees[0]
+
+		t := &Table{
+			ID:     "fig7/" + string(dk),
+			Title:  fmt.Sprintf("Figure 7: KNN-query RNA on %s", dk),
+			Header: []string{"index", "K=1", "K=5", "K=25", "K=125", "K=625"},
+		}
+		for bi, b := range builders {
+			row := []string{b.Name}
+			for _, k := range dataset.KNNValues {
+				row = append(row, F(MeasureRNAKNN(trees[bi], base, points, k)))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/core"
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+)
+
+// fig8a reproduces Figure 8a: the effect of the action-space size k on RL
+// ChooseSubtree. k = 2 should win; large k approaches (and eventually
+// loses to) the R*-Tree. The final column reports the R*-Tree for
+// reference, the paper's horizontal comparison line.
+func fig8a(sc Scale, logf Logf) []*Table {
+	ks := []int{2, 3, 5, 10}
+	header := []string{"dataset"}
+	for _, k := range ks {
+		header = append(header, fmt.Sprintf("k=%d", k))
+	}
+	header = append(header, "R*-Tree")
+	t := &Table{
+		ID:     "fig8a",
+		Title:  "Figure 8a: effect of action-space size k (RL ChooseSubtree RNA)",
+		Header: header,
+	}
+	maxE, minE := sc.Cfg.MaxEntries, sc.Cfg.MinEntries
+	for _, dk := range dataset.SyntheticKinds {
+		data := dataset.MustGenerate(dk, sc.ParamDatasetSize, sc.Seed)
+		world := dataWorld(data)
+		queries := dataset.RangeQueries(sc.NumQueries, defaultQueryFrac, world, sc.Seed+6000)
+		base := RTreeBuilder(maxE, minE).Build(data)
+		row := []string{string(dk)}
+		for _, k := range ks {
+			logf.printf("fig8a: %s k=%d", dk, k)
+			cfg := sc.Cfg
+			cfg.K = k
+			pol := trainPolicy(trainChoose, dk, sc.TrainSize, cfg, sc.Seed)
+			idx := PolicyBuilder("RLChoose", pol).Build(data)
+			row = append(row, F(MeasureRNA(idx, base, queries)))
+		}
+		rstar := RStarBuilder(maxE, minE).Build(data)
+		row = append(row, F(MeasureRNA(rstar, base, queries)))
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// fig8bc reproduces Figures 8b and 8c: training time and resulting RNA as
+// the training-set size sweeps the paper's 25K–200K range (scaled).
+// Training here is deliberately uncached so the timing is honest.
+func fig8bc(sc Scale, logf Logf) []*Table {
+	header := []string{"dataset"}
+	for _, n := range sc.TrainSizes {
+		header = append(header, fmt.Sprintf("%d", n))
+	}
+	tb := &Table{
+		ID:     "fig8b",
+		Title:  "Figure 8b: RL ChooseSubtree training time vs training-set size",
+		Header: header,
+	}
+	tc := &Table{
+		ID:     "fig8c",
+		Title:  "Figure 8c: RL ChooseSubtree RNA vs training-set size",
+		Header: header,
+	}
+	maxE, minE := sc.Cfg.MaxEntries, sc.Cfg.MinEntries
+	for _, dk := range dataset.SyntheticKinds {
+		data := dataset.MustGenerate(dk, sc.DatasetSize, sc.Seed)
+		world := dataWorld(data)
+		queries := dataset.RangeQueries(sc.NumQueries, defaultQueryFrac, world, sc.Seed+7000)
+		base := RTreeBuilder(maxE, minE).Build(data)
+		timeRow := []string{string(dk)}
+		rnaRow := []string{string(dk)}
+		for _, n := range sc.TrainSizes {
+			logf.printf("fig8bc: %s train=%d", dk, n)
+			train := dataset.MustGenerate(dk, n, sc.Seed)
+			start := time.Now()
+			pol, _, err := core.TrainChoosePolicy(train, sc.Cfg)
+			if err != nil {
+				panic(fmt.Sprintf("fig8bc: training on %s/%d: %v", dk, n, err))
+			}
+			timeRow = append(timeRow, FSec(time.Since(start).Seconds()))
+			idx := PolicyBuilder("RLChoose", pol).Build(data)
+			rnaRow = append(rnaRow, F(MeasureRNA(idx, base, queries)))
+		}
+		tb.AddRow(timeRow...)
+		tc.AddRow(rnaRow...)
+	}
+	return []*Table{tb, tc}
+}
+
+// fig8d reproduces Figure 8d: the effect of the *training* query size.
+// Tiny training queries (0.005%) roughly match the default (0.01%); huge
+// ones (2%) wash out the reward signal and hurt.
+func fig8d(sc Scale, logf Logf) []*Table {
+	fracs := []float64{0.00005, 0.0001, 0.02}
+	labels := []string{"0.005%", "0.01%", "2%"}
+	t := &Table{
+		ID:     "fig8d",
+		Title:  "Figure 8d: effect of training query size (RL ChooseSubtree RNA)",
+		Header: append([]string{"dataset"}, labels...),
+	}
+	maxE, minE := sc.Cfg.MaxEntries, sc.Cfg.MinEntries
+	for _, dk := range dataset.SyntheticKinds {
+		data := dataset.MustGenerate(dk, sc.DatasetSize, sc.Seed)
+		world := dataWorld(data)
+		queries := dataset.RangeQueries(sc.NumQueries, defaultQueryFrac, world, sc.Seed+8000)
+		base := RTreeBuilder(maxE, minE).Build(data)
+		row := []string{string(dk)}
+		for i, frac := range fracs {
+			logf.printf("fig8d: %s train-query=%s", dk, labels[i])
+			cfg := sc.Cfg
+			cfg.TrainingQueryFrac = frac
+			pol := trainPolicy(trainChoose, dk, sc.TrainSize, cfg, sc.Seed)
+			idx := PolicyBuilder("RLChoose", pol).Build(data)
+			row = append(row, F(MeasureRNA(idx, base, queries)))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}

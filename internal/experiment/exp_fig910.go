@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+)
+
+// fig9 reproduces Figure 9: index construction time on GAU datasets of
+// increasing size. Construction time grows linearly; the RLR-Tree is the
+// slowest builder (state featurization + Q-network inference per level)
+// and the RR*-Tree the fastest, as in the paper.
+func fig9(sc Scale, logf Logf) []*Table {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Figure 9: index construction time (seconds) for GAU datasets",
+		Header: append([]string{"index"}, sc.DatasetSizeLabels...),
+	}
+	maxE, minE := sc.Cfg.MaxEntries, sc.Cfg.MinEntries
+	pol := trainPolicy(trainCombined, dataset.GAU, sc.TrainSize, sc.Cfg, sc.Seed)
+	builders := []Builder{
+		RTreeBuilder(maxE, minE),
+		RStarBuilder(maxE, minE),
+		RRStarBuilder(maxE, minE),
+		PolicyBuilder("RLR-Tree", pol),
+	}
+	rows := make([][]string, len(builders))
+	for i, b := range builders {
+		rows[i] = []string{b.Name}
+	}
+	for si, n := range sc.DatasetSizes {
+		logf.printf("fig9: size %s", sc.DatasetSizeLabels[si])
+		data := dataset.MustGenerate(dataset.GAU, n, sc.Seed)
+		for bi, b := range builders {
+			start := time.Now()
+			tree := b.Build(data)
+			rows[bi] = append(rows[bi], FSec(time.Since(start).Seconds()))
+			_ = tree
+		}
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// fig10 reproduces Figure 10: cross-distribution transfer. An RL
+// ChooseSubtree model trained on UNI is applied to GAU and SKE and
+// compared against natively trained models: the transferred model still
+// beats the R-Tree (RNA < 1) but trails the native one, with the larger
+// gap on GAU.
+func fig10(sc Scale, logf Logf) []*Table {
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Figure 10: RL ChooseSubtree trained on UNI vs native training (RNA)",
+		Header: append([]string{"dataset <- training"}, dataset.QuerySizeLabels...),
+	}
+	uniPol := trainPolicy(trainChoose, dataset.UNI, sc.TrainSize, sc.Cfg, sc.Seed)
+	maxE, minE := sc.Cfg.MaxEntries, sc.Cfg.MinEntries
+	for _, dk := range []dataset.Kind{dataset.GAU, dataset.SKE} {
+		logf.printf("fig10: %s", dk)
+		nativePol := trainPolicy(trainChoose, dk, sc.TrainSize, sc.Cfg, sc.Seed)
+		data := dataset.MustGenerate(dk, sc.DatasetSize, sc.Seed)
+		world := dataWorld(data)
+		base := RTreeBuilder(maxE, minE).Build(data)
+		transferred := PolicyBuilder("UNI-trained", uniPol).Build(data)
+		native := PolicyBuilder("native", nativePol).Build(data)
+
+		rowT := []string{string(dk) + " <- UNI-trained"}
+		rowN := []string{string(dk) + " <- " + string(dk) + "-trained"}
+		for qi, frac := range dataset.QuerySizes {
+			queries := dataset.RangeQueries(sc.NumQueries, frac, world, sc.Seed+int64(9000+qi))
+			rowT = append(rowT, F(MeasureRNA(transferred, base, queries)))
+			rowN = append(rowN, F(MeasureRNA(native, base, queries)))
+		}
+		t.AddRow(rowT...)
+		t.AddRow(rowN...)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/core"
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// tinyScale keeps experiment-runner tests fast: minimal training, tiny
+// datasets. Numbers are meaningless at this scale; the tests check shape
+// and plumbing, while bench_test.go runs the real (small-scale) numbers.
+func tinyScale() Scale {
+	return Scale{
+		Name:              "tiny",
+		DatasetSize:       3_000,
+		DatasetSizes:      []int{1_000, 2_000},
+		DatasetSizeLabels: []string{"1K", "2K"},
+		TrainSize:         800,
+		TrainSizes:        []int{400, 800},
+		ParamDatasetSize:  2_000,
+		NumQueries:        50,
+		Cfg: core.Config{
+			K: 2, P: 8,
+			ChooseEpochs: 1, SplitEpochs: 1, Parts: 3,
+			MaxEntries: 20, MinEntries: 8,
+			TrainingQueryFrac: 0.0005,
+			Seed:              3,
+		},
+		Seed: 3,
+	}
+}
+
+func parseRNA(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func checkTable(t *testing.T, tb *Table, wantRows int) {
+	t.Helper()
+	if tb.ID == "" || tb.Title == "" {
+		t.Fatalf("table missing id/title: %+v", tb)
+	}
+	if wantRows > 0 && len(tb.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d", tb.ID, len(tb.Rows), wantRows)
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Fatalf("%s: row width %d != header %d", tb.ID, len(row), len(tb.Header))
+		}
+	}
+	if s := tb.String(); !strings.Contains(s, tb.ID) {
+		t.Fatalf("String() missing id")
+	}
+	if c := tb.CSV(); !strings.Contains(c, tb.Header[0]) {
+		t.Fatalf("CSV() missing header")
+	}
+}
+
+func TestMeasureRNASelfIsOne(t *testing.T) {
+	data := dataset.MustGenerate(dataset.UNI, 2000, 1)
+	tr := RTreeBuilder(20, 8).Build(data)
+	queries := dataset.RangeQueries(50, 0.001, dataWorld(data), 2)
+	if rna := MeasureRNA(tr, tr, queries); rna != 1 {
+		t.Fatalf("self RNA = %v, want exactly 1", rna)
+	}
+	pts := dataset.KNNQueryPoints(20, dataWorld(data), 3)
+	if rna := MeasureRNAKNN(tr, tr, pts, 5); rna != 1 {
+		t.Fatalf("self KNN RNA = %v", rna)
+	}
+	if MeasureRNA(tr, tr, nil) != 0 || MeasureRNAKNN(tr, tr, nil, 1) != 0 {
+		t.Fatalf("empty workloads must yield 0")
+	}
+}
+
+func TestBuildersProduceEquivalentResults(t *testing.T) {
+	data := dataset.MustGenerate(dataset.GAU, 3000, 4)
+	q := geom.NewRect(0.4, 0.4, 0.6, 0.6)
+	brute := 0
+	for _, r := range data {
+		if q.Intersects(r) {
+			brute++
+		}
+	}
+	for _, b := range []Builder{RTreeBuilder(20, 8), RStarBuilder(20, 8), RRStarBuilder(20, 8)} {
+		tree := b.Build(data)
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		got, _ := tree.Search(q)
+		if len(got) != brute {
+			t.Fatalf("%s: %d results, want %d", b.Name, len(got), brute)
+		}
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "paper"} {
+		sc, err := ScaleByName(name)
+		if err != nil || sc.Name != name {
+			t.Fatalf("ScaleByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Fatalf("bogus scale accepted")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", tinyScale(), nil); err == nil {
+		t.Fatalf("unknown id accepted")
+	}
+}
+
+func TestRegistryCoversPaperEvaluation(t *testing.T) {
+	if len(Order) != len(registry) {
+		t.Fatalf("Order has %d entries, registry %d", len(Order), len(registry))
+	}
+	for _, id := range Order {
+		if registry[id] == nil {
+			t.Fatalf("ordered id %q not registered", id)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "x", Title: "T", Header: []string{"a", "b,c"}}
+	tb.AddRow("v", `quote"inside`)
+	if !strings.Contains(tb.CSV(), `"b,c"`) || !strings.Contains(tb.CSV(), `"quote""inside"`) {
+		t.Fatalf("CSV escaping broken: %q", tb.CSV())
+	}
+	if F(0.123456) != "0.123" || FSec(1.5) != "1.50s" || FMB(1<<20) != "1.0" {
+		t.Fatalf("formatters wrong")
+	}
+}
+
+// TestRunnersTinySmoke executes every registered experiment at the tiny
+// scale and validates table shapes and that every RNA cell parses.
+func TestRunnersTinySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	ResetPolicyCache()
+	sc := tinyScale()
+	wantRows := map[string]int{
+		"table1": 3, "table3": 3, "table4": 1,
+		"fig4a": 3, "fig4b": 3, "fig5a": 3, "fig5b": 3,
+		"fig8a": 3, "fig8d": 3, "fig10": 4,
+	}
+	for _, id := range Order {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Run(id, sc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("no tables")
+			}
+			for _, tb := range tables {
+				checkTable(t, tb, wantRows[tb.ID])
+				// Every non-label cell must be numeric (possibly suffixed
+				// with a unit).
+				for _, row := range tb.Rows {
+					for _, cell := range row[1:] {
+						v := strings.TrimSuffix(cell, "s")
+						if _, err := strconv.ParseFloat(v, 64); err != nil {
+							t.Fatalf("%s: non-numeric cell %q", tb.ID, cell)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRNAOrderingSanity verifies on a clustered dataset that the better
+// heuristics actually beat the plain R-Tree at realistic (small) scale —
+// the precondition for any of the paper's comparisons to be meaningful.
+func TestRNAOrderingSanity(t *testing.T) {
+	data := dataset.MustGenerate(dataset.GAU, 10_000, 5)
+	world := dataWorld(data)
+	queries := dataset.RangeQueries(300, 0.0001, world, 6)
+	base := RTreeBuilder(50, 20).Build(data)
+	rstar := RStarBuilder(50, 20).Build(data)
+	rna := MeasureRNA(rstar, base, queries)
+	if rna >= 1.05 {
+		t.Fatalf("R*-Tree RNA vs R-Tree = %.3f; expected < 1.05 on GAU", rna)
+	}
+}
+
+// TestRLRTreeBeatsRTreeQualityGate is the repository's headline acceptance
+// check: a trained RLR-Tree must need fewer node accesses than the classic
+// R-Tree (RNA < 1) on a clustered dataset. It trains a real (if small)
+// policy, so it is skipped in -short mode.
+func TestRLRTreeBeatsRTreeQualityGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality gate trains a policy; skipped in -short mode")
+	}
+	cfg := core.Config{
+		K: 2, P: 2,
+		ChooseEpochs: 8, SplitEpochs: 2, Parts: 5,
+		MaxEntries: 50, MinEntries: 20,
+		TrainingQueryFrac: 0.0001,
+		Seed:              1,
+	}
+	pol := trainPolicy(trainCombined, dataset.GAU, 5_000, cfg, 1)
+	data := dataset.MustGenerate(dataset.GAU, 20_000, 1)
+	queries := dataset.RangeQueries(400, defaultQueryFrac, dataWorld(data), 999)
+	base := RTreeBuilder(50, 20).Build(data)
+	rlr := PolicyBuilder("RLR", pol).Build(data)
+	rna := MeasureRNA(rlr, base, queries)
+	if rna >= 0.95 {
+		t.Fatalf("RLR-Tree RNA vs R-Tree = %.3f; quality gate requires < 0.95", rna)
+	}
+	t.Logf("quality gate: RLR-Tree RNA = %.3f", rna)
+}

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// defaultQueryFrac is the default testing query size (0.01% of the data
+// space), the paper's bolded default.
+const defaultQueryFrac = 0.0001
+
+// Logf receives progress lines from runners; it may be nil.
+type Logf func(format string, args ...any)
+
+func (l Logf) printf(format string, args ...any) {
+	if l != nil {
+		l(format, args...)
+	}
+}
+
+// Runner executes one experiment at the given scale and returns its
+// tables (figures with subplots return one table per subplot).
+type Runner func(sc Scale, logf Logf) []*Table
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"table1": table1,
+	"table3": table3,
+	"table4": table4,
+	"fig4a":  fig4a,
+	"fig4b":  fig4b,
+	"fig5a":  fig5a,
+	"fig5b":  fig5b,
+	"fig6":   fig6,
+	"fig7":   fig7,
+	"fig8a":  fig8a,
+	"fig8bc": fig8bc,
+	"fig8d":  fig8d,
+	"fig9":   fig9,
+	"fig10":  fig10,
+	// ablations and io are not paper tables: ablations regenerates the
+	// rejected-design comparisons DESIGN.md §6 calls out, io extends the
+	// evaluation to a simulated disk deployment (internal/pager).
+	"ablations": ablations,
+	"io":        ioExperiment,
+}
+
+// Order lists the experiments in the paper's presentation order.
+var Order = []string{
+	"table1", "table3", "table4",
+	"fig4a", "fig4b", "fig5a", "fig5b",
+	"fig6", "fig7",
+	"fig8a", "fig8bc", "fig8d",
+	"fig9", "fig10",
+	"ablations", "io",
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, sc Scale, logf Logf) ([]*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return r(sc, logf), nil
+}

@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/rlr-tree/rlrtree/internal/core"
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// MeasureRNA returns the average relative node accesses of index against
+// baseline over the query workload: mean_q accesses_index(q) /
+// accesses_baseline(q). Values below 1 mean the index beats the baseline.
+// This is the paper's headline metric (Section 5.1, Measurements).
+func MeasureRNA(index, baseline *rtree.Tree, queries []geom.Rect) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, q := range queries {
+		a := index.SearchCount(q).NodesAccessed
+		b := baseline.SearchCount(q).NodesAccessed
+		sum += float64(a) / float64(b)
+	}
+	return sum / float64(len(queries))
+}
+
+// MeasureRNAKNN is MeasureRNA for KNN queries: the node accesses of the
+// Roussopoulos et al. branch-and-bound KNN search on each index, relative
+// to the baseline.
+func MeasureRNAKNN(index, baseline *rtree.Tree, points []geom.Point, k int) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range points {
+		_, sa := index.KNN(p, k)
+		_, sb := baseline.KNN(p, k)
+		sum += float64(sa.NodesAccessed) / float64(sb.NodesAccessed)
+	}
+	return sum / float64(len(points))
+}
+
+// Builder constructs a named index over an insertion sequence.
+type Builder struct {
+	Name  string
+	Build func(data []geom.Rect) *rtree.Tree
+}
+
+// buildInto inserts data into t with positional payloads and returns t.
+func buildInto(t *rtree.Tree, data []geom.Rect) *rtree.Tree {
+	for i, r := range data {
+		t.Insert(r, i)
+	}
+	return t
+}
+
+// RTreeBuilder is the classic R-Tree baseline of the paper: Guttman
+// least-enlargement insertion with the quadratic split.
+func RTreeBuilder(maxE, minE int) Builder {
+	return Builder{
+		Name: "R-Tree",
+		Build: func(data []geom.Rect) *rtree.Tree {
+			return buildInto(rtree.New(rtree.Options{
+				MaxEntries: maxE, MinEntries: minE,
+				Chooser: rtree.GuttmanChooser{}, Splitter: rtree.QuadraticSplit{},
+			}), data)
+		},
+	}
+}
+
+// RStarBuilder is the R*-Tree baseline: overlap-aware ChooseSubtree, the
+// R* split, and forced reinsertion.
+func RStarBuilder(maxE, minE int) Builder {
+	return Builder{
+		Name: "R*-Tree",
+		Build: func(data []geom.Rect) *rtree.Tree {
+			return buildInto(rtree.New(rtree.Options{
+				MaxEntries: maxE, MinEntries: minE,
+				Chooser: rtree.RStarChooser{}, Splitter: rtree.RStarSplit{},
+				ForcedReinsert: true,
+			}), data)
+		},
+	}
+}
+
+// RRStarBuilder is the revised R*-Tree baseline.
+func RRStarBuilder(maxE, minE int) Builder {
+	return Builder{
+		Name: "RR*-Tree",
+		Build: func(data []geom.Rect) *rtree.Tree {
+			return buildInto(rtree.New(rtree.Options{
+				MaxEntries: maxE, MinEntries: minE,
+				Chooser: rtree.RRStarChooser{}, Splitter: rtree.RRStarSplit{},
+			}), data)
+		},
+	}
+}
+
+// PolicyBuilder wraps a trained RLR-Tree policy as a Builder.
+func PolicyBuilder(name string, pol *core.Policy) Builder {
+	return Builder{
+		Name:  name,
+		Build: func(data []geom.Rect) *rtree.Tree { return buildInto(pol.NewTree(), data) },
+	}
+}
+
+// trainKind enumerates the cached policy variants.
+type trainKind string
+
+const (
+	trainChoose   trainKind = "choose"
+	trainSplit    trainKind = "split"
+	trainCombined trainKind = "combined"
+)
+
+// policyCache memoizes trained policies within a process so that different
+// experiments (and benchmark iterations) sharing a configuration do not
+// retrain. Keys cover everything that influences training.
+var policyCache = struct {
+	sync.Mutex
+	m map[string]*core.Policy
+}{m: map[string]*core.Policy{}}
+
+func cacheKey(kind trainKind, dk dataset.Kind, trainSize int, cfg core.Config) string {
+	return fmt.Sprintf("%s|%s|%d|k%d|p%d|q%g|ce%d|se%d|pa%d|M%d|m%d|s%d|am%d|rm%d|ps%t|sa%t",
+		kind, dk, trainSize, cfg.K, cfg.P, cfg.TrainingQueryFrac,
+		cfg.ChooseEpochs, cfg.SplitEpochs, cfg.Parts,
+		cfg.MaxEntries, cfg.MinEntries, cfg.Seed, cfg.ActionMode, cfg.RewardMode, cfg.PaddedState, cfg.SplitSortByArea)
+}
+
+// trainPolicy trains (or fetches from cache) a policy of the given kind on
+// a training sample drawn from the dataset kind. The training sample is the
+// prefix of the full insertion sequence, as in the paper.
+func trainPolicy(kind trainKind, dk dataset.Kind, trainSize int, cfg core.Config, seed int64) *core.Policy {
+	key := cacheKey(kind, dk, trainSize, cfg)
+	policyCache.Lock()
+	if p, ok := policyCache.m[key]; ok {
+		policyCache.Unlock()
+		return p
+	}
+	policyCache.Unlock()
+
+	train := dataset.MustGenerate(dk, trainSize, seed)
+	var (
+		pol *core.Policy
+		err error
+	)
+	switch kind {
+	case trainChoose:
+		pol, _, err = core.TrainChoosePolicy(train, cfg)
+	case trainSplit:
+		pol, _, err = core.TrainSplitPolicy(train, cfg)
+	case trainCombined:
+		pol, _, err = core.TrainCombined(train, cfg)
+	default:
+		panic(fmt.Sprintf("experiment: unknown train kind %q", kind))
+	}
+	if err != nil {
+		panic(fmt.Sprintf("experiment: training %s on %s failed: %v", kind, dk, err))
+	}
+
+	policyCache.Lock()
+	policyCache.m[key] = pol
+	policyCache.Unlock()
+	return pol
+}
+
+// ResetPolicyCache clears the process-wide trained-policy cache (used by
+// tests that need fresh training).
+func ResetPolicyCache() {
+	policyCache.Lock()
+	policyCache.m = map[string]*core.Policy{}
+	policyCache.Unlock()
+}
+
+// dataWorld is the query universe: the paper draws query centers over the
+// whole data space.
+func dataWorld(data []geom.Rect) geom.Rect {
+	w := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	for _, r := range data {
+		w = w.Union(r)
+	}
+	return w
+}

@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/rlr-tree/rlrtree/internal/core"
+)
+
+// Scale sizes an experiment run. The paper's dataset sizes (up to 100 M
+// objects, 100 K training samples, 20/15 training epochs) are impractical
+// for a test suite; Scale maps each knob to a preset. RNA is a ratio
+// against the R-Tree on the same insertion sequence, so the qualitative
+// results are stable across scales (the paper itself shows the trends hold
+// from 1 M up, Figures 4b/5b).
+type Scale struct {
+	// Name identifies the preset ("small", "medium", "paper").
+	Name string
+	// DatasetSize is the default index size for query measurements.
+	DatasetSize int
+	// DatasetSizes is the size sweep standing in for the paper's
+	// 1/5/10/20/100 M (Figures 4b, 5b, 9; Table 4).
+	DatasetSizes []int
+	// DatasetSizeLabels names the sweep columns after the paper's sizes.
+	DatasetSizeLabels []string
+	// TrainSize is the default training sample size (paper: 100 K).
+	TrainSize int
+	// TrainSizes is the sweep standing in for 25/50/100/200 K (Figure 8b/8c).
+	TrainSizes []int
+	// ParamDatasetSize is the dataset size of the parameter study
+	// (Figure 8a uses 500 K).
+	ParamDatasetSize int
+	// NumQueries is the number of test queries per measurement (paper: 1000).
+	NumQueries int
+	// Cfg is the base training configuration (epochs, parts, K, P, ...).
+	Cfg core.Config
+	// Seed drives dataset generation and workloads.
+	Seed int64
+}
+
+// Small completes the full experiment suite in minutes on a laptop. It is
+// the default for go test / go bench.
+var Small = Scale{
+	Name:              "small",
+	DatasetSize:       20_000,
+	DatasetSizes:      []int{2_000, 5_000, 10_000, 20_000, 50_000},
+	DatasetSizeLabels: []string{"2K", "5K", "10K", "20K", "50K"},
+	TrainSize:         5_000,
+	TrainSizes:        []int{1_250, 2_500, 5_000, 10_000},
+	ParamDatasetSize:  10_000,
+	NumQueries:        400,
+	Cfg: core.Config{
+		K: 2, P: 2,
+		ChooseEpochs: 12, SplitEpochs: 6, Parts: 6,
+		MaxEntries: 50, MinEntries: 20,
+		TrainingQueryFrac: core.DefaultTrainingQueryFrac,
+		Seed:              1,
+	},
+	Seed: 1,
+}
+
+// Medium trades tens of minutes for smoother numbers.
+var Medium = Scale{
+	Name:              "medium",
+	DatasetSize:       100_000,
+	DatasetSizes:      []int{10_000, 25_000, 50_000, 100_000, 250_000},
+	DatasetSizeLabels: []string{"10K", "25K", "50K", "100K", "250K"},
+	TrainSize:         20_000,
+	TrainSizes:        []int{5_000, 10_000, 20_000, 40_000},
+	ParamDatasetSize:  50_000,
+	NumQueries:        1_000,
+	Cfg: core.Config{
+		K: 2, P: 2,
+		ChooseEpochs: 16, SplitEpochs: 8, Parts: 10,
+		MaxEntries: 50, MinEntries: 20,
+		TrainingQueryFrac: core.DefaultTrainingQueryFrac,
+		Seed:              1,
+	},
+	Seed: 1,
+}
+
+// Paper uses the paper's published sizes and hyperparameters. A full run
+// takes hours (the paper reports 2.8 h for ChooseSubtree training alone on
+// a V100) and tens of gigabytes for the 100 M-object builds; trim
+// DatasetSizes if the host cannot hold them.
+var Paper = Scale{
+	Name:              "paper",
+	DatasetSize:       20_000_000,
+	DatasetSizes:      []int{1_000_000, 5_000_000, 10_000_000, 20_000_000, 100_000_000},
+	DatasetSizeLabels: []string{"1M", "5M", "10M", "20M", "100M"},
+	TrainSize:         100_000,
+	TrainSizes:        []int{25_000, 50_000, 100_000, 200_000},
+	ParamDatasetSize:  500_000,
+	NumQueries:        1_000,
+	Cfg: core.Config{
+		K: 2, P: core.DefaultP,
+		ChooseEpochs: core.DefaultChooseEpochs, SplitEpochs: core.DefaultSplitEpochs,
+		Parts:      core.DefaultParts,
+		MaxEntries: 50, MinEntries: 20,
+		TrainingQueryFrac: core.DefaultTrainingQueryFrac,
+		Seed:              1,
+	},
+	Seed: 1,
+}
+
+// Scales indexes the presets by name.
+var Scales = map[string]Scale{
+	Small.Name:  Small,
+	Medium.Name: Medium,
+	Paper.Name:  Paper,
+}
+
+// ScaleByName returns the named preset.
+func ScaleByName(name string) (Scale, error) {
+	sc, ok := Scales[name]
+	if !ok {
+		return Scale{}, fmt.Errorf("experiment: unknown scale %q (have small, medium, paper)", name)
+	}
+	return sc, nil
+}

@@ -1,0 +1,108 @@
+// Package experiment reproduces every table and figure of the RLR-Tree
+// paper's evaluation (Section 5): it builds the competing indexes, runs the
+// paper's query workloads, measures RNA (relative node accesses), and
+// renders the same rows and series the paper reports.
+//
+// Each experiment is a registered Runner keyed by the paper's table/figure
+// id ("table1", "fig6", ...). Runners are parameterized by a Scale, which
+// shrinks dataset and training sizes so the full suite completes on a
+// laptop ("small") or reproduces the paper's sizes ("paper"). Because every
+// reported number is a *ratio* against the classic R-Tree on the same
+// insertion sequence, the qualitative shapes survive scaling; EXPERIMENTS.md
+// records paper-vs-measured values.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one result table or figure series, rendered as text or CSV.
+type Table struct {
+	// ID is the registry id that produced the table (a figure may emit
+	// several tables, suffixed like "fig6/GAU").
+	ID string
+	// Title describes the table, including the paper reference.
+	Title string
+	// Header holds the column names; Header[0] labels the row key.
+	Header []string
+	// Rows holds the data; each row aligns with Header.
+	Rows [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned monospace text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s [%s] ==\n", t.Title, t.ID)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats an RNA value (or any ratio) the way the paper prints them.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// FSec formats a duration in seconds.
+func FSec(sec float64) string { return fmt.Sprintf("%.2fs", sec) }
+
+// FMB formats a byte count in megabytes.
+func FMB(bytes int64) string { return fmt.Sprintf("%.1f", float64(bytes)/(1<<20)) }

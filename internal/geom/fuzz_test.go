@@ -1,0 +1,51 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRectAlgebra drives the rectangle algebra with arbitrary coordinates
+// and checks the invariants that every caller in the tree code relies on.
+// Run with `go test -fuzz=FuzzRectAlgebra ./internal/geom` for continuous
+// fuzzing; the seed corpus below runs as part of the normal test suite.
+func FuzzRectAlgebra(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0, 0.5, 0.5, 2.0, 2.0)
+	f.Add(-3.0, 4.0, 1.0, -2.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(1e-9, 1e9, -1e9, 1e-9, 5.0, 5.0, 5.0, 5.0)
+	f.Fuzz(func(t *testing.T, ax1, ay1, ax2, ay2, bx1, by1, bx2, by2 float64) {
+		for _, v := range []float64{ax1, ay1, ax2, ay2, bx1, by1, bx2, by2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		a := NewRect(ax1, ay1, ax2, ay2)
+		b := NewRect(bx1, by1, bx2, by2)
+		if !a.Valid() || !b.Valid() {
+			t.Fatalf("NewRect produced invalid rect: %v %v", a, b)
+		}
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			t.Fatalf("union %v does not contain %v and %v", u, a, b)
+		}
+		if a.OverlapArea(b) != b.OverlapArea(a) {
+			t.Fatalf("overlap not symmetric")
+		}
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("intersects not symmetric")
+		}
+		if a.Contains(b) && a.Enlargement(b) != 0 {
+			t.Fatalf("containment with nonzero enlargement")
+		}
+		if o := a.OverlapArea(b); o > 0 && !a.Intersects(b) {
+			t.Fatalf("positive overlap without intersection")
+		}
+		if e := a.Enlargement(b); e < 0 || math.IsNaN(e) {
+			t.Fatalf("enlargement %v", e)
+		}
+		p := Pt((bx1+bx2)/2, (by1+by2)/2)
+		if d := a.MinDistSq(p); d < 0 || (d == 0) != a.ContainsPoint(p) {
+			t.Fatalf("MinDistSq inconsistency: d=%v contains=%v", d, a.ContainsPoint(p))
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestNewRectNormalizesCorners(t *testing.T) {
+	r := NewRect(3, 4, 1, 2)
+	want := Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 4}
+	if r != want {
+		t.Fatalf("NewRect(3,4,1,2) = %v, want %v", r, want)
+	}
+	if !r.Valid() {
+		t.Fatalf("normalized rect should be valid")
+	}
+}
+
+func TestPointRectIsDegenerate(t *testing.T) {
+	r := PointRect(Point{X: 2, Y: 5})
+	if r.Area() != 0 || r.Perimeter() != 0 {
+		t.Fatalf("point rect should have zero area and perimeter, got area=%v peri=%v", r.Area(), r.Perimeter())
+	}
+	if !r.ContainsPoint(Point{X: 2, Y: 5}) {
+		t.Fatalf("point rect must contain its point")
+	}
+}
+
+func TestSquare(t *testing.T) {
+	r := Square(0.5, 0.5, 0.2)
+	if !almostEqual(r.Area(), 0.04) {
+		t.Fatalf("square area = %v, want 0.04", r.Area())
+	}
+	if c := r.Center(); !almostEqual(c.X, 0.5) || !almostEqual(c.Y, 0.5) {
+		t.Fatalf("square center = %v, want (0.5,0.5)", c)
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		r    Rect
+		want bool
+	}{
+		{Rect{0, 0, 1, 1}, true},
+		{Rect{0, 0, 0, 0}, true},
+		{Rect{1, 0, 0, 1}, false},
+		{Rect{0, 1, 1, 0}, false},
+		{Rect{math.NaN(), 0, 1, 1}, false},
+		{Rect{0, 0, 1, math.NaN()}, false},
+	}
+	for _, c := range cases {
+		if got := c.r.Valid(); got != c.want {
+			t.Errorf("%v.Valid() = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestAreaPerimeterMargin(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 2, MaxX: 4, MaxY: 8}
+	if got := r.Area(); !almostEqual(got, 18) {
+		t.Errorf("Area = %v, want 18", got)
+	}
+	if got := r.Perimeter(); !almostEqual(got, 18) {
+		t.Errorf("Perimeter = %v, want 18", got)
+	}
+	if got := r.Margin(); !almostEqual(got, 9) {
+		t.Errorf("Margin = %v, want 9", got)
+	}
+	if got := r.Width(); !almostEqual(got, 3) {
+		t.Errorf("Width = %v, want 3", got)
+	}
+	if got := r.Height(); !almostEqual(got, 6) {
+		t.Errorf("Height = %v, want 6", got)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{1, 1, 3, 3}, true}, // proper overlap
+		{Rect{2, 0, 3, 2}, true}, // shared edge counts as intersecting
+		{Rect{2, 2, 3, 3}, true}, // shared corner counts as intersecting
+		{Rect{2.1, 0, 3, 2}, false},
+		{Rect{0.5, 0.5, 1.5, 1.5}, true}, // containment
+		{Rect{-1, -1, 3, 3}, true},       // b contains a
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects not symmetric for %v, %v", a, c.b)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	if !a.Contains(Rect{0, 0, 2, 2}) {
+		t.Errorf("rect must contain itself")
+	}
+	if !a.Contains(Rect{0.5, 0.5, 1, 1}) {
+		t.Errorf("containment of inner rect failed")
+	}
+	if a.Contains(Rect{0.5, 0.5, 2.5, 1}) {
+		t.Errorf("partial overlap must not count as containment")
+	}
+	if !a.ContainsPoint(Point{2, 2}) {
+		t.Errorf("boundary point must be contained")
+	}
+	if a.ContainsPoint(Point{2.0001, 2}) {
+		t.Errorf("outside point must not be contained")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{2, 3, 4, 5}
+	got := a.Union(b)
+	want := Rect{0, 0, 4, 5}
+	if got != want {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{1, 1, 3, 3}
+	got, ok := a.Intersection(b)
+	if !ok || got != (Rect{1, 1, 2, 2}) {
+		t.Fatalf("Intersection = %v,%v; want [1,1,2,2],true", got, ok)
+	}
+	if _, ok := a.Intersection(Rect{5, 5, 6, 6}); ok {
+		t.Fatalf("disjoint rects must have empty intersection")
+	}
+	// Edge-touching rectangles intersect with a degenerate (zero-area) rect.
+	got, ok = a.Intersection(Rect{2, 0, 3, 2})
+	if !ok || got.Area() != 0 {
+		t.Fatalf("edge-touching intersection = %v,%v; want degenerate,true", got, ok)
+	}
+}
+
+func TestOverlapArea(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{Rect{1, 1, 3, 3}, 1},
+		{Rect{2, 0, 3, 2}, 0}, // edge touch: zero overlap area
+		{Rect{5, 5, 6, 6}, 0},
+		{Rect{0.5, 0.5, 1.5, 1.5}, 1},
+		{Rect{0, 0, 2, 2}, 4},
+	}
+	for _, c := range cases {
+		if got := a.OverlapArea(c.b); !almostEqual(got, c.want) {
+			t.Errorf("%v.OverlapArea(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	if got := a.Enlargement(Rect{0.5, 0.5, 1, 1}); !almostEqual(got, 0) {
+		t.Errorf("enlargement by contained rect = %v, want 0", got)
+	}
+	// Union with [0,0,4,2] has area 8, so enlargement is 4.
+	if got := a.Enlargement(Rect{3, 0, 4, 2}); !almostEqual(got, 4) {
+		t.Errorf("enlargement = %v, want 4", got)
+	}
+}
+
+func TestPerimeterIncrease(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	if got := a.PerimeterIncrease(Rect{0, 0, 1, 1}); !almostEqual(got, 0) {
+		t.Errorf("perimeter increase by contained rect = %v, want 0", got)
+	}
+	// Union with [0,0,4,2] has perimeter 12 vs 8.
+	if got := a.PerimeterIncrease(Rect{3, 0, 4, 2}); !almostEqual(got, 4) {
+		t.Errorf("perimeter increase = %v, want 4", got)
+	}
+}
+
+func TestMinDistSq(t *testing.T) {
+	r := Rect{1, 1, 3, 3}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{2, 2}, 0}, // inside
+		{Point{1, 1}, 0}, // corner
+		{Point{0, 2}, 1}, // left of rect
+		{Point{4, 2}, 1}, // right
+		{Point{2, 5}, 4}, // above
+		{Point{0, 0}, 2}, // diagonal to corner (1,1)
+		{Point{5, 5}, 8}, // diagonal to corner (3,3)
+	}
+	for _, c := range cases {
+		if got := r.MinDistSq(c.p); !almostEqual(got, c.want) {
+			t.Errorf("MinDistSq(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDistSq(t *testing.T) {
+	if got := (Point{0, 0}).DistSq(Point{3, 4}); !almostEqual(got, 25) {
+		t.Fatalf("DistSq = %v, want 25", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := (Rect{0, 0, 1, 1}).String(); s == "" {
+		t.Fatal("Rect.String empty")
+	}
+	if s := (Point{1, 2}).String(); s == "" {
+		t.Fatal("Point.String empty")
+	}
+}

@@ -1,0 +1,164 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randRect draws a valid rectangle inside [-10,10]^2.
+func randRect(r *rand.Rand) Rect {
+	return NewRect(r.Float64()*20-10, r.Float64()*20-10, r.Float64()*20-10, r.Float64()*20-10)
+}
+
+func randPoint(r *rand.Rand) Point {
+	return Point{X: r.Float64()*20 - 10, Y: r.Float64()*20 - 10}
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(42))}
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r), randRect(r)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionIsMinimal(t *testing.T) {
+	// Every corner of the union must be realized by a corner of a or b, so
+	// shrinking any side would exclude one of them.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r), randRect(r)
+		u := a.Union(b)
+		return u.MinX == math.Min(a.MinX, b.MinX) &&
+			u.MinY == math.Min(a.MinY, b.MinY) &&
+			u.MaxX == math.Max(a.MaxX, b.MaxX) &&
+			u.MaxY == math.Max(a.MaxY, b.MaxY)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionCommutativeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r), randRect(r)
+		return a.Union(b) == b.Union(a) && a.Union(a) == a
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOverlapSymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r), randRect(r)
+		o := a.OverlapArea(b)
+		if o != b.OverlapArea(a) {
+			return false
+		}
+		return o >= 0 && o <= math.Min(a.Area(), b.Area())+1e-12
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOverlapMatchesIntersection(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r), randRect(r)
+		inter, ok := a.Intersection(b)
+		o := a.OverlapArea(b)
+		if !ok {
+			return o == 0
+		}
+		return math.Abs(o-inter.Area()) < 1e-12
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEnlargementNonNegativeAndZeroOnContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r), randRect(r)
+		if a.Enlargement(b) < 0 || a.PerimeterIncrease(b) < 0 {
+			return false
+		}
+		if a.Contains(b) && a.Enlargement(b) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectsConsistentWithOverlapAndContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r), randRect(r)
+		if a.OverlapArea(b) > 0 && !a.Intersects(b) {
+			return false
+		}
+		if a.Contains(b) && !a.Intersects(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinDistZeroIffInside(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, p := randRect(r), randPoint(r)
+		d := a.MinDistSq(p)
+		if d < 0 {
+			return false
+		}
+		return (d == 0) == a.ContainsPoint(p)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinDistLowerBoundsPointDistances(t *testing.T) {
+	// MINDIST must lower-bound the distance from p to any point inside the
+	// rect; check against the rect's center and corners.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, p := randRect(r), randPoint(r)
+		d := a.MinDistSq(p)
+		pts := []Point{
+			a.Center(),
+			{a.MinX, a.MinY}, {a.MinX, a.MaxY}, {a.MaxX, a.MinY}, {a.MaxX, a.MaxY},
+		}
+		for _, q := range pts {
+			if d > p.DistSq(q)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}

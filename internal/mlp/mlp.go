@@ -1,0 +1,393 @@
+// Package mlp implements the small dense feed-forward neural networks the
+// RLR-Tree's DQN agents are built from.
+//
+// The paper trains its Q-networks with PyTorch on a GPU; the networks are
+// tiny (one hidden layer of 64 SELU units over a 4k-dimensional state, k=2
+// by default), so this package hand-rolls the identical math in pure Go:
+// LeCun-normal initialization (the recommended init for SELU), forward
+// passes, exact backpropagation, and SGD/Adam updates. Backpropagation is
+// verified against numerical gradients in the package tests.
+//
+// Networks are deterministic given the caller-supplied *rand.Rand, which
+// keeps every training run in this repository reproducible.
+package mlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+	Tanh
+	SELU
+)
+
+// SELU constants from Klambauer et al., "Self-Normalizing Neural Networks"
+// (NeurIPS 2017), the activation the RLR-Tree paper uses.
+const (
+	seluAlpha  = 1.6732632423543772
+	seluLambda = 1.0507009873554805
+)
+
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case SELU:
+		return "selu"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+// apply computes the activation value.
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case Tanh:
+		return math.Tanh(x)
+	case SELU:
+		if x > 0 {
+			return seluLambda * x
+		}
+		return seluLambda * seluAlpha * (math.Exp(x) - 1)
+	default:
+		return x
+	}
+}
+
+// derivative computes d activation / d x at pre-activation x.
+func (a Activation) derivative(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		t := math.Tanh(x)
+		return 1 - t*t
+	case SELU:
+		if x > 0 {
+			return seluLambda
+		}
+		return seluLambda * seluAlpha * math.Exp(x)
+	default:
+		return 1
+	}
+}
+
+// Layer is a fully connected layer y = act(W x + b). Weight and gradient
+// storage is exported for serialization; mutate them only through the
+// network's training methods.
+type Layer struct {
+	In, Out int
+	Act     Activation
+	// W is Out x In, row-major: W[o][i] weights input i into output o.
+	W [][]float64
+	B []float64
+	// Accumulated gradients, filled by Backward and consumed by optimizers.
+	GradW [][]float64
+	GradB []float64
+}
+
+// Network is a stack of dense layers.
+type Network struct {
+	Layers []*Layer
+
+	// scratch buffers reused by the training path (forward/backward) and
+	// by Infer, so that the tight DQN update loop does not allocate. They
+	// make those methods unsafe for concurrent use; Forward remains
+	// allocation-per-call and safe for concurrent readers.
+	scratchZ     [][]float64
+	scratchA     [][]float64
+	scratchDelta [][]float64
+}
+
+// ensureScratch sizes the reusable buffers once.
+func (n *Network) ensureScratch() {
+	if n.scratchZ != nil {
+		return
+	}
+	n.scratchZ = make([][]float64, len(n.Layers))
+	n.scratchA = make([][]float64, len(n.Layers))
+	n.scratchDelta = make([][]float64, len(n.Layers))
+	for i, l := range n.Layers {
+		n.scratchZ[i] = make([]float64, l.Out)
+		n.scratchA[i] = make([]float64, l.Out)
+		n.scratchDelta[i] = make([]float64, l.Out)
+	}
+}
+
+// New constructs a network with the given layer sizes, e.g. New(rng, SELU,
+// 8, 64, 2) builds 8 → 64 → 2 with SELU on the hidden layer and a linear
+// output (Q-values are unbounded, so the output layer is always linear).
+// Weights use LeCun-normal initialization, std = 1/sqrt(fan-in).
+func New(rng *rand.Rand, hidden Activation, sizes ...int) *Network {
+	if len(sizes) < 2 {
+		panic("mlp: New needs at least input and output sizes")
+	}
+	n := &Network{}
+	for l := 0; l+1 < len(sizes); l++ {
+		act := hidden
+		if l == len(sizes)-2 {
+			act = Linear
+		}
+		layer := &Layer{In: sizes[l], Out: sizes[l+1], Act: act}
+		std := 1 / math.Sqrt(float64(layer.In))
+		layer.W = make([][]float64, layer.Out)
+		layer.GradW = make([][]float64, layer.Out)
+		for o := range layer.W {
+			layer.W[o] = make([]float64, layer.In)
+			layer.GradW[o] = make([]float64, layer.In)
+			for i := range layer.W[o] {
+				layer.W[o][i] = rng.NormFloat64() * std
+			}
+		}
+		layer.B = make([]float64, layer.Out)
+		layer.GradB = make([]float64, layer.Out)
+		n.Layers = append(n.Layers, layer)
+	}
+	return n
+}
+
+// InputSize returns the expected input dimensionality.
+func (n *Network) InputSize() int { return n.Layers[0].In }
+
+// OutputSize returns the output dimensionality.
+func (n *Network) OutputSize() int { return n.Layers[len(n.Layers)-1].Out }
+
+// Forward computes the network output for a single input vector.
+func (n *Network) Forward(x []float64) []float64 {
+	if len(x) != n.InputSize() {
+		panic(fmt.Sprintf("mlp: input size %d, want %d", len(x), n.InputSize()))
+	}
+	a := x
+	for _, l := range n.Layers {
+		z := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			w := l.W[o]
+			for i, v := range a {
+				s += w[i] * v
+			}
+			z[o] = l.Act.apply(s)
+		}
+		a = z
+	}
+	return a
+}
+
+// forward runs a training-path forward pass into the network's scratch
+// buffers: scratchZ[l] holds layer l's pre-activations, scratchA[l] its
+// activations. The input x is not stored; backward receives it directly.
+// Not safe for concurrent use.
+func (n *Network) forward(x []float64) {
+	n.ensureScratch()
+	a := x
+	for li, l := range n.Layers {
+		z := n.scratchZ[li]
+		out := n.scratchA[li]
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			w := l.W[o]
+			for i, v := range a {
+				s += w[i] * v
+			}
+			z[o] = s
+			out[o] = l.Act.apply(s)
+		}
+		a = out
+	}
+}
+
+// Infer runs a forward pass reusing the network's scratch buffers and
+// returns the output slice, which is only valid until the next call. It
+// exists for tight training loops (DQN target computation, ε-greedy action
+// selection); it is NOT safe for concurrent use — use Forward for that.
+func (n *Network) Infer(x []float64) []float64 {
+	if len(x) != n.InputSize() {
+		panic(fmt.Sprintf("mlp: input size %d, want %d", len(x), n.InputSize()))
+	}
+	n.forward(x)
+	return n.scratchA[len(n.Layers)-1]
+}
+
+// backward accumulates parameter gradients for one sample given the input
+// x of the forward pass that filled the scratch buffers and dLoss/dOut,
+// the gradient of the loss with respect to the network output. Not safe
+// for concurrent use.
+func (n *Network) backward(x []float64, dOut []float64) {
+	last := len(n.Layers) - 1
+	delta := n.scratchDelta[last]
+	copy(delta, dOut)
+	for li := last; li >= 0; li-- {
+		l := n.Layers[li]
+		z := n.scratchZ[li]
+		in := x
+		if li > 0 {
+			in = n.scratchA[li-1]
+		}
+		// delta currently holds dLoss/dActivation of this layer's output;
+		// convert to dLoss/dPreactivation.
+		for o := 0; o < l.Out; o++ {
+			delta[o] *= l.Act.derivative(z[o])
+		}
+		// Parameter gradients.
+		for o := 0; o < l.Out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			gw := l.GradW[o]
+			for i, v := range in {
+				gw[i] += d * v
+			}
+			l.GradB[o] += d
+		}
+		if li == 0 {
+			break
+		}
+		// Propagate to the previous layer's activations.
+		prev := n.scratchDelta[li-1]
+		for i := range prev {
+			prev[i] = 0
+		}
+		for o := 0; o < l.Out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			w := l.W[o]
+			for i := range prev {
+				prev[i] += d * w[i]
+			}
+		}
+		delta = prev
+	}
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		for o := range l.GradW {
+			for i := range l.GradW[o] {
+				l.GradW[o][i] = 0
+			}
+			l.GradB[o] = 0
+		}
+	}
+}
+
+// Sample is one supervised example for Q-learning-style training: the loss
+// is the squared error between the network's Output-th component and
+// Target; all other outputs are unconstrained. This is exactly the DQN loss
+// of Eq. (1) in the paper, restricted to the taken action.
+type Sample struct {
+	Input  []float64
+	Output int
+	Target float64
+}
+
+// LossBatch returns the mean squared error of a batch without touching
+// gradients.
+func (n *Network) LossBatch(batch []Sample) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range batch {
+		q := n.Forward(s.Input)[s.Output]
+		d := q - s.Target
+		sum += d * d
+	}
+	return sum / float64(len(batch))
+}
+
+// TrainBatch accumulates gradients of the mean squared error over the batch
+// and applies one optimizer step. It returns the pre-update mean loss.
+func (n *Network) TrainBatch(batch []Sample, opt Optimizer) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	n.ZeroGrads()
+	n.ensureScratch()
+	var sum float64
+	inv := 1 / float64(len(batch))
+	dOut := make([]float64, n.OutputSize())
+	for _, s := range batch {
+		n.forward(s.Input)
+		out := n.scratchA[len(n.Layers)-1]
+		d := out[s.Output] - s.Target
+		sum += d * d
+		for i := range dOut {
+			dOut[i] = 0
+		}
+		dOut[s.Output] = 2 * d * inv
+		n.backward(s.Input, dOut)
+	}
+	opt.Step(n)
+	return sum * inv
+}
+
+// Clone returns a deep copy of the network (weights only; gradients are
+// zeroed). Used to spawn DQN target networks.
+func (n *Network) Clone() *Network {
+	cp := &Network{}
+	for _, l := range n.Layers {
+		nl := &Layer{In: l.In, Out: l.Out, Act: l.Act}
+		nl.W = make([][]float64, l.Out)
+		nl.GradW = make([][]float64, l.Out)
+		for o := range l.W {
+			nl.W[o] = append([]float64(nil), l.W[o]...)
+			nl.GradW[o] = make([]float64, l.In)
+		}
+		nl.B = append([]float64(nil), l.B...)
+		nl.GradB = make([]float64, l.Out)
+		cp.Layers = append(cp.Layers, nl)
+	}
+	return cp
+}
+
+// CopyWeightsFrom overwrites the receiver's weights with src's. The two
+// networks must have identical shapes. This is the periodic target-network
+// synchronization of DQN.
+func (n *Network) CopyWeightsFrom(src *Network) {
+	if len(n.Layers) != len(src.Layers) {
+		panic("mlp: CopyWeightsFrom shape mismatch")
+	}
+	for li, l := range n.Layers {
+		sl := src.Layers[li]
+		if l.In != sl.In || l.Out != sl.Out {
+			panic("mlp: CopyWeightsFrom layer shape mismatch")
+		}
+		for o := range l.W {
+			copy(l.W[o], sl.W[o])
+		}
+		copy(l.B, sl.B)
+	}
+}
+
+// NumParams returns the total number of trainable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.In*l.Out + l.Out
+	}
+	return total
+}

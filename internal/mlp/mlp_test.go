@@ -1,0 +1,358 @@
+package mlp
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestActivationValuesAndDerivatives(t *testing.T) {
+	cases := []struct {
+		act     Activation
+		x, v, d float64
+	}{
+		{Linear, 2.5, 2.5, 1},
+		{Linear, -3, -3, 1},
+		{ReLU, 2, 2, 1},
+		{ReLU, -2, 0, 0},
+		{Tanh, 0, 0, 1},
+		{SELU, 1, seluLambda, seluLambda},
+		{SELU, 0, 0, seluLambda * seluAlpha},
+	}
+	for _, c := range cases {
+		if got := c.act.apply(c.x); math.Abs(got-c.v) > 1e-12 {
+			t.Errorf("%v(%v) = %v, want %v", c.act, c.x, got, c.v)
+		}
+		if got := c.act.derivative(c.x); math.Abs(got-c.d) > 1e-12 {
+			t.Errorf("%v'(%v) = %v, want %v", c.act, c.x, got, c.d)
+		}
+	}
+	// SELU is continuous at 0 from the negative side.
+	if v := SELU.apply(-1e-12); math.Abs(v) > 1e-10 {
+		t.Errorf("SELU(-eps) = %v, want ~0", v)
+	}
+}
+
+func TestActivationDerivativeNumerically(t *testing.T) {
+	const h = 1e-6
+	rng := rand.New(rand.NewSource(1))
+	for _, act := range []Activation{Linear, ReLU, Tanh, SELU} {
+		for trial := 0; trial < 50; trial++ {
+			x := rng.NormFloat64() * 2
+			if math.Abs(x) < 1e-3 {
+				continue // skip near the ReLU/SELU kink
+			}
+			num := (act.apply(x+h) - act.apply(x-h)) / (2 * h)
+			ana := act.derivative(x)
+			if math.Abs(num-ana) > 1e-5*(1+math.Abs(ana)) {
+				t.Fatalf("%v'(%v): numeric %v vs analytic %v", act, x, num, ana)
+			}
+		}
+	}
+}
+
+func TestNewShapesAndInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := New(rng, SELU, 8, 64, 2)
+	if len(n.Layers) != 2 {
+		t.Fatalf("layers = %d, want 2", len(n.Layers))
+	}
+	if n.InputSize() != 8 || n.OutputSize() != 2 {
+		t.Fatalf("io sizes = %d,%d, want 8,2", n.InputSize(), n.OutputSize())
+	}
+	if n.Layers[0].Act != SELU || n.Layers[1].Act != Linear {
+		t.Fatalf("activations wrong: hidden=%v out=%v", n.Layers[0].Act, n.Layers[1].Act)
+	}
+	if n.NumParams() != 8*64+64+64*2+2 {
+		t.Fatalf("NumParams = %d", n.NumParams())
+	}
+	// LeCun init: weight std should be about 1/sqrt(fanIn).
+	var sum, sq float64
+	cnt := 0
+	for _, row := range n.Layers[0].W {
+		for _, w := range row {
+			sum += w
+			sq += w * w
+			cnt++
+		}
+	}
+	mean := sum / float64(cnt)
+	std := math.Sqrt(sq/float64(cnt) - mean*mean)
+	want := 1 / math.Sqrt(8)
+	if math.Abs(std-want) > 0.2*want {
+		t.Fatalf("init std = %v, want about %v", std, want)
+	}
+}
+
+func TestForwardDeterministicAndShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := New(rng, Tanh, 4, 8, 3)
+	x := []float64{0.1, -0.2, 0.3, 0.9}
+	a := n.Forward(x)
+	b := n.Forward(x)
+	if len(a) != 3 {
+		t.Fatalf("output size %d, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Forward is not deterministic")
+		}
+	}
+}
+
+func TestForwardPanicsOnWrongInputSize(t *testing.T) {
+	n := New(rand.New(rand.NewSource(4)), SELU, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Forward([]float64{1, 2, 3})
+}
+
+// TestGradientCheck compares backprop gradients against central-difference
+// numerical gradients on every parameter of a small network, for each
+// activation.
+func TestGradientCheck(t *testing.T) {
+	const h = 1e-6
+	for _, act := range []Activation{Linear, Tanh, SELU, ReLU} {
+		rng := rand.New(rand.NewSource(5))
+		n := New(rng, act, 3, 5, 4, 2)
+		batch := []Sample{
+			{Input: []float64{0.3, -0.7, 1.2}, Output: 0, Target: 0.5},
+			{Input: []float64{-1.1, 0.2, 0.4}, Output: 1, Target: -0.3},
+			{Input: []float64{0.9, 0.9, -0.2}, Output: 0, Target: 1.7},
+		}
+
+		// Accumulate analytic gradients without updating weights.
+		n.ZeroGrads()
+		n.ensureScratch()
+		inv := 1 / float64(len(batch))
+		for _, s := range batch {
+			n.forward(s.Input)
+			out := n.scratchA[len(n.Layers)-1]
+			d := out[s.Output] - s.Target
+			dOut := make([]float64, len(out))
+			dOut[s.Output] = 2 * d * inv
+			n.backward(s.Input, dOut)
+		}
+
+		check := func(name string, p *float64, g float64) {
+			orig := *p
+			*p = orig + h
+			lp := n.LossBatch(batch)
+			*p = orig - h
+			lm := n.LossBatch(batch)
+			*p = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-g) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("act=%v %s: numeric %v vs analytic %v", act, name, num, g)
+			}
+		}
+		for li, l := range n.Layers {
+			for o := range l.W {
+				for i := range l.W[o] {
+					check("W", &l.W[o][i], l.GradW[o][i])
+				}
+				check("B", &l.B[o], l.GradB[o])
+			}
+			_ = li
+		}
+	}
+}
+
+func TestTrainBatchLearnsSelectedOutputRegression(t *testing.T) {
+	// The network must learn f(x) = (2x0 - x1) on output 0 and ignore
+	// output 1 (never trained), demonstrating the selected-output loss.
+	rng := rand.New(rand.NewSource(6))
+	n := New(rng, Tanh, 2, 16, 2)
+	opt := NewAdam(0.01)
+	var loss float64
+	for step := 0; step < 3000; step++ {
+		batch := make([]Sample, 16)
+		for i := range batch {
+			x0, x1 := rng.Float64()*2-1, rng.Float64()*2-1
+			batch[i] = Sample{Input: []float64{x0, x1}, Output: 0, Target: 2*x0 - x1}
+		}
+		loss = n.TrainBatch(batch, opt)
+	}
+	if loss > 0.01 {
+		t.Fatalf("final training loss %v too high", loss)
+	}
+	// Spot check generalization.
+	for trial := 0; trial < 20; trial++ {
+		x0, x1 := rng.Float64()*2-1, rng.Float64()*2-1
+		got := n.Forward([]float64{x0, x1})[0]
+		want := 2*x0 - x1
+		if math.Abs(got-want) > 0.2 {
+			t.Fatalf("f(%v,%v) = %v, want %v", x0, x1, got, want)
+		}
+	}
+}
+
+func TestTrainBatchWithSGDMomentumConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := New(rng, SELU, 1, 8, 1)
+	opt := NewSGD(0.01, 0.9)
+	var loss float64
+	for step := 0; step < 4000; step++ {
+		batch := make([]Sample, 8)
+		for i := range batch {
+			x := rng.Float64()*2 - 1
+			batch[i] = Sample{Input: []float64{x}, Output: 0, Target: math.Sin(2 * x)}
+		}
+		loss = n.TrainBatch(batch, opt)
+	}
+	if loss > 0.02 {
+		t.Fatalf("SGD+momentum failed to fit sin: loss %v", loss)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	n := New(rand.New(rand.NewSource(8)), SELU, 2, 2)
+	if l := n.TrainBatch(nil, NewSGD(0.1, 0)); l != 0 {
+		t.Fatalf("TrainBatch(nil) = %v, want 0", l)
+	}
+	if l := n.LossBatch(nil); l != 0 {
+		t.Fatalf("LossBatch(nil) = %v, want 0", l)
+	}
+}
+
+func TestCloneAndCopyWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := New(rng, SELU, 3, 6, 2)
+	cl := n.Clone()
+	x := []float64{0.5, -0.5, 0.25}
+	a, b := n.Forward(x), cl.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clone output differs")
+		}
+	}
+	// Train the original; the clone must not move.
+	opt := NewSGD(0.1, 0)
+	n.TrainBatch([]Sample{{Input: x, Output: 0, Target: 10}}, opt)
+	a2, b2 := n.Forward(x), cl.Forward(x)
+	if a2[0] == a[0] {
+		t.Fatalf("training did not change original")
+	}
+	if b2[0] != b[0] {
+		t.Fatalf("training the original changed the clone")
+	}
+	// CopyWeightsFrom re-synchronizes.
+	cl.CopyWeightsFrom(n)
+	c := cl.Forward(x)
+	if c[0] != a2[0] {
+		t.Fatalf("CopyWeightsFrom did not synchronize")
+	}
+}
+
+func TestCopyWeightsShapeMismatchPanics(t *testing.T) {
+	a := New(rand.New(rand.NewSource(10)), SELU, 3, 4, 2)
+	b := New(rand.New(rand.NewSource(11)), SELU, 3, 5, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	a.CopyWeightsFrom(b)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := New(rng, SELU, 4, 8, 3)
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Network
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	a, b := n.Forward(x), back.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round-tripped network differs at output %d", i)
+		}
+	}
+	// The deserialized network must be trainable (gradients allocated).
+	back.TrainBatch([]Sample{{Input: x, Output: 0, Target: 1}}, NewSGD(0.01, 0))
+}
+
+func TestUnmarshalRejectsCorruptNetworks(t *testing.T) {
+	bad := []string{
+		`{}`,
+		`{"layers":[]}`,
+		`{"layers":[{"in":2,"out":1,"act":0,"w":[[1,2],[3,4]],"b":[0]}]}`,                                                  // len(W) != out
+		`{"layers":[{"in":2,"out":1,"act":0,"w":[[1]],"b":[0]}]}`,                                                          // row too short
+		`{"layers":[{"in":2,"out":2,"act":0,"w":[[1,2],[3,4]],"b":[0,0]},{"in":3,"out":1,"act":0,"w":[[1,2,3]],"b":[0]}]}`, // chain mismatch
+		`not json`,
+	}
+	for _, s := range bad {
+		var n Network
+		if err := json.Unmarshal([]byte(s), &n); err == nil {
+			t.Errorf("expected error for %q", s)
+		}
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	for _, a := range []Activation{Linear, ReLU, Tanh, SELU, Activation(99)} {
+		if a.String() == "" {
+			t.Fatalf("empty String for %d", int(a))
+		}
+	}
+}
+
+func TestInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := New(rng, SELU, 6, 12, 3)
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, 6)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		a := n.Forward(x)
+		b := n.Infer(x)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("Infer differs from Forward at %d: %v vs %v", i, b[i], a[i])
+			}
+		}
+	}
+	// Infer's buffer is reused: a second call overwrites the first result.
+	x1 := []float64{1, 0, 0, 0, 0, 0}
+	x2 := []float64{0, 1, 0, 0, 0, 0}
+	r1 := n.Infer(x1)
+	v := r1[0]
+	_ = n.Infer(x2)
+	if r1[0] == v && n.Forward(x1)[0] != n.Forward(x2)[0] {
+		t.Log("note: buffer coincidentally equal; acceptable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Infer with wrong input size should panic")
+		}
+	}()
+	n.Infer([]float64{1})
+}
+
+func TestTrainBatchAfterCloneIndependentScratch(t *testing.T) {
+	// Clones must not share scratch buffers with the original.
+	rng := rand.New(rand.NewSource(14))
+	n := New(rng, SELU, 2, 4, 2)
+	cl := n.Clone()
+	x := []float64{0.5, -0.5}
+	a := n.Infer(x)
+	av := append([]float64(nil), a...)
+	b := cl.Infer([]float64{-0.5, 0.5})
+	_ = b
+	a2 := n.Infer(x)
+	for i := range av {
+		if av[i] != a2[i] {
+			t.Fatalf("clone's Infer corrupted original's scratch")
+		}
+	}
+}

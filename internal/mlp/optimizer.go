@@ -1,0 +1,126 @@
+package mlp
+
+import "math"
+
+// Optimizer applies one parameter update from the gradients accumulated in
+// a network's layers.
+type Optimizer interface {
+	Step(n *Network)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum. The
+// RLR-Tree paper reports plain gradient descent on the MSE TD loss with
+// learning rates 0.003 (ChooseSubtree) and 0.01 (Split).
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velW     [][][]float64
+	velB     [][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and momentum
+// (0 disables momentum).
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(n *Network) {
+	if s.Momentum != 0 && s.velW == nil {
+		s.init(n)
+	}
+	for li, l := range n.Layers {
+		for o := range l.W {
+			for i := range l.W[o] {
+				g := l.GradW[o][i]
+				if s.Momentum != 0 {
+					v := s.Momentum*s.velW[li][o][i] - s.LR*g
+					s.velW[li][o][i] = v
+					l.W[o][i] += v
+				} else {
+					l.W[o][i] -= s.LR * g
+				}
+			}
+			g := l.GradB[o]
+			if s.Momentum != 0 {
+				v := s.Momentum*s.velB[li][o] - s.LR*g
+				s.velB[li][o] = v
+				l.B[o] += v
+			} else {
+				l.B[o] -= s.LR * g
+			}
+		}
+	}
+}
+
+func (s *SGD) init(n *Network) {
+	s.velW = make([][][]float64, len(n.Layers))
+	s.velB = make([][]float64, len(n.Layers))
+	for li, l := range n.Layers {
+		s.velW[li] = make([][]float64, l.Out)
+		for o := range s.velW[li] {
+			s.velW[li][o] = make([]float64, l.In)
+		}
+		s.velB[li] = make([]float64, l.Out)
+	}
+}
+
+// Adam is the Adam optimizer (Kingma and Ba, 2015), provided as an
+// alternative for faster convergence in ablation runs.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	mW, vW                [][][]float64
+	mB, vB                [][]float64
+}
+
+// NewAdam returns Adam with the standard defaults beta1=0.9, beta2=0.999,
+// eps=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(n *Network) {
+	if a.mW == nil {
+		a.init(n)
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for li, l := range n.Layers {
+		for o := range l.W {
+			for i := range l.W[o] {
+				g := l.GradW[o][i]
+				a.mW[li][o][i] = a.Beta1*a.mW[li][o][i] + (1-a.Beta1)*g
+				a.vW[li][o][i] = a.Beta2*a.vW[li][o][i] + (1-a.Beta2)*g*g
+				mh := a.mW[li][o][i] / c1
+				vh := a.vW[li][o][i] / c2
+				l.W[o][i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			}
+			g := l.GradB[o]
+			a.mB[li][o] = a.Beta1*a.mB[li][o] + (1-a.Beta1)*g
+			a.vB[li][o] = a.Beta2*a.vB[li][o] + (1-a.Beta2)*g*g
+			mh := a.mB[li][o] / c1
+			vh := a.vB[li][o] / c2
+			l.B[o] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+func (a *Adam) init(n *Network) {
+	shape := func() ([][][]float64, [][]float64) {
+		w := make([][][]float64, len(n.Layers))
+		b := make([][]float64, len(n.Layers))
+		for li, l := range n.Layers {
+			w[li] = make([][]float64, l.Out)
+			for o := range w[li] {
+				w[li][o] = make([]float64, l.In)
+			}
+			b[li] = make([]float64, l.Out)
+		}
+		return w, b
+	}
+	a.mW, a.mB = shape()
+	a.vW, a.vB = shape()
+}

@@ -1,0 +1,67 @@
+package mlp
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// portableLayer is the JSON wire form of a Layer (weights only).
+type portableLayer struct {
+	In  int         `json:"in"`
+	Out int         `json:"out"`
+	Act Activation  `json:"act"`
+	W   [][]float64 `json:"w"`
+	B   []float64   `json:"b"`
+}
+
+// portableNetwork is the JSON wire form of a Network.
+type portableNetwork struct {
+	Layers []portableLayer `json:"layers"`
+}
+
+// MarshalJSON implements json.Marshaler. Only weights are serialized;
+// gradients and optimizer state are transient.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	p := portableNetwork{}
+	for _, l := range n.Layers {
+		p.Layers = append(p.Layers, portableLayer{In: l.In, Out: l.Out, Act: l.Act, W: l.W, B: l.B})
+	}
+	return json.Marshal(p)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var p portableNetwork
+	if err := json.Unmarshal(data, &p); err != nil {
+		return fmt.Errorf("mlp: decode network: %w", err)
+	}
+	if len(p.Layers) == 0 {
+		return fmt.Errorf("mlp: decoded network has no layers")
+	}
+	n.Layers = nil
+	for li, pl := range p.Layers {
+		if pl.In <= 0 || pl.Out <= 0 || len(pl.W) != pl.Out || len(pl.B) != pl.Out {
+			return fmt.Errorf("mlp: layer %d has inconsistent shape", li)
+		}
+		for o, row := range pl.W {
+			if len(row) != pl.In {
+				return fmt.Errorf("mlp: layer %d row %d has %d weights, want %d", li, o, len(row), pl.In)
+			}
+		}
+		l := &Layer{In: pl.In, Out: pl.Out, Act: pl.Act, W: pl.W, B: pl.B}
+		l.GradW = make([][]float64, l.Out)
+		for o := range l.GradW {
+			l.GradW[o] = make([]float64, l.In)
+		}
+		l.GradB = make([]float64, l.Out)
+		n.Layers = append(n.Layers, l)
+	}
+	// Layer chaining must be consistent.
+	for li := 1; li < len(n.Layers); li++ {
+		if n.Layers[li].In != n.Layers[li-1].Out {
+			return fmt.Errorf("mlp: layer %d input %d does not match previous output %d",
+				li, n.Layers[li].In, n.Layers[li-1].Out)
+		}
+	}
+	return nil
+}

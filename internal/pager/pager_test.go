@@ -1,0 +1,127 @@
+package pager
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+func buildTree(t *testing.T, n int) (*rtree.Tree, []geom.Rect) {
+	t.Helper()
+	data := dataset.MustGenerate(dataset.GAU, n, 1)
+	tr := rtree.New(rtree.Options{MaxEntries: 16, MinEntries: 6})
+	for i, r := range data {
+		tr.Insert(r, i)
+	}
+	return tr, data
+}
+
+func TestBufferPoolLRUBehaviour(t *testing.T) {
+	p := NewBufferPool(2)
+	a, b, c := &rtree.Node{}, &rtree.Node{}, &rtree.Node{}
+	if p.Access(a) || p.Access(b) {
+		t.Fatalf("cold accesses must miss")
+	}
+	if !p.Access(a) {
+		t.Fatalf("cached page must hit")
+	}
+	// a is now MRU; inserting c evicts b.
+	if p.Access(c) {
+		t.Fatalf("new page must miss")
+	}
+	if p.Access(b) {
+		t.Fatalf("evicted page must miss")
+	}
+	if !p.Access(c) {
+		t.Fatalf("c should still be cached")
+	}
+	if p.Len() != 2 || p.Capacity() != 2 {
+		t.Fatalf("len/cap wrong: %d/%d", p.Len(), p.Capacity())
+	}
+	if p.Hits() != 2 || p.Misses() != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 2/4", p.Hits(), p.Misses())
+	}
+	p.ResetCounters()
+	if p.Hits() != 0 || p.Misses() != 0 || p.Len() != 2 {
+		t.Fatalf("ResetCounters must keep pages")
+	}
+}
+
+func TestBufferPoolRejectsZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBufferPool(0)
+}
+
+func TestRangeSearchMatchesInMemory(t *testing.T) {
+	tr, _ := buildTree(t, 3000)
+	pool := NewBufferPool(10_000) // everything fits: faults = cold misses only
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		q := geom.Square(rng.Float64(), rng.Float64(), 0.05)
+		io := RangeSearch(tr, pool, q)
+		mem := tr.SearchCount(q)
+		if io.Accesses != mem.NodesAccessed || io.Results != mem.Results {
+			t.Fatalf("replay diverges from in-memory search: %+v vs %+v", io, mem)
+		}
+		if io.Faults > io.Accesses {
+			t.Fatalf("more faults than accesses")
+		}
+	}
+}
+
+func TestFaultsBoundedByCapacityEffects(t *testing.T) {
+	tr, _ := buildTree(t, 5000)
+	queries := dataset.RangeQueries(200, 0.0005, geom.NewRect(0, 0, 1, 1), 3)
+
+	// A pool holding the whole tree faults once per node at most.
+	big := NewBufferPool(tr.NodeCount() + 1)
+	ioBig := ReplayRange(tr, big, queries)
+	if ioBig.Faults > tr.NodeCount() {
+		t.Fatalf("full-size pool faulted %d times for %d nodes", ioBig.Faults, tr.NodeCount())
+	}
+
+	// A minimal pool faults much more.
+	small := NewBufferPool(2)
+	ioSmall := ReplayRange(tr, small, queries)
+	if ioSmall.Faults <= ioBig.Faults {
+		t.Fatalf("tiny pool (%d faults) should fault more than full pool (%d)", ioSmall.Faults, ioBig.Faults)
+	}
+	// Logical accesses are cache-independent.
+	if ioSmall.Accesses != ioBig.Accesses || ioSmall.Results != ioBig.Results {
+		t.Fatalf("cache size changed logical behaviour")
+	}
+}
+
+func TestWarmPinsTopLevels(t *testing.T) {
+	tr, _ := buildTree(t, 3000)
+	pool := NewBufferPool(1 + tr.Root().NumEntries())
+	Warm(tr, pool)
+	if pool.Len() != pool.Capacity() {
+		t.Fatalf("warm filled %d of %d", pool.Len(), pool.Capacity())
+	}
+	if pool.Hits() != 0 || pool.Misses() != 0 {
+		t.Fatalf("warm must reset counters")
+	}
+	// The root access after warming is a hit.
+	q := geom.Square(0.5, 0.5, 0.001)
+	io := RangeSearch(tr, pool, q)
+	if io.Faults >= io.Accesses {
+		t.Fatalf("warmed pool should absorb top-level accesses: %+v", io)
+	}
+}
+
+func TestEmptyTreeReplay(t *testing.T) {
+	tr := rtree.New(rtree.Options{MaxEntries: 16, MinEntries: 6})
+	pool := NewBufferPool(4)
+	io := RangeSearch(tr, pool, geom.NewRect(0, 0, 1, 1))
+	if io.Results != 0 || io.Accesses != 1 {
+		t.Fatalf("empty tree replay: %+v", io)
+	}
+}

@@ -1,0 +1,316 @@
+// Package rl provides the reinforcement-learning machinery of the
+// RLR-Tree: an experience-replay buffer and a Deep-Q-Network agent with an
+// ε-greedy behaviour policy and a periodically synchronized target network
+// (Mnih et al., Nature 2015), exactly the learner the paper trains for its
+// ChooseSubtree and Split MDPs.
+//
+// The agent supports *masked* action sets: a state may expose fewer valid
+// actions than the network has outputs (e.g. an overflowing node with only
+// three overlap-free candidate splits when k = 5). Action selection and
+// bootstrap targets then range over the valid prefix only.
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/rlr-tree/rlrtree/internal/mlp"
+)
+
+// Transition is one (s, a, r, s') tuple. A terminal transition has Next ==
+// nil. NextActions is the number of valid actions in the next state; zero
+// means all network outputs are valid.
+type Transition struct {
+	State       []float64
+	Action      int
+	Reward      float64
+	Next        []float64
+	NextActions int
+}
+
+// Terminal reports whether the transition ends an episode.
+func (t Transition) Terminal() bool { return t.Next == nil }
+
+// ReplayBuffer is a fixed-capacity ring buffer of transitions with uniform
+// random sampling, per the paper's experience replay (capacity 5 000).
+type ReplayBuffer struct {
+	cap  int
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplayBuffer returns a buffer holding at most capacity transitions.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: replay capacity must be positive, got %d", capacity))
+	}
+	return &ReplayBuffer{cap: capacity, buf: make([]Transition, 0, capacity)}
+}
+
+// Add appends a transition, evicting the oldest when full.
+func (b *ReplayBuffer) Add(t Transition) {
+	if len(b.buf) < b.cap {
+		b.buf = append(b.buf, t)
+		return
+	}
+	b.buf[b.next] = t
+	b.next = (b.next + 1) % b.cap
+	b.full = true
+}
+
+// Len returns the number of stored transitions.
+func (b *ReplayBuffer) Len() int { return len(b.buf) }
+
+// Cap returns the buffer capacity.
+func (b *ReplayBuffer) Cap() int { return b.cap }
+
+// Reset discards all stored transitions. The paper resets the replay
+// memory at the start of every training epoch.
+func (b *ReplayBuffer) Reset() {
+	b.buf = b.buf[:0]
+	b.next = 0
+	b.full = false
+}
+
+// Sample draws n transitions uniformly at random with replacement. It
+// returns fewer when the buffer holds fewer than one.
+func (b *ReplayBuffer) Sample(rng *rand.Rand, n int) []Transition {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = b.buf[rng.Intn(len(b.buf))]
+	}
+	return out
+}
+
+// Config parameterizes a DQN agent. Zero values select the paper's
+// defaults where one exists.
+type Config struct {
+	// StateDim and NumActions define the network interface: StateDim
+	// inputs, NumActions Q-value outputs.
+	StateDim   int
+	NumActions int
+	// HiddenSize is the width of the single SELU hidden layer (default
+	// 64). A negative value selects a linear Q-function with no hidden
+	// layer.
+	HiddenSize int
+	// LearningRate for SGD (paper: 0.003 for ChooseSubtree, 0.01 for
+	// Split; default 0.003).
+	LearningRate float64
+	// Gamma is the discount factor (paper: 0.95 ChooseSubtree, 0.8 Split;
+	// default 0.95).
+	Gamma float64
+	// Epsilon schedule: start at EpsilonInit (default 1.0), multiply by
+	// EpsilonDecay (default 0.99) after each network update, never below
+	// EpsilonMin (default 0.1).
+	EpsilonInit, EpsilonDecay, EpsilonMin float64
+	// ReplayCapacity is the replay memory size (default 5000).
+	ReplayCapacity int
+	// BatchSize is the number of transitions per network update (default 64).
+	BatchSize int
+	// SyncEvery is the number of network updates between target-network
+	// synchronizations (default 30).
+	SyncEvery int
+	// DoubleDQN decouples action selection from evaluation in the
+	// bootstrap target (van Hasselt et al., AAAI 2016): the online network
+	// picks argmax_a' Q(s',a') and the target network scores it. The
+	// paper's agents use vanilla DQN; this is an extension that mitigates
+	// Q-value overestimation.
+	DoubleDQN bool
+	// Seed drives all of the agent's randomness (exploration, replay
+	// sampling, weight init).
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.HiddenSize == 0 {
+		c.HiddenSize = 64
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.003
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.95
+	}
+	if c.EpsilonInit == 0 {
+		c.EpsilonInit = 1.0
+	}
+	if c.EpsilonDecay == 0 {
+		c.EpsilonDecay = 0.99
+	}
+	if c.EpsilonMin == 0 {
+		c.EpsilonMin = 0.1
+	}
+	if c.ReplayCapacity == 0 {
+		c.ReplayCapacity = 5000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.SyncEvery == 0 {
+		c.SyncEvery = 30
+	}
+}
+
+// DQN is a deep Q-learning agent with experience replay and a frozen
+// target network.
+type DQN struct {
+	cfg     Config
+	main    *mlp.Network
+	target  *mlp.Network
+	opt     mlp.Optimizer
+	replay  *ReplayBuffer
+	rng     *rand.Rand
+	eps     float64
+	updates int
+}
+
+// NewDQN builds an agent from the config.
+func NewDQN(cfg Config) *DQN {
+	cfg.setDefaults()
+	if cfg.StateDim <= 0 || cfg.NumActions <= 0 {
+		panic(fmt.Sprintf("rl: StateDim and NumActions must be positive, got %d, %d", cfg.StateDim, cfg.NumActions))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var main *mlp.Network
+	if cfg.HiddenSize < 0 {
+		main = mlp.New(rng, mlp.SELU, cfg.StateDim, cfg.NumActions)
+	} else {
+		main = mlp.New(rng, mlp.SELU, cfg.StateDim, cfg.HiddenSize, cfg.NumActions)
+	}
+	return &DQN{
+		cfg:    cfg,
+		main:   main,
+		target: main.Clone(),
+		opt:    mlp.NewSGD(cfg.LearningRate, 0),
+		replay: NewReplayBuffer(cfg.ReplayCapacity),
+		rng:    rng,
+		eps:    cfg.EpsilonInit,
+	}
+}
+
+// NewDQNFromNetwork wraps a pre-trained network in an agent (ε frozen at
+// the minimum). It is used when resuming alternating training from a saved
+// policy.
+func NewDQNFromNetwork(cfg Config, net *mlp.Network) *DQN {
+	cfg.setDefaults()
+	if net.InputSize() != cfg.StateDim || net.OutputSize() != cfg.NumActions {
+		panic("rl: network shape does not match config")
+	}
+	return &DQN{
+		cfg:    cfg,
+		main:   net,
+		target: net.Clone(),
+		opt:    mlp.NewSGD(cfg.LearningRate, 0),
+		replay: NewReplayBuffer(cfg.ReplayCapacity),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		eps:    cfg.EpsilonMin,
+	}
+}
+
+// Network returns the main (online) Q-network.
+func (d *DQN) Network() *mlp.Network { return d.main }
+
+// Epsilon returns the current exploration rate.
+func (d *DQN) Epsilon() float64 { return d.eps }
+
+// Updates returns the number of network updates performed.
+func (d *DQN) Updates() int { return d.updates }
+
+// Replay returns the agent's replay buffer.
+func (d *DQN) Replay() *ReplayBuffer { return d.replay }
+
+// SelectAction picks an action ε-greedily among the first numActions
+// outputs (numActions <= 0 means all).
+func (d *DQN) SelectAction(state []float64, numActions int) int {
+	n := d.clampActions(numActions)
+	if d.rng.Float64() < d.eps {
+		return d.rng.Intn(n)
+	}
+	return argmaxPrefix(d.main.Infer(state), n)
+}
+
+// BestAction picks the greedy action among the first numActions outputs.
+// This is the inference policy used when building the final RLR-Tree.
+func (d *DQN) BestAction(state []float64, numActions int) int {
+	return argmaxPrefix(d.main.Infer(state), d.clampActions(numActions))
+}
+
+func (d *DQN) clampActions(numActions int) int {
+	if numActions <= 0 || numActions > d.cfg.NumActions {
+		return d.cfg.NumActions
+	}
+	return numActions
+}
+
+func argmaxPrefix(q []float64, n int) int {
+	best := 0
+	for i := 1; i < n; i++ {
+		if q[i] > q[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Observe stores a transition in the replay buffer.
+func (d *DQN) Observe(t Transition) {
+	if len(t.State) != d.cfg.StateDim {
+		panic(fmt.Sprintf("rl: transition state dim %d, want %d", len(t.State), d.cfg.StateDim))
+	}
+	if t.Action < 0 || t.Action >= d.cfg.NumActions {
+		panic(fmt.Sprintf("rl: transition action %d out of range [0,%d)", t.Action, d.cfg.NumActions))
+	}
+	d.replay.Add(t)
+}
+
+// TrainStep samples a batch from replay, regresses the main network toward
+// the TD targets r + γ·max_a' Q̂(s', a') (just r for terminal transitions),
+// decays ε, and synchronizes the target network every SyncEvery updates.
+// It returns the batch loss, or NaN when the buffer is still empty.
+func (d *DQN) TrainStep() float64 {
+	batch := d.replay.Sample(d.rng, d.cfg.BatchSize)
+	if batch == nil {
+		return math.NaN()
+	}
+	samples := make([]mlp.Sample, len(batch))
+	for i, tr := range batch {
+		target := tr.Reward
+		if !tr.Terminal() {
+			n := d.cfg.NumActions
+			if tr.NextActions > 0 && tr.NextActions < n {
+				n = tr.NextActions
+			}
+			if d.cfg.DoubleDQN {
+				a := argmaxPrefix(d.main.Infer(tr.Next), n)
+				target += d.cfg.Gamma * d.target.Infer(tr.Next)[a]
+			} else {
+				qn := d.target.Infer(tr.Next)
+				target += d.cfg.Gamma * qn[argmaxPrefix(qn, n)]
+			}
+		}
+		samples[i] = mlp.Sample{Input: tr.State, Output: tr.Action, Target: target}
+	}
+	loss := d.main.TrainBatch(samples, d.opt)
+
+	d.updates++
+	d.eps *= d.cfg.EpsilonDecay
+	if d.eps < d.cfg.EpsilonMin {
+		d.eps = d.cfg.EpsilonMin
+	}
+	if d.updates%d.cfg.SyncEvery == 0 {
+		d.target.CopyWeightsFrom(d.main)
+	}
+	return loss
+}
+
+// FreezeExploration sets ε to its minimum. Used by the combined training
+// loop when an agent acts as a fixed policy during the other agent's epoch.
+func (d *DQN) FreezeExploration() { d.eps = d.cfg.EpsilonMin }
+
+// SyncTarget forces a target-network synchronization.
+func (d *DQN) SyncTarget() { d.target.CopyWeightsFrom(d.main) }

@@ -1,0 +1,307 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReplayBufferBasics(t *testing.T) {
+	b := NewReplayBuffer(3)
+	if b.Len() != 0 || b.Cap() != 3 {
+		t.Fatalf("fresh buffer: len=%d cap=%d", b.Len(), b.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(Transition{State: []float64{float64(i)}, Reward: float64(i)})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d after overfill, want 3", b.Len())
+	}
+	// The oldest two entries (0, 1) were evicted.
+	rng := rand.New(rand.NewSource(1))
+	for _, tr := range b.Sample(rng, 100) {
+		if tr.Reward < 2 {
+			t.Fatalf("evicted transition %v still sampled", tr.Reward)
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("len = %d after reset", b.Len())
+	}
+	if got := b.Sample(rng, 4); got != nil {
+		t.Fatalf("sampling empty buffer returned %d", len(got))
+	}
+}
+
+func TestReplayBufferRejectsZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReplayBuffer(0)
+}
+
+func TestTransitionTerminal(t *testing.T) {
+	if (Transition{Next: []float64{1}}).Terminal() {
+		t.Fatal("transition with next state marked terminal")
+	}
+	if !(Transition{}).Terminal() {
+		t.Fatal("transition without next state not marked terminal")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{StateDim: 8, NumActions: 2}
+	c.setDefaults()
+	if c.HiddenSize != 64 || c.LearningRate != 0.003 || c.Gamma != 0.95 ||
+		c.EpsilonInit != 1.0 || c.EpsilonDecay != 0.99 || c.EpsilonMin != 0.1 ||
+		c.ReplayCapacity != 5000 || c.BatchSize != 64 || c.SyncEvery != 30 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}
+
+func TestDQNActionRangeAndMasking(t *testing.T) {
+	d := NewDQN(Config{StateDim: 4, NumActions: 5, Seed: 1})
+	s := []float64{0.1, 0.2, 0.3, 0.4}
+	for i := 0; i < 200; i++ {
+		if a := d.SelectAction(s, 0); a < 0 || a >= 5 {
+			t.Fatalf("action %d out of range", a)
+		}
+		if a := d.SelectAction(s, 2); a >= 2 {
+			t.Fatalf("masked action %d >= 2", a)
+		}
+	}
+	if a := d.BestAction(s, 1); a != 0 {
+		t.Fatalf("BestAction with one valid action = %d, want 0", a)
+	}
+	if a := d.BestAction(s, 100); a < 0 || a >= 5 {
+		t.Fatalf("BestAction with oversized mask = %d", a)
+	}
+}
+
+func TestDQNEpsilonDecay(t *testing.T) {
+	d := NewDQN(Config{StateDim: 2, NumActions: 2, Seed: 2, BatchSize: 4, EpsilonDecay: 0.5, EpsilonMin: 0.2})
+	if d.Epsilon() != 1.0 {
+		t.Fatalf("initial epsilon %v", d.Epsilon())
+	}
+	for i := 0; i < 4; i++ {
+		d.Observe(Transition{State: []float64{0, 0}, Action: 0, Reward: 1})
+	}
+	d.TrainStep()
+	if d.Epsilon() != 0.5 {
+		t.Fatalf("epsilon after one update = %v, want 0.5", d.Epsilon())
+	}
+	for i := 0; i < 10; i++ {
+		d.TrainStep()
+	}
+	if d.Epsilon() != 0.2 {
+		t.Fatalf("epsilon floor violated: %v", d.Epsilon())
+	}
+	d2 := NewDQN(Config{StateDim: 2, NumActions: 2, Seed: 3})
+	d2.FreezeExploration()
+	if d2.Epsilon() != 0.1 {
+		t.Fatalf("FreezeExploration: eps=%v", d2.Epsilon())
+	}
+}
+
+func TestDQNTrainStepEmptyReplay(t *testing.T) {
+	d := NewDQN(Config{StateDim: 2, NumActions: 2, Seed: 4})
+	if loss := d.TrainStep(); !math.IsNaN(loss) {
+		t.Fatalf("TrainStep on empty replay = %v, want NaN", loss)
+	}
+}
+
+func TestDQNObservePanicsOnBadTransition(t *testing.T) {
+	d := NewDQN(Config{StateDim: 2, NumActions: 2, Seed: 5})
+	for _, tr := range []Transition{
+		{State: []float64{1}, Action: 0},
+		{State: []float64{1, 2}, Action: 7},
+		{State: []float64{1, 2}, Action: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Observe(%+v) did not panic", tr)
+				}
+			}()
+			d.Observe(tr)
+		}()
+	}
+}
+
+// TestDQNSolvesContextualBandit trains the agent on a two-action bandit
+// where the correct action is determined by the sign of the state's first
+// component. A working DQN must reach near-perfect greedy accuracy.
+func TestDQNSolvesContextualBandit(t *testing.T) {
+	d := NewDQN(Config{
+		StateDim: 2, NumActions: 2, Seed: 6,
+		LearningRate: 0.02, BatchSize: 32, ReplayCapacity: 2000,
+		EpsilonDecay: 0.995,
+	})
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 2500; step++ {
+		s := []float64{rng.Float64()*2 - 1, rng.Float64()}
+		a := d.SelectAction(s, 0)
+		correct := 0
+		if s[0] < 0 {
+			correct = 1
+		}
+		r := -1.0
+		if a == correct {
+			r = 1.0
+		}
+		d.Observe(Transition{State: s, Action: a, Reward: r})
+		d.TrainStep()
+	}
+	good := 0
+	for trial := 0; trial < 500; trial++ {
+		s := []float64{rng.Float64()*2 - 1, rng.Float64()}
+		correct := 0
+		if s[0] < 0 {
+			correct = 1
+		}
+		if d.BestAction(s, 0) == correct {
+			good++
+		}
+	}
+	if good < 475 {
+		t.Fatalf("greedy accuracy %d/500 after training", good)
+	}
+}
+
+// TestDQNPropagatesValueThroughBootstrap trains on a two-step chain:
+// state A --(any action)--> state B --(terminal)--> reward 1. The value of
+// A must approach gamma via the target-network bootstrap.
+func TestDQNPropagatesValueThroughBootstrap(t *testing.T) {
+	gamma := 0.9
+	d := NewDQN(Config{
+		StateDim: 2, NumActions: 2, Seed: 8,
+		Gamma: gamma, LearningRate: 0.05, BatchSize: 16, SyncEvery: 10,
+	})
+	sA := []float64{1, 0}
+	sB := []float64{0, 1}
+	for step := 0; step < 1500; step++ {
+		d.Observe(Transition{State: sA, Action: 0, Reward: 0, Next: sB})
+		d.Observe(Transition{State: sB, Action: 0, Reward: 1})
+		d.TrainStep()
+	}
+	qA := d.Network().Forward(sA)[0]
+	qB := d.Network().Forward(sB)[0]
+	if math.Abs(qB-1) > 0.1 {
+		t.Fatalf("Q(B) = %v, want ~1", qB)
+	}
+	if math.Abs(qA-gamma) > 0.15 {
+		t.Fatalf("Q(A) = %v, want ~%v (bootstrap)", qA, gamma)
+	}
+}
+
+func TestDQNDeterministicGivenSeed(t *testing.T) {
+	run := func() []float64 {
+		d := NewDQN(Config{StateDim: 3, NumActions: 2, Seed: 42, BatchSize: 8})
+		rng := rand.New(rand.NewSource(43))
+		for i := 0; i < 300; i++ {
+			s := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			a := d.SelectAction(s, 0)
+			d.Observe(Transition{State: s, Action: a, Reward: rng.Float64()})
+			d.TrainStep()
+		}
+		return d.Network().Forward([]float64{0.5, 0.5, 0.5})
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("training not reproducible: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestNewDQNFromNetwork(t *testing.T) {
+	d := NewDQN(Config{StateDim: 3, NumActions: 2, Seed: 9})
+	net := d.Network().Clone()
+	d2 := NewDQNFromNetwork(Config{StateDim: 3, NumActions: 2, Seed: 10}, net)
+	if d2.Epsilon() != 0.1 {
+		t.Fatalf("resumed agent epsilon = %v, want frozen minimum", d2.Epsilon())
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	a, b := d.Network().Forward(x), d2.Network().Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("resumed network differs")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch should panic")
+		}
+	}()
+	NewDQNFromNetwork(Config{StateDim: 5, NumActions: 2}, net)
+}
+
+func TestUpdatesCounterAndSync(t *testing.T) {
+	d := NewDQN(Config{StateDim: 2, NumActions: 2, Seed: 11, BatchSize: 4, SyncEvery: 5})
+	for i := 0; i < 4; i++ {
+		d.Observe(Transition{State: []float64{0.5, 0.5}, Action: 0, Reward: 1})
+	}
+	for i := 0; i < 12; i++ {
+		d.TrainStep()
+	}
+	if d.Updates() != 12 {
+		t.Fatalf("updates = %d, want 12", d.Updates())
+	}
+	d.SyncTarget() // must not panic and must leave behaviour consistent
+	if d.Replay().Len() != 4 {
+		t.Fatalf("replay len = %d", d.Replay().Len())
+	}
+}
+
+func TestDoubleDQNSolvesBandit(t *testing.T) {
+	d := NewDQN(Config{
+		StateDim: 2, NumActions: 2, Seed: 21, DoubleDQN: true,
+		LearningRate: 0.02, BatchSize: 32, ReplayCapacity: 2000,
+		EpsilonDecay: 0.995,
+	})
+	rng := rand.New(rand.NewSource(22))
+	for step := 0; step < 2500; step++ {
+		s := []float64{rng.Float64()*2 - 1, rng.Float64()}
+		a := d.SelectAction(s, 0)
+		correct := 0
+		if s[0] < 0 {
+			correct = 1
+		}
+		r := -1.0
+		if a == correct {
+			r = 1.0
+		}
+		d.Observe(Transition{State: s, Action: a, Reward: r})
+		d.TrainStep()
+	}
+	good := 0
+	for trial := 0; trial < 500; trial++ {
+		s := []float64{rng.Float64()*2 - 1, rng.Float64()}
+		correct := 0
+		if s[0] < 0 {
+			correct = 1
+		}
+		if d.BestAction(s, 0) == correct {
+			good++
+		}
+	}
+	if good < 470 {
+		t.Fatalf("Double-DQN greedy accuracy %d/500", good)
+	}
+}
+
+func TestLinearQNetwork(t *testing.T) {
+	d := NewDQN(Config{StateDim: 3, NumActions: 2, HiddenSize: -1, Seed: 23})
+	if got := d.Network().NumParams(); got != 3*2+2 {
+		t.Fatalf("linear Q-network has %d params, want 8", got)
+	}
+	// It still trains.
+	for i := 0; i < 64; i++ {
+		d.Observe(Transition{State: []float64{1, 0, 0}, Action: 0, Reward: 1})
+	}
+	if loss := d.TrainStep(); math.IsNaN(loss) {
+		t.Fatalf("linear net did not train")
+	}
+}

@@ -1,0 +1,65 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rlr-tree/rlrtree/internal/sfc"
+)
+
+// BulkLoadHilbert builds a tree bottom-up by sorting objects along the
+// Hilbert curve of their centers and packing consecutive runs into nodes
+// (Kamel and Faloutsos, "On packing R-trees", CIKM 1993 — one of the
+// packing methods the RLR-Tree paper's related work surveys). Like
+// BulkLoadSTR it is a static-loading extension: the result is an ordinary
+// dynamic *Tree.
+//
+// Hilbert packing preserves curve locality level by level: upper levels
+// simply pack the (already curve-ordered) child nodes sequentially.
+func BulkLoadHilbert(opts Options, items []Item) (*Tree, error) {
+	t, err := NewChecked(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return t, nil
+	}
+
+	world := items[0].Rect
+	for i, it := range items {
+		if !it.Rect.Valid() {
+			return nil, fmt.Errorf("rtree: bulk-load item %d has invalid rect %v", i, it.Rect)
+		}
+		world = world.Union(it.Rect)
+	}
+
+	type keyed struct {
+		key  uint64
+		item Item
+	}
+	keys := make([]keyed, len(items))
+	for i, it := range items {
+		keys[i] = keyed{key: sfc.HilbertKey(it.Rect.Center(), world), item: it}
+	}
+	sort.SliceStable(keys, func(a, b int) bool { return keys[a].key < keys[b].key })
+
+	entries := make([]Entry, len(keys))
+	for i, k := range keys {
+		entries[i] = Entry{Rect: k.item.Rect, Data: k.item.Data}
+	}
+
+	level := chunkSlice(entries, t.opts.MaxEntries, t.opts.MinEntries, true)
+	height := 1
+	for len(level) > 1 {
+		parentEntries := make([]Entry, len(level))
+		for i, n := range level {
+			parentEntries[i] = Entry{Rect: n.MBR(), Child: n}
+		}
+		level = chunkSlice(parentEntries, t.opts.MaxEntries, t.opts.MinEntries, false)
+		height++
+	}
+	t.root = level[0]
+	t.height = height
+	t.size = len(items)
+	return t, nil
+}

@@ -1,0 +1,54 @@
+package rtree
+
+// Clone returns a deep structural copy of the tree: every node and entry is
+// copied, data payloads are shared. The clone keeps the original's options
+// and strategies.
+//
+// Cloning is what the RLR-Tree paper calls "synchronizing" the reference
+// tree with the RLR-Tree: during training, every p insertions the reference
+// tree is reset to an identical structure so that reward differences can be
+// attributed to the most recent p decisions alone.
+func (t *Tree) Clone() *Tree {
+	return t.CloneWith(t.opts.Chooser, t.opts.Splitter)
+}
+
+// CloneWith returns a deep structural copy of the tree that uses the given
+// strategies for future insertions. This builds the reference tree (same
+// structure, different ChooseSubtree or Split rule) of the training loops.
+func (t *Tree) CloneWith(chooser SubtreeChooser, splitter Splitter) *Tree {
+	opts := t.opts
+	opts.Chooser = chooser
+	opts.Splitter = splitter
+	nt := &Tree{
+		root:   cloneNode(t.root, nil),
+		opts:   opts,
+		height: t.height,
+		size:   t.size,
+	}
+	return nt
+}
+
+// SyncFrom resets the receiver's structure to a deep copy of src's,
+// preserving the receiver's strategies. Construction statistics are reset.
+func (t *Tree) SyncFrom(src *Tree) {
+	t.root = cloneNode(src.root, nil)
+	t.height = src.height
+	t.size = src.size
+	t.splits = 0
+	t.chooses = 0
+}
+
+func cloneNode(n *Node, parent *Node) *Node {
+	cp := &Node{
+		parent:  parent,
+		leaf:    n.leaf,
+		entries: make([]Entry, len(n.entries)),
+	}
+	copy(cp.entries, n.entries)
+	if !n.leaf {
+		for i := range cp.entries {
+			cp.entries[i].Child = cloneNode(cp.entries[i].Child, cp)
+		}
+	}
+	return cp
+}

@@ -1,0 +1,84 @@
+package rtree
+
+import (
+	"sync"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// ConcurrentTree wraps a Tree with a readers-writer lock, making it safe
+// for use from multiple goroutines: queries take a shared lock and run
+// concurrently with each other, mutations take the exclusive lock. This is
+// coarse-grained on purpose — the R-Tree's per-query work is microseconds,
+// so a single RWMutex outperforms node-level latching until well past the
+// concurrency levels an embedded index sees. The zero value is not usable;
+// construct with NewConcurrent.
+type ConcurrentTree struct {
+	mu   sync.RWMutex
+	tree *Tree
+}
+
+// NewConcurrent wraps t. The caller must stop using t directly.
+func NewConcurrent(t *Tree) *ConcurrentTree {
+	return &ConcurrentTree{tree: t}
+}
+
+// Insert adds an object under the write lock.
+func (c *ConcurrentTree) Insert(r geom.Rect, data any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tree.Insert(r, data)
+}
+
+// Delete removes an object under the write lock.
+func (c *ConcurrentTree) Delete(r geom.Rect, data any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Delete(r, data)
+}
+
+// Search runs a range query under the read lock.
+func (c *ConcurrentTree) Search(q geom.Rect) ([]any, QueryStats) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.Search(q)
+}
+
+// SearchCount counts matches under the read lock.
+func (c *ConcurrentTree) SearchCount(q geom.Rect) QueryStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.SearchCount(q)
+}
+
+// KNN runs a nearest-neighbor query under the read lock.
+func (c *ConcurrentTree) KNN(p geom.Point, k int) ([]Neighbor, QueryStats) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.KNN(p, k)
+}
+
+// Len returns the object count under the read lock.
+func (c *ConcurrentTree) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.Len()
+}
+
+// Snapshot returns a deep copy of the current tree under the read lock.
+// The copy is private to the caller: long analytical scans can run on it
+// without blocking writers.
+func (c *ConcurrentTree) Snapshot() *Tree {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.Clone()
+}
+
+// Update applies fn to the underlying tree under the write lock, for
+// compound operations (move = delete + insert) that must be atomic with
+// respect to queries.
+func (c *ConcurrentTree) Update(fn func(t *Tree)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn(c.tree)
+}

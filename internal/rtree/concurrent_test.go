@@ -1,0 +1,84 @@
+package rtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+func TestConcurrentTreeMixedWorkload(t *testing.T) {
+	ct := NewConcurrent(New(testOpts()))
+	const (
+		writers = 4
+		readers = 4
+		perG    = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perG; i++ {
+				id := w*perG + i
+				r := geom.Square(rng.Float64(), rng.Float64(), 0.01)
+				ct.Insert(r, id)
+				if i%3 == 0 {
+					// Atomic move.
+					r2 := geom.Square(rng.Float64(), rng.Float64(), 0.01)
+					ct.Update(func(tr *Tree) {
+						if tr.Delete(r, id) {
+							tr.Insert(r2, id)
+						}
+					})
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < perG; i++ {
+				q := geom.Square(rng.Float64(), rng.Float64(), 0.1)
+				res, stats := ct.Search(q)
+				if len(res) != stats.Results {
+					t.Errorf("stats mismatch")
+					return
+				}
+				ct.SearchCount(q)
+				ct.KNN(geom.Pt(rng.Float64(), rng.Float64()), 3)
+				_ = ct.Len()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ct.Len() != writers*perG {
+		t.Fatalf("final len %d, want %d", ct.Len(), writers*perG)
+	}
+	snap := ct.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot invalid after concurrent workload: %v", err)
+	}
+}
+
+func TestConcurrentSnapshotIsIsolated(t *testing.T) {
+	ct := NewConcurrent(New(testOpts()))
+	for i := 0; i < 100; i++ {
+		ct.Insert(geom.Square(float64(i)/100, 0.5, 0.005), i)
+	}
+	snap := ct.Snapshot()
+	ct.Insert(geom.Square(0.99, 0.99, 0.005), 1000)
+	if snap.Len() != 100 {
+		t.Fatalf("snapshot leaked later writes: %d", snap.Len())
+	}
+	if ct.Len() != 101 {
+		t.Fatalf("wrapper len %d", ct.Len())
+	}
+}

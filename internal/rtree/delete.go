@@ -1,0 +1,99 @@
+package rtree
+
+import (
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// Delete removes the object with exactly the given bounding rectangle and
+// payload (compared with ==; payloads must therefore be comparable) and
+// reports whether it was found. Underfull nodes on the deletion path are
+// dissolved and their entries reinserted at their original level, following
+// Guttman's CondenseTree, so the tree keeps its fill and balance invariants
+// across arbitrary update workloads.
+func (t *Tree) Delete(r geom.Rect, data any) bool {
+	leaf, idx := t.findLeaf(t.root, r, data)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condenseTree(leaf)
+
+	// Shrink the root: an internal root with a single child is replaced by
+	// that child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].Child
+		t.root.parent = nil
+		t.height--
+	}
+	return true
+}
+
+// findLeaf locates the leaf holding an entry equal to (r, data) and the
+// entry's index within it.
+func (t *Tree) findLeaf(n *Node, r geom.Rect, data any) (*Node, int) {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].Rect == r && n.entries[i].Data == data {
+				return n, i
+			}
+		}
+		return nil, 0
+	}
+	for i := range n.entries {
+		if n.entries[i].Rect.Contains(r) {
+			if leaf, idx := t.findLeaf(n.entries[i].Child, r, data); leaf != nil {
+				return leaf, idx
+			}
+		}
+	}
+	return nil, 0
+}
+
+// condenseTree walks from n to the root, removing nodes that fell below the
+// minimum fill and collecting their entries for reinsertion at the level
+// they came from.
+func (t *Tree) condenseTree(n *Node) {
+	type orphan struct {
+		entries []Entry
+		level   int
+	}
+	var orphans []orphan
+
+	level := 1
+	if !n.leaf {
+		level = t.levelOf(n)
+	}
+	for n.parent != nil {
+		p := n.parent
+		if len(n.entries) < t.opts.MinEntries {
+			idx := p.indexOfChild(n)
+			p.entries = append(p.entries[:idx], p.entries[idx+1:]...)
+			orphans = append(orphans, orphan{entries: n.entries, level: level})
+		} else {
+			p.entries[p.indexOfChild(n)].Rect = n.MBR()
+		}
+		n = p
+		level++
+	}
+
+	// Reinsert orphaned entries, deepest first so structure stabilizes
+	// bottom-up. Levels are anchored at the leaves and therefore remain
+	// valid even if reinsertion grows the tree.
+	for _, o := range orphans {
+		for _, e := range o.entries {
+			t.insertAtLevel(e, o.level, nil)
+		}
+	}
+}
+
+// levelOf returns the level of n (leaves are level 1) by walking to the
+// root.
+func (t *Tree) levelOf(n *Node) int {
+	// Descend from n to a leaf: every subtree has uniform depth.
+	level := 1
+	for w := n; !w.leaf; w = w.entries[0].Child {
+		level++
+	}
+	return level
+}

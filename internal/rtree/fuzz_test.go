@@ -1,0 +1,58 @@
+package rtree
+
+import (
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// FuzzTreeWorkload interprets a byte string as a sequence of insert/delete
+// operations and checks the full invariant set plus query correctness
+// after the workload. The seed corpus runs in the normal test suite; use
+// `go test -fuzz=FuzzTreeWorkload ./internal/rtree` for continuous fuzzing.
+func FuzzTreeWorkload(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{255, 254, 0, 0, 0, 1, 1, 1, 128, 64, 32, 16})
+	f.Add([]byte{7})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			t.Skip()
+		}
+		tr := New(Options{MaxEntries: 6, MinEntries: 2})
+		type obj struct {
+			rect geom.Rect
+			id   int
+		}
+		var live []obj
+		nextID := 0
+		for i := 0; i+2 < len(ops); i += 3 {
+			op, a, b := ops[i], ops[i+1], ops[i+2]
+			switch {
+			case op%4 != 0 || len(live) == 0: // insert (3/4 of the time)
+				r := geom.Square(float64(a)/255, float64(b)/255, float64(op%16)/255)
+				tr.Insert(r, nextID)
+				live = append(live, obj{rect: r, id: nextID})
+				nextID++
+			default: // delete an existing object
+				idx := (int(a)<<8 | int(b)) % len(live)
+				o := live[idx]
+				if !tr.Delete(o.rect, o.id) {
+					t.Fatalf("live object %d not deletable", o.id)
+				}
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invalid after workload: %v", err)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("len %d, want %d", tr.Len(), len(live))
+		}
+		// Full-space query returns exactly the live set.
+		got, _ := tr.Search(geom.NewRect(-1, -1, 2, 2))
+		if len(got) != len(live) {
+			t.Fatalf("search found %d of %d", len(got), len(live))
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// Insert adds an object with the given bounding rectangle to the tree. The
+// rectangle must be valid (Min <= Max, no NaN); Insert panics otherwise,
+// since an invalid MBR silently corrupts every ancestor MBR above it.
+//
+// The insertion path is Guttman's: descend from the root choosing one child
+// per level with the tree's SubtreeChooser, place the entry in the reached
+// leaf, then resolve overflows bottom-up with the tree's Splitter (or, when
+// ForcedReinsert is enabled, the R*-Tree's reinsertion treatment).
+func (t *Tree) Insert(r geom.Rect, data any) {
+	if !r.Valid() {
+		panic(fmt.Sprintf("rtree: Insert with invalid rect %v", r))
+	}
+	var reins map[int]bool
+	if t.opts.ForcedReinsert {
+		reins = make(map[int]bool)
+	}
+	t.insertAtLevel(Entry{Rect: r, Data: data}, 1, reins)
+	t.size++
+}
+
+// insertAtLevel places e into a node at the given level (leaves are level
+// 1). It is shared by Insert, forced reinsertion, and delete's condense-tree
+// pass, which must reinsert orphaned subtrees at their original level to
+// keep all leaves at uniform depth. reins tracks the levels at which forced
+// reinsertion already ran during the current top-level insertion; it may be
+// nil when reinsertion is disabled.
+func (t *Tree) insertAtLevel(e Entry, level int, reins map[int]bool) {
+	n := t.chooseNodeAtLevel(e.Rect, level)
+	n.entries = append(n.entries, e)
+	if e.Child != nil {
+		e.Child.parent = n
+	}
+	t.adjustMBRsUp(n)
+	t.overflowTreatment(n, level, reins)
+}
+
+// chooseNodeAtLevel descends from the root, invoking the ChooseSubtree
+// strategy once per level, and returns the node at the requested level.
+func (t *Tree) chooseNodeAtLevel(r geom.Rect, level int) *Node {
+	n := t.root
+	for lvl := t.height; lvl > level; lvl-- {
+		t.chooses++
+		i := t.opts.Chooser.Choose(t, n, r)
+		if i < 0 || i >= len(n.entries) {
+			panic(fmt.Sprintf("rtree: chooser %q returned out-of-range child index %d (node has %d entries)",
+				t.opts.Chooser.Name(), i, len(n.entries)))
+		}
+		n = n.entries[i].Child
+	}
+	return n
+}
+
+// WouldSplit reports whether inserting an object with bounding rectangle r
+// right now would overflow the leaf selected by the tree's ChooseSubtree
+// strategy. The tree is not modified. The RLR-Tree's Split training
+// (Algorithm 2 of the paper) uses this to divert split-causing objects into
+// the training pool while building its "almost full" base trees.
+func (t *Tree) WouldSplit(r geom.Rect) bool {
+	n := t.chooseNodeAtLevel(r, 1)
+	return len(n.entries) >= t.opts.MaxEntries
+}
+
+// adjustMBRsUp recomputes the parent entry rectangle for n and every
+// ancestor of n. Recomputation is exact (union over entries) rather than
+// incremental so that it is also correct after entry removals, which can
+// shrink MBRs.
+func (t *Tree) adjustMBRsUp(n *Node) {
+	for w := n; w.parent != nil; w = w.parent {
+		p := w.parent
+		p.entries[p.indexOfChild(w)].Rect = w.MBR()
+	}
+}
+
+// indexOfChild returns the index of the entry of n referring to child. It
+// panics if child is not among n's entries, which would indicate a corrupt
+// parent pointer.
+func (n *Node) indexOfChild(child *Node) int {
+	for i := range n.entries {
+		if n.entries[i].Child == child {
+			return i
+		}
+	}
+	panic("rtree: node is not a child of its recorded parent")
+}
+
+// overflowTreatment resolves overflow of n (at the given level) and
+// propagates splits toward the root.
+func (t *Tree) overflowTreatment(n *Node, level int, reins map[int]bool) {
+	cur, lvl := n, level
+	for cur != nil && len(cur.entries) > t.opts.MaxEntries {
+		if t.opts.ForcedReinsert && cur.parent != nil && reins != nil && !reins[lvl] {
+			// R*-Tree: the first overflow at each level during one
+			// insertion is treated by reinsertion rather than a split.
+			reins[lvl] = true
+			t.forcedReinsert(cur, lvl, reins)
+			return
+		}
+		t.splitNode(cur)
+		cur = cur.parent
+		lvl++
+	}
+	if cur != nil {
+		t.adjustMBRsUp(cur)
+	}
+}
+
+// splitNode splits the overflowing node n with the tree's Splitter. The
+// first group replaces n's entries; the second group becomes a new sibling
+// registered in n's parent (creating a new root when n is the root). It
+// returns the new sibling.
+func (t *Tree) splitNode(n *Node) *Node {
+	total := len(n.entries)
+	g1, g2 := t.opts.Splitter.Split(t, n)
+	if len(g1)+len(g2) != total || len(g1) < t.opts.MinEntries || len(g2) < t.opts.MinEntries {
+		panic(fmt.Sprintf("rtree: splitter %q produced invalid groups %d/%d from %d entries (min fill %d)",
+			t.opts.Splitter.Name(), len(g1), len(g2), total, t.opts.MinEntries))
+	}
+	t.splits++
+
+	n.entries = g1
+	sib := &Node{leaf: n.leaf, entries: g2}
+	for i := range n.entries {
+		if n.entries[i].Child != nil {
+			n.entries[i].Child.parent = n
+		}
+	}
+	for i := range sib.entries {
+		if sib.entries[i].Child != nil {
+			sib.entries[i].Child.parent = sib
+		}
+	}
+
+	if n.parent == nil {
+		root := &Node{
+			leaf: false,
+			entries: []Entry{
+				{Rect: n.MBR(), Child: n},
+				{Rect: sib.MBR(), Child: sib},
+			},
+		}
+		n.parent = root
+		sib.parent = root
+		t.root = root
+		t.height++
+		return sib
+	}
+	p := n.parent
+	p.entries[p.indexOfChild(n)].Rect = n.MBR()
+	p.entries = append(p.entries, Entry{Rect: sib.MBR(), Child: sib})
+	sib.parent = p
+	return sib
+}
+
+// forcedReinsert implements the R*-Tree overflow treatment: remove the
+// ReinsertFraction of n's entries whose centers are farthest from the
+// center of n's MBR, shrink the ancestors' MBRs, and reinsert the removed
+// entries closest-first ("close reinsert") at the same level.
+func (t *Tree) forcedReinsert(n *Node, level int, reins map[int]bool) {
+	c := n.MBR().Center()
+	k := int(t.opts.ReinsertFraction * float64(len(n.entries)))
+	if k < 1 {
+		k = 1
+	}
+	if max := len(n.entries) - t.opts.MinEntries; k > max {
+		k = max
+	}
+
+	type distEntry struct {
+		e Entry
+		d float64
+	}
+	ds := make([]distEntry, len(n.entries))
+	for i, e := range n.entries {
+		ds[i] = distEntry{e: e, d: e.Rect.Center().DistSq(c)}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+
+	kept := make([]Entry, 0, len(ds)-k)
+	for _, de := range ds[:len(ds)-k] {
+		kept = append(kept, de.e)
+	}
+	removed := ds[len(ds)-k:]
+	n.entries = kept
+	t.adjustMBRsUp(n)
+
+	// Close reinsert: nearest removed entries first.
+	for _, de := range removed {
+		t.insertAtLevel(de.e, level, reins)
+	}
+}

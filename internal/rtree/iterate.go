@@ -1,0 +1,184 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// NearestIter yields the stored objects in nondecreasing distance from a
+// query point, one at a time, without a fixed k — the incremental
+// ("distance browsing") form of best-first KNN. It is the right tool when
+// the number of neighbors needed is only known during iteration (e.g.
+// "expand until three results pass a filter").
+//
+// The iterator holds references into the tree; mutating the tree
+// invalidates it.
+type NearestIter struct {
+	tree  *Tree
+	point geom.Point
+	pq    bfHeap
+	stats QueryStats
+}
+
+// NewNearestIter starts an incremental nearest-neighbor traversal from p.
+func (t *Tree) NewNearestIter(p geom.Point) *NearestIter {
+	it := &NearestIter{tree: t, point: p}
+	if t.size > 0 {
+		heap.Push(&it.pq, bfItem{node: t.root, dist: t.root.MBR().MinDistSq(p)})
+	}
+	return it
+}
+
+// Next returns the next nearest object, or false when the tree is
+// exhausted.
+func (it *NearestIter) Next() (Neighbor, bool) {
+	for it.pq.Len() > 0 {
+		item := heap.Pop(&it.pq).(bfItem)
+		if item.node == nil {
+			it.stats.Results++
+			return Neighbor{Rect: item.rect, Data: item.data, DistSq: item.dist}, true
+		}
+		it.stats.NodesAccessed++
+		if item.node.leaf {
+			it.stats.LeavesAccessed++
+			for i := range item.node.entries {
+				e := &item.node.entries[i]
+				heap.Push(&it.pq, bfItem{rect: e.Rect, data: e.Data, dist: e.Rect.MinDistSq(it.point)})
+			}
+			continue
+		}
+		for i := range item.node.entries {
+			e := &item.node.entries[i]
+			heap.Push(&it.pq, bfItem{node: e.Child, dist: e.Rect.MinDistSq(it.point)})
+		}
+	}
+	return Neighbor{}, false
+}
+
+// Stats returns the node accesses performed so far.
+func (it *NearestIter) Stats() QueryStats { return it.stats }
+
+// JoinPair is one result of a spatial join: the payloads and rectangles of
+// an intersecting object pair.
+type JoinPair struct {
+	RectA, RectB geom.Rect
+	DataA, DataB any
+}
+
+// JoinIntersects reports every pair of objects (a from tree a, b from tree
+// b) whose MBRs intersect, invoking fn for each pair. It implements the
+// synchronized depth-first R-Tree join of Brinkhoff, Kriegel and Seeger
+// (SIGMOD 1993): subtrees are descended together and pruned whenever their
+// MBRs are disjoint, so the cost is proportional to the actually
+// overlapping regions rather than |a|·|b|. The returned stats count node
+// accesses in each tree.
+//
+// Joining a tree with itself reports each unordered pair twice (once per
+// orientation) and every object paired with itself; callers that want
+// unordered self-join semantics can filter on payload identity.
+func JoinIntersects(a, b *Tree, fn func(JoinPair)) (statsA, statsB QueryStats) {
+	if a.size == 0 || b.size == 0 {
+		return statsA, statsB
+	}
+	joinNodes(a.root, b.root, fn, &statsA, &statsB)
+	return statsA, statsB
+}
+
+func joinNodes(na, nb *Node, fn func(JoinPair), sa, sb *QueryStats) {
+	sa.NodesAccessed++
+	sb.NodesAccessed++
+	if na.leaf {
+		sa.LeavesAccessed++
+	}
+	if nb.leaf {
+		sb.LeavesAccessed++
+	}
+
+	switch {
+	case na.leaf && nb.leaf:
+		for i := range na.entries {
+			ea := &na.entries[i]
+			for j := range nb.entries {
+				eb := &nb.entries[j]
+				if ea.Rect.Intersects(eb.Rect) {
+					sa.Results++
+					sb.Results++
+					fn(JoinPair{RectA: ea.Rect, RectB: eb.Rect, DataA: ea.Data, DataB: eb.Data})
+				}
+			}
+		}
+	case na.leaf:
+		// Descend only in b.
+		for j := range nb.entries {
+			if na.MBR().Intersects(nb.entries[j].Rect) {
+				joinLeafNode(na, nb.entries[j].Child, fn, sa, sb)
+			}
+		}
+	case nb.leaf:
+		for i := range na.entries {
+			if na.entries[i].Rect.Intersects(nb.MBR()) {
+				joinNodeLeaf(na.entries[i].Child, nb, fn, sa, sb)
+			}
+		}
+	default:
+		for i := range na.entries {
+			for j := range nb.entries {
+				if na.entries[i].Rect.Intersects(nb.entries[j].Rect) {
+					joinNodes(na.entries[i].Child, nb.entries[j].Child, fn, sa, sb)
+				}
+			}
+		}
+	}
+}
+
+// joinLeafNode pairs a leaf of tree a against a subtree of b whose root may
+// be deeper than a's leaf (trees of different heights).
+func joinLeafNode(leaf *Node, nb *Node, fn func(JoinPair), sa, sb *QueryStats) {
+	sb.NodesAccessed++
+	if nb.leaf {
+		sb.LeavesAccessed++
+		for i := range leaf.entries {
+			ea := &leaf.entries[i]
+			for j := range nb.entries {
+				eb := &nb.entries[j]
+				if ea.Rect.Intersects(eb.Rect) {
+					sa.Results++
+					sb.Results++
+					fn(JoinPair{RectA: ea.Rect, RectB: eb.Rect, DataA: ea.Data, DataB: eb.Data})
+				}
+			}
+		}
+		return
+	}
+	for j := range nb.entries {
+		if leaf.MBR().Intersects(nb.entries[j].Rect) {
+			joinLeafNode(leaf, nb.entries[j].Child, fn, sa, sb)
+		}
+	}
+}
+
+// joinNodeLeaf mirrors joinLeafNode with the roles swapped.
+func joinNodeLeaf(na *Node, leaf *Node, fn func(JoinPair), sa, sb *QueryStats) {
+	sa.NodesAccessed++
+	if na.leaf {
+		sa.LeavesAccessed++
+		for i := range na.entries {
+			ea := &na.entries[i]
+			for j := range leaf.entries {
+				eb := &leaf.entries[j]
+				if ea.Rect.Intersects(eb.Rect) {
+					sa.Results++
+					sb.Results++
+					fn(JoinPair{RectA: ea.Rect, RectB: eb.Rect, DataA: ea.Data, DataB: eb.Data})
+				}
+			}
+		}
+		return
+	}
+	for i := range na.entries {
+		if na.entries[i].Rect.Intersects(leaf.MBR()) {
+			joinNodeLeaf(na.entries[i].Child, leaf, fn, sa, sb)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+func TestNearestIterFullOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rects := randSquares(rng, 400, 0.005)
+	tr := buildTree(t, testOpts(), rects)
+	p := geom.Pt(0.3, 0.7)
+
+	it := tr.NewNearestIter(p)
+	var dists []float64
+	seen := map[int]bool{}
+	for {
+		nb, ok := it.Next()
+		if !ok {
+			break
+		}
+		dists = append(dists, nb.DistSq)
+		id := nb.Data.(int)
+		if seen[id] {
+			t.Fatalf("object %d yielded twice", id)
+		}
+		seen[id] = true
+	}
+	if len(dists) != len(rects) {
+		t.Fatalf("iterator yielded %d of %d objects", len(dists), len(rects))
+	}
+	if !sort.Float64sAreSorted(dists) {
+		t.Fatalf("iterator distances not nondecreasing")
+	}
+	// Agrees with brute force.
+	want := make([]float64, len(rects))
+	for i, r := range rects {
+		want[i] = r.MinDistSq(p)
+	}
+	sort.Float64s(want)
+	for i := range want {
+		if dists[i] != want[i] {
+			t.Fatalf("distance %d: %v, want %v", i, dists[i], want[i])
+		}
+	}
+	if it.Stats().NodesAccessed == 0 {
+		t.Fatalf("no node accesses recorded")
+	}
+	// Exhausted iterator stays exhausted.
+	if _, ok := it.Next(); ok {
+		t.Fatalf("exhausted iterator yielded")
+	}
+}
+
+func TestNearestIterPrefixMatchesKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rects := randSquares(rng, 600, 0.01)
+	tr := buildTree(t, testOpts(), rects)
+	p := geom.Pt(0.5, 0.5)
+	knn, _ := tr.KNN(p, 20)
+	it := tr.NewNearestIter(p)
+	for i := 0; i < 20; i++ {
+		nb, ok := it.Next()
+		if !ok {
+			t.Fatalf("iterator ended early at %d", i)
+		}
+		if nb.DistSq != knn[i].DistSq {
+			t.Fatalf("iterator diverges from KNN at %d: %v vs %v", i, nb.DistSq, knn[i].DistSq)
+		}
+	}
+}
+
+func TestNearestIterEmptyTree(t *testing.T) {
+	tr := New(testOpts())
+	it := tr.NewNearestIter(geom.Pt(0, 0))
+	if _, ok := it.Next(); ok {
+		t.Fatalf("empty tree iterator yielded")
+	}
+}
+
+func TestJoinIntersectsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ra := randSquares(rng, 300, 0.02)
+	rb := randSquares(rng, 250, 0.03)
+	ta := buildTree(t, testOpts(), ra)
+	tb := buildTree(t, testOpts(), rb)
+
+	type pair struct{ a, b int }
+	got := map[pair]int{}
+	sa, sb := JoinIntersects(ta, tb, func(jp JoinPair) {
+		got[pair{jp.DataA.(int), jp.DataB.(int)}]++
+	})
+	want := 0
+	for i, a := range ra {
+		for j, b := range rb {
+			if a.Intersects(b) {
+				want++
+				if got[pair{i, j}] != 1 {
+					t.Fatalf("pair (%d,%d) reported %d times", i, j, got[pair{i, j}])
+				}
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("join found %d pairs, want %d", len(got), want)
+	}
+	if sa.Results != want || sb.Results != want {
+		t.Fatalf("stats results %d/%d, want %d", sa.Results, sb.Results, want)
+	}
+	if sa.NodesAccessed == 0 || sb.NodesAccessed == 0 {
+		t.Fatalf("join accessed no nodes")
+	}
+}
+
+func TestJoinIntersectsDifferentHeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ra := randSquares(rng, 2000, 0.01) // tall tree
+	rb := randSquares(rng, 30, 0.05)   // single-leaf-ish tree
+	ta := buildTree(t, testOpts(), ra)
+	tb := buildTree(t, testOpts(), rb)
+	if ta.Height() == tb.Height() {
+		t.Skip("heights coincide; adjust sizes")
+	}
+	count := 0
+	JoinIntersects(ta, tb, func(JoinPair) { count++ })
+	want := 0
+	for _, a := range ra {
+		for _, b := range rb {
+			if a.Intersects(b) {
+				want++
+			}
+		}
+	}
+	if count != want {
+		t.Fatalf("unequal-height join found %d, want %d", count, want)
+	}
+	// Orientation symmetry.
+	count2 := 0
+	JoinIntersects(tb, ta, func(JoinPair) { count2++ })
+	if count2 != want {
+		t.Fatalf("swapped join found %d, want %d", count2, want)
+	}
+}
+
+func TestJoinIntersectsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ta := buildTree(t, testOpts(), randSquares(rng, 50, 0.01))
+	tb := New(testOpts())
+	called := false
+	JoinIntersects(ta, tb, func(JoinPair) { called = true })
+	JoinIntersects(tb, ta, func(JoinPair) { called = true })
+	if called {
+		t.Fatalf("join with empty tree produced pairs")
+	}
+}
+
+func TestJoinPrunesDisjointRegions(t *testing.T) {
+	// Two trees in disjoint halves of the space: the join must touch only
+	// the two roots.
+	ta := New(testOpts())
+	tb := New(testOpts())
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		ta.Insert(geom.Square(0.1+0.2*rng.Float64(), rng.Float64(), 0.01), i)
+		tb.Insert(geom.Square(0.7+0.2*rng.Float64(), rng.Float64(), 0.01), i)
+	}
+	sa, sb := JoinIntersects(ta, tb, func(JoinPair) {
+		t.Fatalf("disjoint trees produced a pair")
+	})
+	if sa.NodesAccessed != 1 || sb.NodesAccessed != 1 {
+		t.Fatalf("disjoint join accessed %d/%d nodes, want 1/1", sa.NodesAccessed, sb.NodesAccessed)
+	}
+}

@@ -1,0 +1,102 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// Neighbor is one KNN result: an object payload with its MBR and its
+// squared distance from the query point.
+type Neighbor struct {
+	Rect   geom.Rect
+	Data   any
+	DistSq float64
+}
+
+// KNN returns the k stored objects nearest to p (by minimum distance from p
+// to the object MBR), ordered by ascending distance, together with the
+// query statistics. Fewer than k results are returned when the tree holds
+// fewer than k objects.
+//
+// The algorithm is the branch-and-bound depth-first traversal of
+// Roussopoulos, Kelley and Vincent (SIGMOD 1995) — the algorithm the
+// RLR-Tree paper uses for its KNN experiments: subtrees are visited in
+// MINDIST order and pruned against the current k-th best distance. Because
+// the RLR-Tree changes only how the tree is *built*, this query algorithm
+// is byte-for-byte the same for every index variant in this repository.
+func (t *Tree) KNN(p geom.Point, k int) ([]Neighbor, QueryStats) {
+	var stats QueryStats
+	if k <= 0 || t.size == 0 {
+		return nil, stats
+	}
+	best := &knnHeap{}
+	t.knnNode(t.root, p, k, best, &stats)
+
+	out := make([]Neighbor, len(*best))
+	copy(out, *best)
+	sort.Slice(out, func(i, j int) bool { return out[i].DistSq < out[j].DistSq })
+	stats.Results = len(out)
+	return out, stats
+}
+
+func (t *Tree) knnNode(n *Node, p geom.Point, k int, best *knnHeap, stats *QueryStats) {
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			d := n.entries[i].Rect.MinDistSq(p)
+			if len(*best) < k {
+				heap.Push(best, Neighbor{Rect: n.entries[i].Rect, Data: n.entries[i].Data, DistSq: d})
+			} else if d < (*best)[0].DistSq {
+				(*best)[0] = Neighbor{Rect: n.entries[i].Rect, Data: n.entries[i].Data, DistSq: d}
+				heap.Fix(best, 0)
+			}
+		}
+		return
+	}
+
+	// Visit children in MINDIST order; prune against the k-th best.
+	type branch struct {
+		child *Node
+		dist  float64
+	}
+	branches := make([]branch, len(n.entries))
+	for i := range n.entries {
+		branches[i] = branch{child: n.entries[i].Child, dist: n.entries[i].Rect.MinDistSq(p)}
+	}
+	sort.Slice(branches, func(i, j int) bool { return branches[i].dist < branches[j].dist })
+	for _, b := range branches {
+		if b.dist > kthBestDist(best, k) {
+			break // all following branches are at least as far
+		}
+		t.knnNode(b.child, p, k, best, stats)
+	}
+}
+
+// kthBestDist returns the current pruning bound: +Inf until k results are
+// collected, then the k-th smallest distance so far.
+func kthBestDist(best *knnHeap, k int) float64 {
+	if len(*best) < k {
+		return math.Inf(1)
+	}
+	return (*best)[0].DistSq
+}
+
+// knnHeap is a max-heap of the k best neighbors so far, ordered by DistSq
+// (the root is the worst of the current best).
+type knnHeap []Neighbor
+
+func (h knnHeap) Len() int           { return len(h) }
+func (h knnHeap) Less(i, j int) bool { return h[i].DistSq > h[j].DistSq }
+func (h knnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x any)        { *h = append(*h, x.(Neighbor)) }
+func (h *knnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

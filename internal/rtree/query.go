@@ -1,0 +1,104 @@
+package rtree
+
+import (
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// QueryStats reports the work a single query performed. Node accesses are
+// the cost metric of the RLR-Tree paper: every node whose entries are
+// inspected counts once, including the root. For a disk-resident R-Tree
+// this is the number of page reads.
+type QueryStats struct {
+	// NodesAccessed counts every node visited, root included.
+	NodesAccessed int
+	// LeavesAccessed counts the subset of visited nodes that are leaves.
+	LeavesAccessed int
+	// Results is the number of objects returned (or, for counting
+	// queries, matched).
+	Results int
+}
+
+// Search returns the data payloads of all objects whose MBR intersects q,
+// together with the query statistics. Order is unspecified.
+func (t *Tree) Search(q geom.Rect) ([]any, QueryStats) {
+	var (
+		out   []any
+		stats QueryStats
+	)
+	t.searchNode(t.root, q, &stats, func(e Entry) {
+		out = append(out, e.Data)
+	})
+	stats.Results = len(out)
+	return out, stats
+}
+
+// SearchCount returns the number of objects whose MBR intersects q without
+// materializing the result set. It is the hot path of reward computation
+// during RLR-Tree training, where only node-access counts matter.
+func (t *Tree) SearchCount(q geom.Rect) QueryStats {
+	var stats QueryStats
+	t.searchNode(t.root, q, &stats, func(Entry) {
+		stats.Results++
+	})
+	return stats
+}
+
+// SearchEach invokes fn for each object whose MBR intersects q. fn receives
+// the object's MBR and payload.
+func (t *Tree) SearchEach(q geom.Rect, fn func(geom.Rect, any)) QueryStats {
+	var stats QueryStats
+	t.searchNode(t.root, q, &stats, func(e Entry) {
+		stats.Results++
+		fn(e.Rect, e.Data)
+	})
+	return stats
+}
+
+func (t *Tree) searchNode(n *Node, q geom.Rect, stats *QueryStats, emit func(Entry)) {
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			if q.Intersects(n.entries[i].Rect) {
+				emit(n.entries[i])
+			}
+		}
+		return
+	}
+	for i := range n.entries {
+		if q.Intersects(n.entries[i].Rect) {
+			t.searchNode(n.entries[i].Child, q, stats, emit)
+		}
+	}
+}
+
+// ContainsPoint reports whether any stored object's MBR contains p.
+func (t *Tree) ContainsPoint(p geom.Point) (bool, QueryStats) {
+	var stats QueryStats
+	found := t.containsPoint(t.root, p, &stats)
+	if found {
+		stats.Results = 1
+	}
+	return found, stats
+}
+
+func (t *Tree) containsPoint(n *Node, p geom.Point, stats *QueryStats) bool {
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			if n.entries[i].Rect.ContainsPoint(p) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.entries {
+		if n.entries[i].Rect.ContainsPoint(p) {
+			if t.containsPoint(n.entries[i].Child, p, stats) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,230 @@
+// Package rtree implements an in-memory R-Tree (Guttman, SIGMOD 1984) with
+// pluggable ChooseSubtree and Split strategies.
+//
+// The package provides every heuristic baseline evaluated in the RLR-Tree
+// paper — Guttman's classic least-enlargement insertion with linear and
+// quadratic splits, Greene's split, the R*-Tree (including forced
+// reinsertion), the revised R*-Tree (RR*), and the "minimum overlap
+// partition" splitter the paper uses for its reference trees — as well as
+// the extension points (SubtreeChooser, Splitter, split-candidate
+// enumeration) that the learned RLR-Tree in internal/core plugs into.
+//
+// The tree structure and the query algorithms (range search, exact KNN) are
+// entirely independent of the insertion strategies: this is the property the
+// RLR-Tree paper relies on, since replacing the two heuristics with learned
+// policies must leave query processing untouched.
+//
+// Trees are not safe for concurrent mutation. Concurrent read-only queries
+// are safe because queries never modify the tree; per-query statistics are
+// returned to the caller rather than accumulated on the tree.
+package rtree
+
+import (
+	"fmt"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// Default node capacities. The paper fixes a maximum of 50 and a minimum of
+// 20 entries per node for every index it evaluates.
+const (
+	DefaultMaxEntries = 50
+	DefaultMinEntries = 20
+)
+
+// Entry is one slot of a node: either a child pointer with the child's MBR
+// (internal nodes) or a data object with its MBR (leaf nodes).
+type Entry struct {
+	Rect  geom.Rect
+	Child *Node // non-nil in internal nodes, nil in leaves
+	Data  any   // payload in leaves, nil in internal nodes
+}
+
+// Node is an R-Tree node. Nodes are exported (with read-only accessors) so
+// that external strategies — in particular the learned policies in
+// internal/core — can featurize them; the tree's structure must only be
+// mutated through Tree methods.
+type Node struct {
+	parent  *Node
+	leaf    bool
+	entries []Entry
+}
+
+// IsLeaf reports whether n is a leaf node.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Entries returns the node's entry slice. Callers must treat it as
+// read-only; it is invalidated by any mutation of the tree.
+func (n *Node) Entries() []Entry { return n.entries }
+
+// NumEntries returns the number of entries currently stored in n.
+func (n *Node) NumEntries() int { return len(n.entries) }
+
+// Parent returns the parent node, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// MBR returns the minimum bounding rectangle of all entries in n. It is
+// computed on demand; for non-root nodes it equals the entry rect stored in
+// the parent.
+func (n *Node) MBR() geom.Rect {
+	if len(n.entries) == 0 {
+		return geom.Rect{}
+	}
+	r := n.entries[0].Rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.Rect)
+	}
+	return r
+}
+
+// SubtreeChooser decides, for a non-leaf node n during insertion of an
+// object with bounding rectangle r, the index of the child entry to descend
+// into. Implementations must return an index in [0, n.NumEntries()).
+type SubtreeChooser interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Choose returns the index of the chosen child entry of n.
+	Choose(t *Tree, n *Node, r geom.Rect) int
+}
+
+// Splitter divides the entries of an overflowing node (which holds
+// MaxEntries+1 entries) into two groups, each with at least MinEntries
+// entries. The first group stays in the original node, the second becomes a
+// new sibling.
+type Splitter interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Split partitions n's entries into two groups. Both returned slices
+	// are freshly allocated; together they must contain exactly n's
+	// entries.
+	Split(t *Tree, n *Node) (group1, group2 []Entry)
+}
+
+// Options configures a Tree.
+type Options struct {
+	// MaxEntries is the node capacity M (default 50).
+	MaxEntries int
+	// MinEntries is the minimum fill m (default 20). Must satisfy
+	// 2 <= MinEntries <= MaxEntries/2.
+	MinEntries int
+	// Chooser is the ChooseSubtree strategy (default Guttman
+	// least-area-enlargement).
+	Chooser SubtreeChooser
+	// Splitter is the node split strategy (default quadratic split).
+	Splitter Splitter
+	// ForcedReinsert enables the R*-Tree overflow treatment: the first time
+	// a node overflows at each level during one insertion, the 30% of its
+	// entries farthest from the node center are deleted and reinserted
+	// instead of splitting the node.
+	ForcedReinsert bool
+	// ReinsertFraction is the fraction of entries removed by forced
+	// reinsertion (default 0.3, the R*-Tree's recommended p = 30%).
+	ReinsertFraction float64
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxEntries == 0 {
+		o.MaxEntries = DefaultMaxEntries
+	}
+	if o.MinEntries == 0 {
+		o.MinEntries = DefaultMinEntries
+		if o.MinEntries > o.MaxEntries/2 {
+			o.MinEntries = o.MaxEntries / 2
+		}
+	}
+	if o.Chooser == nil {
+		o.Chooser = GuttmanChooser{}
+	}
+	if o.Splitter == nil {
+		o.Splitter = QuadraticSplit{}
+	}
+	if o.ReinsertFraction == 0 {
+		o.ReinsertFraction = 0.3
+	}
+}
+
+func (o *Options) validate() error {
+	if o.MaxEntries < 4 {
+		return fmt.Errorf("rtree: MaxEntries must be >= 4, got %d", o.MaxEntries)
+	}
+	if o.MinEntries < 2 || o.MinEntries > o.MaxEntries/2 {
+		return fmt.Errorf("rtree: MinEntries must be in [2, MaxEntries/2] = [2, %d], got %d",
+			o.MaxEntries/2, o.MinEntries)
+	}
+	if o.ReinsertFraction < 0 || o.ReinsertFraction > 0.5 {
+		return fmt.Errorf("rtree: ReinsertFraction must be in [0, 0.5], got %g", o.ReinsertFraction)
+	}
+	return nil
+}
+
+// Tree is an R-Tree over 2-D rectangles.
+type Tree struct {
+	root    *Node
+	opts    Options
+	height  int // number of levels; 1 for a single leaf root
+	size    int // number of stored objects
+	splits  int // total node splits performed (construction statistic)
+	chooses int // total ChooseSubtree invocations (construction statistic)
+}
+
+// New returns an empty tree with the given options. It panics if the
+// options are invalid; use NewChecked to get the error instead.
+func New(opts Options) *Tree {
+	t, err := NewChecked(opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewChecked returns an empty tree with the given options, or an error if
+// the options are invalid.
+func NewChecked(opts Options) (*Tree, error) {
+	opts.setDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{
+		root:   &Node{leaf: true},
+		opts:   opts,
+		height: 1,
+	}, nil
+}
+
+// Len returns the number of objects stored in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels in the tree (1 for a single leaf
+// root). An empty tree has height 1.
+func (t *Tree) Height() int { return t.height }
+
+// Root returns the root node for read-only traversal.
+func (t *Tree) Root() *Node { return t.root }
+
+// MaxEntries returns the node capacity M.
+func (t *Tree) MaxEntries() int { return t.opts.MaxEntries }
+
+// MinEntries returns the minimum node fill m.
+func (t *Tree) MinEntries() int { return t.opts.MinEntries }
+
+// Chooser returns the tree's ChooseSubtree strategy.
+func (t *Tree) Chooser() SubtreeChooser { return t.opts.Chooser }
+
+// Splitter returns the tree's Split strategy.
+func (t *Tree) Splitter() Splitter { return t.opts.Splitter }
+
+// SetChooser replaces the ChooseSubtree strategy. It only affects future
+// insertions; the existing structure is unchanged.
+func (t *Tree) SetChooser(c SubtreeChooser) { t.opts.Chooser = c }
+
+// SetSplitter replaces the Split strategy. It only affects future
+// insertions; the existing structure is unchanged.
+func (t *Tree) SetSplitter(s Splitter) { t.opts.Splitter = s }
+
+// Splits returns the total number of node splits performed since the tree
+// was created (or cloned).
+func (t *Tree) Splits() int { return t.splits }
+
+// ChooseCalls returns the total number of ChooseSubtree invocations since
+// the tree was created (or cloned).
+func (t *Tree) ChooseCalls() int { return t.chooses }

@@ -1,0 +1,649 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// testOpts returns small-capacity options so trees get deep quickly in
+// tests.
+func testOpts() Options {
+	return Options{MaxEntries: 8, MinEntries: 3}
+}
+
+// randSquares generates n small random squares in the unit square.
+func randSquares(rng *rand.Rand, n int, side float64) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		rects[i] = geom.Square(rng.Float64(), rng.Float64(), side)
+	}
+	return rects
+}
+
+// bruteRange returns the ids (payload ints) of rects intersecting q.
+func bruteRange(rects []geom.Rect, q geom.Rect) []int {
+	var ids []int
+	for i, r := range rects {
+		if q.Intersects(r) {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+func buildTree(t *testing.T, opts Options, rects []geom.Rect) *Tree {
+	t.Helper()
+	tr := New(opts)
+	for i, r := range rects {
+		tr.Insert(r, i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("tree invalid after build: %v", err)
+	}
+	return tr
+}
+
+func sortedInts(vals []any) []int {
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		out[i] = v.(int)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewCheckedRejectsBadOptions(t *testing.T) {
+	cases := []Options{
+		{MaxEntries: 3, MinEntries: 1},  // capacity too small
+		{MaxEntries: 10, MinEntries: 6}, // min > max/2
+		{MaxEntries: 10, MinEntries: 1}, // min too small
+		{MaxEntries: 10, MinEntries: 4, ReinsertFraction: 0.9},
+	}
+	for _, o := range cases {
+		if _, err := NewChecked(o); err == nil {
+			t.Errorf("NewChecked(%+v) succeeded, want error", o)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(testOpts())
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: len=%d height=%d, want 0,1", tr.Len(), tr.Height())
+	}
+	res, stats := tr.Search(geom.NewRect(0, 0, 1, 1))
+	if len(res) != 0 {
+		t.Fatalf("search on empty tree returned %d results", len(res))
+	}
+	if stats.NodesAccessed != 1 {
+		t.Fatalf("empty search should access just the root, got %d", stats.NodesAccessed)
+	}
+	if nn, _ := tr.KNN(geom.Pt(0.5, 0.5), 3); len(nn) != 0 {
+		t.Fatalf("KNN on empty tree returned %d results", len(nn))
+	}
+	if _, ok := tr.Bounds(); ok {
+		t.Fatalf("empty tree should have no bounds")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("empty tree invalid: %v", err)
+	}
+}
+
+func TestInsertPanicsOnInvalidRect(t *testing.T) {
+	tr := New(testOpts())
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Insert with invalid rect did not panic")
+		}
+	}()
+	tr.Insert(geom.Rect{MinX: 1, MinY: 0, MaxX: 0, MaxY: 1}, 0)
+}
+
+func TestInsertAndSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rects := randSquares(rng, 800, 0.01)
+	tr := buildTree(t, testOpts(), rects)
+
+	if tr.Len() != len(rects) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(rects))
+	}
+	for q := 0; q < 100; q++ {
+		query := geom.Square(rng.Float64(), rng.Float64(), 0.05+0.1*rng.Float64())
+		got, stats := tr.Search(query)
+		want := bruteRange(rects, query)
+		if !equalInts(sortedInts(got), want) {
+			t.Fatalf("query %v: got %d results, want %d", query, len(got), len(want))
+		}
+		if stats.Results != len(got) || stats.NodesAccessed < 1 {
+			t.Fatalf("bad stats %+v", stats)
+		}
+	}
+}
+
+func TestSearchCountAgreesWithSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rects := randSquares(rng, 500, 0.01)
+	tr := buildTree(t, testOpts(), rects)
+	for q := 0; q < 50; q++ {
+		query := geom.Square(rng.Float64(), rng.Float64(), 0.1)
+		res, s1 := tr.Search(query)
+		s2 := tr.SearchCount(query)
+		if len(res) != s2.Results || s1.NodesAccessed != s2.NodesAccessed {
+			t.Fatalf("Search and SearchCount disagree: %+v vs %+v", s1, s2)
+		}
+	}
+}
+
+func TestSearchEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rects := randSquares(rng, 200, 0.01)
+	tr := buildTree(t, testOpts(), rects)
+	query := geom.NewRect(0.2, 0.2, 0.6, 0.6)
+	var seen []int
+	stats := tr.SearchEach(query, func(r geom.Rect, data any) {
+		if !query.Intersects(r) {
+			t.Fatalf("SearchEach emitted non-intersecting rect %v", r)
+		}
+		seen = append(seen, data.(int))
+	})
+	sort.Ints(seen)
+	if !equalInts(seen, bruteRange(rects, query)) {
+		t.Fatalf("SearchEach results differ from brute force")
+	}
+	if stats.Results != len(seen) {
+		t.Fatalf("stats.Results = %d, want %d", stats.Results, len(seen))
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	tr := New(testOpts())
+	tr.Insert(geom.NewRect(0.1, 0.1, 0.3, 0.3), "a")
+	tr.Insert(geom.NewRect(0.5, 0.5, 0.9, 0.9), "b")
+	for i := 0; i < 30; i++ {
+		tr.Insert(geom.Square(0.7, 0.2, 0.01), i)
+	}
+	if ok, _ := tr.ContainsPoint(geom.Pt(0.2, 0.2)); !ok {
+		t.Fatalf("point inside stored rect not found")
+	}
+	if ok, _ := tr.ContainsPoint(geom.Pt(0.4, 0.45)); ok {
+		t.Fatalf("point outside all rects reported found")
+	}
+}
+
+func TestTreeGrowsAndStaysBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := New(testOpts())
+	for i := 0; i < 2000; i++ {
+		tr.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.005), i)
+		if i%197 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("invalid tree after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected tree of height >= 3 for 2000 objects at fanout 8, got %d", tr.Height())
+	}
+	if tr.Splits() == 0 {
+		t.Fatalf("expected some splits")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("final tree invalid: %v", err)
+	}
+}
+
+func TestAllSplittersProduceValidTrees(t *testing.T) {
+	splitters := []Splitter{
+		LinearSplit{}, QuadraticSplit{}, GreeneSplit{},
+		RStarSplit{}, MinOverlapSplit{}, RRStarSplit{},
+	}
+	rng := rand.New(rand.NewSource(5))
+	rects := randSquares(rng, 600, 0.01)
+	queries := make([]geom.Rect, 40)
+	for i := range queries {
+		queries[i] = geom.Square(rng.Float64(), rng.Float64(), 0.08)
+	}
+	for _, sp := range splitters {
+		sp := sp
+		t.Run(sp.Name(), func(t *testing.T) {
+			opts := testOpts()
+			opts.Splitter = sp
+			tr := buildTree(t, opts, rects)
+			for _, q := range queries {
+				got, _ := tr.Search(q)
+				if !equalInts(sortedInts(got), bruteRange(rects, q)) {
+					t.Fatalf("splitter %s: wrong results for %v", sp.Name(), q)
+				}
+			}
+		})
+	}
+}
+
+func TestAllChoosersProduceValidTrees(t *testing.T) {
+	choosers := []SubtreeChooser{GuttmanChooser{}, RStarChooser{}, RRStarChooser{}}
+	rng := rand.New(rand.NewSource(6))
+	rects := randSquares(rng, 600, 0.01)
+	for _, ch := range choosers {
+		ch := ch
+		t.Run(ch.Name(), func(t *testing.T) {
+			opts := testOpts()
+			opts.Chooser = ch
+			tr := buildTree(t, opts, rects)
+			q := geom.NewRect(0.25, 0.25, 0.75, 0.75)
+			got, _ := tr.Search(q)
+			if !equalInts(sortedInts(got), bruteRange(rects, q)) {
+				t.Fatalf("chooser %s: wrong results", ch.Name())
+			}
+		})
+	}
+}
+
+func TestForcedReinsertRStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rects := randSquares(rng, 1000, 0.008)
+	opts := Options{
+		MaxEntries: 8, MinEntries: 3,
+		Chooser: RStarChooser{}, Splitter: RStarSplit{},
+		ForcedReinsert: true,
+	}
+	tr := buildTree(t, opts, rects)
+	q := geom.NewRect(0.1, 0.1, 0.4, 0.4)
+	got, _ := tr.Search(q)
+	if !equalInts(sortedInts(got), bruteRange(rects, q)) {
+		t.Fatalf("R* with forced reinsert: wrong results")
+	}
+}
+
+func TestDuplicateAndDegenerateEntries(t *testing.T) {
+	tr := New(testOpts())
+	// Many identical points stress seed selection (zero separation) and
+	// zero-area MBR handling in every code path.
+	p := geom.PointRect(geom.Pt(0.5, 0.5))
+	for i := 0; i < 100; i++ {
+		tr.Insert(p, i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("tree of duplicate points invalid: %v", err)
+	}
+	got, _ := tr.Search(geom.Square(0.5, 0.5, 0.01))
+	if len(got) != 100 {
+		t.Fatalf("expected all 100 duplicates, got %d", len(got))
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rects := randSquares(rng, 700, 0.005)
+	tr := buildTree(t, testOpts(), rects)
+
+	for trial := 0; trial < 30; trial++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		for _, k := range []int{1, 5, 17, 100} {
+			got, stats := tr.KNN(p, k)
+			if len(got) != k {
+				t.Fatalf("KNN returned %d results, want %d", len(got), k)
+			}
+			if stats.NodesAccessed == 0 {
+				t.Fatalf("KNN reported zero node accesses")
+			}
+			// Brute force distances.
+			dists := make([]float64, len(rects))
+			for i, r := range rects {
+				dists[i] = r.MinDistSq(p)
+			}
+			sort.Float64s(dists)
+			for i, nb := range got {
+				if nb.DistSq != dists[i] {
+					t.Fatalf("k=%d neighbor %d: dist %v, want %v", k, i, nb.DistSq, dists[i])
+				}
+				if i > 0 && got[i-1].DistSq > nb.DistSq {
+					t.Fatalf("KNN results not sorted")
+				}
+			}
+		}
+	}
+}
+
+func TestKNNMoreThanSize(t *testing.T) {
+	tr := New(testOpts())
+	for i := 0; i < 5; i++ {
+		tr.Insert(geom.Square(float64(i)/10, 0.5, 0.01), i)
+	}
+	got, _ := tr.KNN(geom.Pt(0, 0.5), 10)
+	if len(got) != 5 {
+		t.Fatalf("KNN with k > size returned %d, want 5", len(got))
+	}
+	if got, _ := tr.KNN(geom.Pt(0, 0), 0); got != nil {
+		t.Fatalf("KNN with k=0 should return nil")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rects := randSquares(rng, 500, 0.01)
+	tr := buildTree(t, testOpts(), rects)
+
+	// Delete a random half, validating periodically.
+	perm := rng.Perm(len(rects))
+	deleted := map[int]bool{}
+	for i, idx := range perm[:250] {
+		if !tr.Delete(rects[idx], idx) {
+			t.Fatalf("Delete(%v, %d) not found", rects[idx], idx)
+		}
+		deleted[idx] = true
+		if i%37 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("invalid after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d after deletes, want 250", tr.Len())
+	}
+	// Deleted objects are gone; remaining ones still searchable.
+	q := geom.NewRect(0, 0, 1, 1)
+	got, _ := tr.Search(q)
+	ids := sortedInts(got)
+	var want []int
+	for i := range rects {
+		if !deleted[i] {
+			want = append(want, i)
+		}
+	}
+	if !equalInts(ids, want) {
+		t.Fatalf("after deletes: got %d objects, want %d", len(ids), len(want))
+	}
+
+	// Deleting a non-existent object returns false.
+	if tr.Delete(geom.Square(2, 2, 0.01), 999999) {
+		t.Fatalf("Delete of absent object returned true")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	rects := randSquares(rng, 300, 0.01)
+	tr := buildTree(t, testOpts(), rects)
+	for i, r := range rects {
+		if !tr.Delete(r, i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("emptied tree invalid: %v", err)
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("emptied tree height = %d, want 1", tr.Height())
+	}
+	// The tree remains usable.
+	tr.Insert(geom.Square(0.5, 0.5, 0.01), 1)
+	if got, _ := tr.Search(geom.NewRect(0, 0, 1, 1)); len(got) != 1 {
+		t.Fatalf("reuse after emptying failed")
+	}
+}
+
+func TestMixedInsertDeleteWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New(testOpts())
+	live := map[int]geom.Rect{}
+	next := 0
+	for step := 0; step < 3000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			r := geom.Square(rng.Float64(), rng.Float64(), 0.01)
+			tr.Insert(r, next)
+			live[next] = r
+			next++
+		} else {
+			// Delete an arbitrary live object.
+			for id, r := range live {
+				if !tr.Delete(r, id) {
+					t.Fatalf("step %d: delete of live object %d failed", step, id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+		if step%463 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("step %d: Len=%d, live=%d", step, tr.Len(), len(live))
+			}
+		}
+	}
+	got, _ := tr.Search(geom.NewRect(0, 0, 1, 1))
+	if len(got) != len(live) {
+		t.Fatalf("final search found %d, want %d", len(got), len(live))
+	}
+}
+
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rects := randSquares(rng, 400, 0.01)
+	tr := buildTree(t, testOpts(), rects)
+	cl := tr.Clone()
+	if err := cl.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	q := geom.NewRect(0.3, 0.3, 0.7, 0.7)
+	a, sa := tr.Search(q)
+	b, sb := cl.Search(q)
+	if !equalInts(sortedInts(a), sortedInts(b)) || sa.NodesAccessed != sb.NodesAccessed {
+		t.Fatalf("clone query behaviour differs")
+	}
+	// Mutating the clone must not affect the original.
+	for i := 0; i < 200; i++ {
+		cl.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.01), 1000+i)
+	}
+	if tr.Len() != 400 || cl.Len() != 600 {
+		t.Fatalf("clone mutation leaked: orig=%d clone=%d", tr.Len(), cl.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestCloneWithDifferentStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rects := randSquares(rng, 300, 0.01)
+	tr := buildTree(t, testOpts(), rects)
+	ref := tr.CloneWith(RStarChooser{}, RStarSplit{})
+	if ref.Chooser().Name() != "rstar" || ref.Splitter().Name() != "rstar-split" {
+		t.Fatalf("CloneWith did not install strategies")
+	}
+	// Same structure right after cloning.
+	if ref.Len() != tr.Len() || ref.Height() != tr.Height() || ref.NodeCount() != tr.NodeCount() {
+		t.Fatalf("CloneWith structure differs")
+	}
+}
+
+func TestSyncFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	src := buildTree(t, testOpts(), randSquares(rng, 300, 0.01))
+	dst := New(testOpts())
+	dst.Insert(geom.Square(0.5, 0.5, 0.1), -1)
+	dst.SyncFrom(src)
+	if dst.Len() != src.Len() || dst.NodeCount() != src.NodeCount() {
+		t.Fatalf("SyncFrom did not copy structure")
+	}
+	if err := dst.Validate(); err != nil {
+		t.Fatalf("synced tree invalid: %v", err)
+	}
+	// Independence after sync.
+	dst.Insert(geom.Square(0.1, 0.1, 0.01), 9999)
+	if src.Len() == dst.Len() {
+		t.Fatalf("SyncFrom shares structure with source")
+	}
+}
+
+func TestStatsAndMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tr := buildTree(t, testOpts(), randSquares(rng, 500, 0.01))
+	s := tr.Stats()
+	if s.Size != 500 || s.Height != tr.Height() || s.Nodes < s.Leaves || s.Leaves == 0 {
+		t.Fatalf("bad stats %+v", s)
+	}
+	if s.AvgFill <= 0 || s.AvgFill > 1 {
+		t.Fatalf("AvgFill out of range: %v", s.AvgFill)
+	}
+	if s.MemoryBytes <= 0 {
+		t.Fatalf("MemoryBytes = %d", s.MemoryBytes)
+	}
+	if tr.NodeCount() != s.Nodes {
+		t.Fatalf("NodeCount %d != stats %d", tr.NodeCount(), s.Nodes)
+	}
+	b, ok := tr.Bounds()
+	if !ok || !b.Valid() {
+		t.Fatalf("Bounds invalid")
+	}
+}
+
+func TestSetStrategiesMidStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	tr := New(testOpts())
+	for i := 0; i < 200; i++ {
+		tr.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.01), i)
+	}
+	tr.SetChooser(RStarChooser{})
+	tr.SetSplitter(RStarSplit{})
+	for i := 200; i < 400; i++ {
+		tr.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.01), i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("strategy swap corrupted tree: %v", err)
+	}
+}
+
+func TestChooseCallsCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := buildTree(t, testOpts(), randSquares(rng, 400, 0.01))
+	if tr.ChooseCalls() == 0 {
+		t.Fatalf("expected ChooseSubtree invocations to be counted")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	tr := buildTree(t, testOpts(), randSquares(rng, 300, 0.01))
+
+	// Corrupt an internal entry rect.
+	root := tr.Root()
+	if root.IsLeaf() {
+		t.Skip("tree too small")
+	}
+	saved := root.entries[0].Rect
+	root.entries[0].Rect = geom.NewRect(0, 0, 0.0001, 0.0001)
+	if err := tr.Validate(); err == nil {
+		t.Fatalf("Validate missed corrupted MBR")
+	}
+	root.entries[0].Rect = saved
+
+	// Corrupt a parent pointer.
+	child := root.entries[0].Child
+	child.parent = nil
+	if err := tr.Validate(); err == nil {
+		t.Fatalf("Validate missed corrupted parent pointer")
+	}
+	child.parent = root
+
+	// Corrupt the size.
+	tr.size++
+	if err := tr.Validate(); err == nil {
+		t.Fatalf("Validate missed size mismatch")
+	}
+	tr.size--
+
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("restored tree should validate: %v", err)
+	}
+}
+
+func TestNodeAccessorsAndMBR(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tr := buildTree(t, testOpts(), randSquares(rng, 200, 0.01))
+	root := tr.Root()
+	if root.IsLeaf() {
+		t.Fatalf("expected internal root for 200 objects")
+	}
+	if root.Parent() != nil {
+		t.Fatalf("root parent must be nil")
+	}
+	mbr := root.MBR()
+	for _, e := range root.Entries() {
+		if !mbr.Contains(e.Rect) {
+			t.Fatalf("root MBR does not contain entry rect")
+		}
+		if e.Child.Parent() != root {
+			t.Fatalf("child parent accessor wrong")
+		}
+	}
+	if root.NumEntries() != len(root.Entries()) {
+		t.Fatalf("NumEntries mismatch")
+	}
+}
+
+func TestChooserPanicsOnOutOfRangeIndex(t *testing.T) {
+	tr := New(Options{MaxEntries: 8, MinEntries: 3, Chooser: badChooser{}})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for out-of-range chooser index")
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		tr.Insert(geom.Square(float64(i)/50, 0.5, 0.01), i)
+	}
+}
+
+type badChooser struct{}
+
+func (badChooser) Name() string                       { return "bad" }
+func (badChooser) Choose(*Tree, *Node, geom.Rect) int { return 1 << 20 }
+
+func TestSplitterSanityCheckPanics(t *testing.T) {
+	tr := New(Options{MaxEntries: 8, MinEntries: 3, Splitter: badSplitter{}})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for splitter violating min fill")
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		tr.Insert(geom.Square(float64(i)/50, 0.5, 0.01), i)
+	}
+}
+
+type badSplitter struct{}
+
+func (badSplitter) Name() string { return "bad" }
+func (badSplitter) Split(t *Tree, n *Node) ([]Entry, []Entry) {
+	// Violates the minimum fill: one group gets a single entry.
+	return n.entries[:1], n.entries[1:]
+}
+
+func ExampleTree_Search() {
+	tr := New(Options{MaxEntries: 8, MinEntries: 3})
+	tr.Insert(geom.Square(0.25, 0.25, 0.1), "a")
+	tr.Insert(geom.Square(0.75, 0.75, 0.1), "b")
+	res, _ := tr.Search(geom.Rect{MinX: 0, MinY: 0, MaxX: 0.5, MaxY: 0.5})
+	fmt.Println(len(res), res[0])
+	// Output: 1 a
+}

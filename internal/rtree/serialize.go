@@ -1,0 +1,122 @@
+package rtree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// wireNode is the gob wire form of a node subtree.
+type wireNode struct {
+	Leaf     bool
+	Rects    []geom.Rect
+	Data     []any      // payloads, leaf nodes only
+	Children []wireNode // subtrees, internal nodes only
+}
+
+// wireTree is the gob wire form of a tree.
+type wireTree struct {
+	Version    int
+	MaxEntries int
+	MinEntries int
+	Height     int
+	Size       int
+	Root       wireNode
+}
+
+const wireVersion = 1
+
+// Encode writes the tree's structure and payloads to w with encoding/gob.
+// Payload values stored in the tree must be gob-encodable; concrete types
+// stored behind the any interface (other than nil) must be registered with
+// gob.Register by the caller. Strategies are not serialized — they are
+// code, not data — so Decode takes fresh Options.
+func (t *Tree) Encode(w io.Writer) error {
+	wt := wireTree{
+		Version:    wireVersion,
+		MaxEntries: t.opts.MaxEntries,
+		MinEntries: t.opts.MinEntries,
+		Height:     t.height,
+		Size:       t.size,
+		Root:       toWire(t.root),
+	}
+	if err := gob.NewEncoder(w).Encode(wt); err != nil {
+		return fmt.Errorf("rtree: encode: %w", err)
+	}
+	return nil
+}
+
+func toWire(n *Node) wireNode {
+	wn := wireNode{Leaf: n.leaf, Rects: make([]geom.Rect, len(n.entries))}
+	if n.leaf {
+		wn.Data = make([]any, len(n.entries))
+		for i, e := range n.entries {
+			wn.Rects[i] = e.Rect
+			wn.Data[i] = e.Data
+		}
+		return wn
+	}
+	wn.Children = make([]wireNode, len(n.entries))
+	for i, e := range n.entries {
+		wn.Rects[i] = e.Rect
+		wn.Children[i] = toWire(e.Child)
+	}
+	return wn
+}
+
+// Decode reads a tree previously written by Encode. The given options
+// supply the strategies for future insertions; their capacity bounds must
+// match the encoded tree's (they determine structural invariants). The
+// decoded tree is validated before being returned.
+func Decode(r io.Reader, opts Options) (*Tree, error) {
+	var wt wireTree
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("rtree: decode: %w", err)
+	}
+	if wt.Version != wireVersion {
+		return nil, fmt.Errorf("rtree: unsupported wire version %d", wt.Version)
+	}
+	opts.MaxEntries = wt.MaxEntries
+	opts.MinEntries = wt.MinEntries
+	t, err := NewChecked(opts)
+	if err != nil {
+		return nil, err
+	}
+	root, err := fromWire(wt.Root, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.height = wt.Height
+	t.size = wt.Size
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("rtree: decoded tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+func fromWire(wn wireNode, parent *Node) (*Node, error) {
+	n := &Node{parent: parent, leaf: wn.Leaf, entries: make([]Entry, len(wn.Rects))}
+	if wn.Leaf {
+		if len(wn.Data) != len(wn.Rects) {
+			return nil, fmt.Errorf("rtree: leaf wire node has %d payloads for %d rects", len(wn.Data), len(wn.Rects))
+		}
+		for i := range wn.Rects {
+			n.entries[i] = Entry{Rect: wn.Rects[i], Data: wn.Data[i]}
+		}
+		return n, nil
+	}
+	if len(wn.Children) != len(wn.Rects) {
+		return nil, fmt.Errorf("rtree: wire node has %d children for %d rects", len(wn.Children), len(wn.Rects))
+	}
+	for i := range wn.Rects {
+		child, err := fromWire(wn.Children[i], n)
+		if err != nil {
+			return nil, err
+		}
+		n.entries[i] = Entry{Rect: wn.Rects[i], Child: child}
+	}
+	return n, nil
+}

@@ -1,0 +1,224 @@
+package rtree
+
+import (
+	"math"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// LinearSplit is Guttman's linear-cost node split: seeds are the pair of
+// entries with the greatest normalized separation along any axis, and the
+// remaining entries are assigned one by one to the group whose MBR grows
+// least (ties: smaller area, then fewer entries), force-assigning the tail
+// when a group must take everything left to reach the minimum fill.
+type LinearSplit struct{}
+
+// Name implements Splitter.
+func (LinearSplit) Name() string { return "linear" }
+
+// Split implements Splitter.
+func (LinearSplit) Split(t *Tree, n *Node) ([]Entry, []Entry) {
+	s1, s2 := linearPickSeeds(n.entries)
+	return distributeBySeeds(n.entries, s1, s2, t.opts.MinEntries)
+}
+
+// linearPickSeeds returns the indices of Guttman's linear seeds: on each
+// axis, find the entry with the highest low side and the entry with the
+// lowest high side; normalize their separation by the total extent on that
+// axis; take the pair with the greatest normalized separation.
+func linearPickSeeds(entries []Entry) (int, int) {
+	type axisPick struct {
+		highLow, lowHigh int // entry indices
+		sep              float64
+	}
+	pick := func(lo func(geom.Rect) float64, hi func(geom.Rect) float64) axisPick {
+		highLow, lowHigh := 0, 0
+		minLo, maxHi := math.Inf(1), math.Inf(-1)
+		for i, e := range entries {
+			if lo(e.Rect) > lo(entries[highLow].Rect) {
+				highLow = i
+			}
+			if hi(e.Rect) < hi(entries[lowHigh].Rect) {
+				lowHigh = i
+			}
+			minLo = math.Min(minLo, lo(e.Rect))
+			maxHi = math.Max(maxHi, hi(e.Rect))
+		}
+		width := maxHi - minLo
+		sep := lo(entries[highLow].Rect) - hi(entries[lowHigh].Rect)
+		if width > 0 {
+			sep /= width
+		} else {
+			sep = 0
+		}
+		return axisPick{highLow: highLow, lowHigh: lowHigh, sep: sep}
+	}
+
+	x := pick(func(r geom.Rect) float64 { return r.MinX }, func(r geom.Rect) float64 { return r.MaxX })
+	y := pick(func(r geom.Rect) float64 { return r.MinY }, func(r geom.Rect) float64 { return r.MaxY })
+	best := x
+	if y.sep > x.sep {
+		best = y
+	}
+	if best.highLow == best.lowHigh {
+		// All entries coincide on the winning axis (e.g. duplicate points);
+		// any two distinct entries serve as seeds.
+		if best.highLow == 0 {
+			return 0, 1
+		}
+		return 0, best.highLow
+	}
+	return best.highLow, best.lowHigh
+}
+
+// QuadraticSplit is Guttman's quadratic-cost node split: seeds are the pair
+// whose combined MBR wastes the most area, and each remaining entry is
+// assigned — most-constrained first — to the group whose MBR grows least.
+// This is the default splitter of the package and the splitter conventionally
+// paired with the classic R-Tree baseline.
+type QuadraticSplit struct{}
+
+// Name implements Splitter.
+func (QuadraticSplit) Name() string { return "quadratic" }
+
+// Split implements Splitter.
+func (QuadraticSplit) Split(t *Tree, n *Node) ([]Entry, []Entry) {
+	s1, s2 := quadraticPickSeeds(n.entries)
+	return distributeQuadratic(n.entries, s1, s2, t.opts.MinEntries)
+}
+
+// quadraticPickSeeds returns the pair of entries maximizing the dead area
+// d = Area(union) - Area(a) - Area(b).
+func quadraticPickSeeds(entries []Entry) (int, int) {
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].Rect.Union(entries[j].Rect).Area() -
+				entries[i].Rect.Area() - entries[j].Rect.Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	return s1, s2
+}
+
+// distributeBySeeds implements Guttman's linear-split distribution: walk the
+// remaining entries in index order and put each into the group whose MBR
+// needs the least enlargement (ties: smaller area, then fewer entries).
+func distributeBySeeds(entries []Entry, s1, s2, minFill int) ([]Entry, []Entry) {
+	g1 := []Entry{entries[s1]}
+	g2 := []Entry{entries[s2]}
+	mbr1, mbr2 := entries[s1].Rect, entries[s2].Rect
+	rest := len(entries) - 2
+
+	for i, e := range entries {
+		if i == s1 || i == s2 {
+			continue
+		}
+		rest--
+		// Force assignment when a group must absorb this entry and all
+		// remaining ones to reach minimum fill. rest counts entries after
+		// this one.
+		if needAll(len(g1), rest, minFill) {
+			g1 = append(g1, e)
+			mbr1 = mbr1.Union(e.Rect)
+			continue
+		}
+		if needAll(len(g2), rest, minFill) {
+			g2 = append(g2, e)
+			mbr2 = mbr2.Union(e.Rect)
+			continue
+		}
+		d1 := mbr1.Enlargement(e.Rect)
+		d2 := mbr2.Enlargement(e.Rect)
+		toG1 := d1 < d2
+		if d1 == d2 {
+			a1, a2 := mbr1.Area(), mbr2.Area()
+			if a1 != a2 {
+				toG1 = a1 < a2
+			} else {
+				toG1 = len(g1) <= len(g2)
+			}
+		}
+		if toG1 {
+			g1 = append(g1, e)
+			mbr1 = mbr1.Union(e.Rect)
+		} else {
+			g2 = append(g2, e)
+			mbr2 = mbr2.Union(e.Rect)
+		}
+	}
+	return g1, g2
+}
+
+// needAll reports whether a group of the given size must take this entry and
+// all `rest` entries after it to reach the minimum fill.
+func needAll(size, rest, minFill int) bool {
+	return size+rest+1 <= minFill
+}
+
+// distributeQuadratic implements Guttman's quadratic distribution (PickNext):
+// repeatedly choose the unassigned entry with the greatest preference
+// difference between the two groups and assign it to its preferred group.
+func distributeQuadratic(entries []Entry, s1, s2, minFill int) ([]Entry, []Entry) {
+	g1 := []Entry{entries[s1]}
+	g2 := []Entry{entries[s2]}
+	mbr1, mbr2 := entries[s1].Rect, entries[s2].Rect
+
+	remaining := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, e)
+		}
+	}
+
+	for len(remaining) > 0 {
+		// Force-assign the tail when a group needs every remaining entry.
+		if len(g1)+len(remaining) <= minFill {
+			for _, e := range remaining {
+				g1 = append(g1, e)
+			}
+			return g1, g2
+		}
+		if len(g2)+len(remaining) <= minFill {
+			for _, e := range remaining {
+				g2 = append(g2, e)
+			}
+			return g1, g2
+		}
+
+		// PickNext: maximize |d1 - d2|.
+		pick, pd1, pd2 := 0, 0.0, 0.0
+		bestDiff := math.Inf(-1)
+		for i, e := range remaining {
+			d1 := mbr1.Enlargement(e.Rect)
+			d2 := mbr2.Enlargement(e.Rect)
+			if diff := math.Abs(d1 - d2); diff > bestDiff {
+				bestDiff, pick, pd1, pd2 = diff, i, d1, d2
+			}
+		}
+		e := remaining[pick]
+		remaining[pick] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+
+		toG1 := pd1 < pd2
+		if pd1 == pd2 {
+			a1, a2 := mbr1.Area(), mbr2.Area()
+			if a1 != a2 {
+				toG1 = a1 < a2
+			} else {
+				toG1 = len(g1) <= len(g2)
+			}
+		}
+		if toG1 {
+			g1 = append(g1, e)
+			mbr1 = mbr1.Union(e.Rect)
+		} else {
+			g2 = append(g2, e)
+			mbr2 = mbr2.Union(e.Rect)
+		}
+	}
+	return g1, g2
+}

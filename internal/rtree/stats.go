@@ -1,0 +1,90 @@
+package rtree
+
+import (
+	"unsafe"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// TreeStats summarizes the structure of a tree for experiment reporting.
+type TreeStats struct {
+	Size        int     // stored objects
+	Height      int     // levels (leaf root = 1)
+	Nodes       int     // total nodes
+	Leaves      int     // leaf nodes
+	AvgFill     float64 // mean entries per node / MaxEntries
+	TotalArea   float64 // sum of node MBR areas across internal levels
+	TotalOvlp   float64 // sum of pairwise sibling MBR overlap areas
+	MemoryBytes int64   // estimated in-memory footprint
+}
+
+// Stats walks the tree and returns its structural statistics.
+func (t *Tree) Stats() TreeStats {
+	s := TreeStats{Size: t.size, Height: t.height}
+	var fillSum float64
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		s.Nodes++
+		fillSum += float64(len(n.entries)) / float64(t.opts.MaxEntries)
+		if n.leaf {
+			s.Leaves++
+			return
+		}
+		for i := range n.entries {
+			s.TotalArea += n.entries[i].Rect.Area()
+			for j := i + 1; j < len(n.entries); j++ {
+				s.TotalOvlp += n.entries[i].Rect.OverlapArea(n.entries[j].Rect)
+			}
+			walk(n.entries[i].Child)
+		}
+	}
+	walk(t.root)
+	if s.Nodes > 0 {
+		s.AvgFill = fillSum / float64(s.Nodes)
+	}
+	s.MemoryBytes = t.MemoryBytes()
+	return s
+}
+
+// NodeCount returns the total number of nodes in the tree.
+func (t *Tree) NodeCount() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		c := 1
+		if !n.leaf {
+			for i := range n.entries {
+				c += count(n.entries[i].Child)
+			}
+		}
+		return c
+	}
+	return count(t.root)
+}
+
+// MemoryBytes estimates the in-memory footprint of the tree structure:
+// node headers plus the backing arrays of their entry slices (at their
+// capacities). Payload objects referenced from leaf entries are not
+// included. This statistic reproduces the paper's Table 4 (index size).
+func (t *Tree) MemoryBytes() int64 {
+	nodeHeader := int64(unsafe.Sizeof(Node{}))
+	entrySize := int64(unsafe.Sizeof(Entry{}))
+	var walk func(n *Node) int64
+	walk = func(n *Node) int64 {
+		b := nodeHeader + entrySize*int64(cap(n.entries))
+		if !n.leaf {
+			for i := range n.entries {
+				b += walk(n.entries[i].Child)
+			}
+		}
+		return b
+	}
+	return walk(t.root)
+}
+
+// Bounds returns the MBR of the whole tree, or false when it is empty.
+func (t *Tree) Bounds() (geom.Rect, bool) {
+	if t.size == 0 {
+		return geom.Rect{}, false
+	}
+	return t.root.MBR(), true
+}

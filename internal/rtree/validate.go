@@ -1,0 +1,92 @@
+package rtree
+
+import (
+	"fmt"
+)
+
+// Validate checks every structural invariant of the R-Tree and returns the
+// first violation found, or nil when the tree is sound:
+//
+//   - the stored size matches the number of leaf entries;
+//   - all leaves are at the same depth and the stored height matches it;
+//   - every non-root node holds between MinEntries and MaxEntries entries,
+//     and the root holds at most MaxEntries (and at least 2 when internal);
+//   - each internal entry's rectangle equals the MBR of its child;
+//   - parent pointers are consistent;
+//   - leaf entries carry no child pointer and internal entries no payload.
+//
+// Validate is used pervasively in tests and is cheap enough (O(n)) to call
+// after failure-injection scenarios.
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		return fmt.Errorf("rtree: nil root")
+	}
+	if t.root.parent != nil {
+		return fmt.Errorf("rtree: root has a parent pointer")
+	}
+	if !t.root.leaf && len(t.root.entries) < 2 {
+		return fmt.Errorf("rtree: internal root has %d entries, want >= 2", len(t.root.entries))
+	}
+
+	count := 0
+	depth := -1
+	var walk func(n *Node, level int) error
+	walk = func(n *Node, level int) error {
+		if n != t.root {
+			if len(n.entries) < t.opts.MinEntries {
+				return fmt.Errorf("rtree: node at level %d underfull: %d < %d", level, len(n.entries), t.opts.MinEntries)
+			}
+		}
+		if len(n.entries) > t.opts.MaxEntries {
+			return fmt.Errorf("rtree: node at level %d overfull: %d > %d", level, len(n.entries), t.opts.MaxEntries)
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("rtree: leaves at different depths (%d vs %d)", depth, level)
+			}
+			for i, e := range n.entries {
+				if e.Child != nil {
+					return fmt.Errorf("rtree: leaf entry %d has a child pointer", i)
+				}
+				if !e.Rect.Valid() {
+					return fmt.Errorf("rtree: leaf entry %d has invalid rect %v", i, e.Rect)
+				}
+			}
+			count += len(n.entries)
+			return nil
+		}
+		for i, e := range n.entries {
+			if e.Child == nil {
+				return fmt.Errorf("rtree: internal entry %d has no child", i)
+			}
+			if e.Data != nil {
+				return fmt.Errorf("rtree: internal entry %d carries a payload", i)
+			}
+			if e.Child.parent != n {
+				return fmt.Errorf("rtree: child's parent pointer does not match")
+			}
+			if got := e.Child.MBR(); got != e.Rect {
+				return fmt.Errorf("rtree: entry rect %v != child MBR %v at level %d", e.Rect, got, level)
+			}
+			if err := walk(e.Child, level+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: stored size %d != leaf entry count %d", t.size, count)
+	}
+	if t.size > 0 || !t.root.leaf {
+		wantHeight := depth
+		if t.height != wantHeight {
+			return fmt.Errorf("rtree: stored height %d != leaf depth %d", t.height, wantHeight)
+		}
+	}
+	return nil
+}

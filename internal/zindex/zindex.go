@@ -1,0 +1,184 @@
+// Package zindex implements the mapping-based spatial index of the
+// RLR-Tree paper's related-work taxonomy: points are mapped to a Z-order
+// (Morton) key and stored in a B+-tree, and a range query is answered by
+// decomposing the query window into quadtree-aligned cells — each of which
+// is a contiguous key interval — scanning those intervals, and filtering.
+//
+// The package exists as a comparison baseline for the R-Tree family and to
+// demonstrate, in running code, the limitations the paper attributes to
+// this family: only point objects are supported, every query type needs a
+// bespoke algorithm (only range queries are provided here), and query cost
+// depends on how well the curve decomposition fits the window.
+package zindex
+
+import (
+	"fmt"
+
+	"github.com/rlr-tree/rlrtree/internal/btree"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/sfc"
+)
+
+// DefaultMaxRanges bounds the number of key intervals a query window is
+// decomposed into. More ranges mean fewer false positives but more B+-tree
+// descents; 64 is a conventional sweet spot.
+const DefaultMaxRanges = 64
+
+// Index is a Z-order point index backed by a B+-tree.
+type Index struct {
+	bt        *btree.Tree
+	world     geom.Rect
+	maxRanges int
+	size      int
+}
+
+// entry is what the B+-tree stores: the exact point plus the payload, so
+// candidates from a covering interval can be filtered exactly.
+type entry struct {
+	p    geom.Point
+	data any
+}
+
+// Options configures an Index.
+type Options struct {
+	// World is the fixed key space; points outside are clamped onto its
+	// boundary cells (mapping-based indexes need the frame up front — one
+	// of the family's deployment constraints).
+	World geom.Rect
+	// Order is the B+-tree order (default btree.DefaultOrder).
+	Order int
+	// MaxRanges bounds the query decomposition (default DefaultMaxRanges).
+	MaxRanges int
+}
+
+// New returns an empty index over the given world rectangle.
+func New(opts Options) (*Index, error) {
+	if !opts.World.Valid() || opts.World.Area() == 0 {
+		return nil, fmt.Errorf("zindex: World must be a valid non-degenerate rect, got %v", opts.World)
+	}
+	if opts.MaxRanges == 0 {
+		opts.MaxRanges = DefaultMaxRanges
+	}
+	if opts.MaxRanges < 1 {
+		return nil, fmt.Errorf("zindex: MaxRanges must be >= 1, got %d", opts.MaxRanges)
+	}
+	return &Index{
+		bt:        btree.New(opts.Order),
+		world:     opts.World,
+		maxRanges: opts.MaxRanges,
+	}, nil
+}
+
+// Len returns the number of stored points.
+func (ix *Index) Len() int { return ix.size }
+
+// Insert stores a point with its payload.
+func (ix *Index) Insert(p geom.Point, data any) {
+	ix.bt.Insert(sfc.ZOrderKey(p, ix.world), entry{p: p, data: data})
+	ix.size++
+}
+
+// QueryStats reports the work of one range query. NodesAccessed counts
+// B+-tree node visits (comparable to the R-Tree metric); Candidates counts
+// the points inspected before exact filtering — the family's overhead.
+type QueryStats struct {
+	NodesAccessed int
+	Candidates    int
+	Ranges        int
+	Results       int
+}
+
+// RangeSearch returns the payloads of all points inside q.
+func (ix *Index) RangeSearch(q geom.Rect) ([]any, QueryStats) {
+	var out []any
+	stats := ix.rangeSearch(q, func(data any) { out = append(out, data) })
+	stats.Results = len(out)
+	return out, stats
+}
+
+// RangeCount counts points inside q without materializing results.
+func (ix *Index) RangeCount(q geom.Rect) QueryStats {
+	stats := ix.rangeSearch(q, func(any) {})
+	return stats
+}
+
+func (ix *Index) rangeSearch(q geom.Rect, emit func(any)) QueryStats {
+	var stats QueryStats
+	inter, ok := q.Intersection(ix.world)
+	if !ok {
+		return stats
+	}
+	// Quantize the query window to grid cells.
+	loX, loY := sfc.Quantize(geom.Pt(inter.MinX, inter.MinY), ix.world)
+	hiX, hiY := sfc.Quantize(geom.Pt(inter.MaxX, inter.MaxY), ix.world)
+
+	ranges := decompose(loX, loY, hiX, hiY, ix.maxRanges)
+	stats.Ranges = len(ranges)
+	for _, r := range ranges {
+		s := ix.bt.ScanRange(r.lo, r.hi, func(_ uint64, v any) bool {
+			e := v.(entry)
+			stats.Candidates++
+			if q.ContainsPoint(e.p) {
+				stats.Results++
+				emit(e.data)
+			}
+			return true
+		})
+		stats.NodesAccessed += s.NodesAccessed
+	}
+	return stats
+}
+
+// zrange is one contiguous Morton-key interval.
+type zrange struct{ lo, hi uint64 }
+
+// decompose covers the grid window [loX,hiX]×[loY,hiY] with at most
+// maxRanges quadtree-aligned key intervals. It recursively subdivides the
+// grid; a cell fully inside the window — or any cell once the budget is
+// exhausted — contributes its whole interval (over-covering is corrected
+// by the exact point filter).
+func decompose(loX, loY, hiX, hiY uint32, maxRanges int) []zrange {
+	type cell struct {
+		x, y uint32 // min corner, multiples of size
+		size uint32 // cells per side, power of two
+	}
+	var out []zrange
+	budgetExceeded := false
+	var visit func(c cell)
+	visit = func(c cell) {
+		cx2 := c.x + c.size - 1
+		cy2 := c.y + c.size - 1
+		if c.x > hiX || cx2 < loX || c.y > hiY || cy2 < loY {
+			return // disjoint
+		}
+		fullyInside := c.x >= loX && cx2 <= hiX && c.y >= loY && cy2 <= hiY
+		if fullyInside || c.size == 1 || budgetExceeded || len(out) >= maxRanges {
+			base := sfc.ZOrderXY2D(c.x, c.y)
+			span := uint64(c.size) * uint64(c.size)
+			out = append(out, zrange{lo: base, hi: base + span - 1})
+			if len(out) >= maxRanges {
+				budgetExceeded = true
+			}
+			return
+		}
+		h := c.size / 2
+		// Children in Z order keeps the emitted ranges sorted and
+		// mergeable.
+		visit(cell{c.x, c.y, h})
+		visit(cell{c.x + h, c.y, h})
+		visit(cell{c.x, c.y + h, h})
+		visit(cell{c.x + h, c.y + h, h})
+	}
+	visit(cell{0, 0, 1 << sfc.Order})
+
+	// Merge adjacent intervals to cut B+-tree descents.
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && merged[n-1].hi+1 == r.lo {
+			merged[n-1].hi = r.hi
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}

@@ -1,0 +1,176 @@
+package zindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+func unitWorld() geom.Rect { return geom.NewRect(0, 0, 1, 1) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{World: geom.Rect{MinX: 1, MaxX: 0}}); err == nil {
+		t.Fatal("invalid world accepted")
+	}
+	if _, err := New(Options{World: geom.NewRect(0, 0, 0, 1)}); err == nil {
+		t.Fatal("degenerate world accepted")
+	}
+	if _, err := New(Options{World: unitWorld(), MaxRanges: -1}); err == nil {
+		t.Fatal("negative MaxRanges accepted")
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	ix, err := New(Options{World: unitWorld()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 5000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+		ix.Insert(pts[i], i)
+	}
+	if ix.Len() != len(pts) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for trial := 0; trial < 60; trial++ {
+		q := geom.Square(rng.Float64(), rng.Float64(), 0.02+0.15*rng.Float64())
+		got, stats := ix.RangeSearch(q)
+		var want []int
+		for i, p := range pts {
+			if q.ContainsPoint(p) {
+				want = append(want, i)
+			}
+		}
+		ids := make([]int, len(got))
+		for i, v := range got {
+			ids[i] = v.(int)
+		}
+		sort.Ints(ids)
+		if len(ids) != len(want) {
+			t.Fatalf("query %v: got %d, want %d", q, len(ids), len(want))
+		}
+		for i := range ids {
+			if ids[i] != want[i] {
+				t.Fatalf("query %v: result mismatch at %d", q, i)
+			}
+		}
+		if stats.Results != len(want) || stats.Candidates < stats.Results {
+			t.Fatalf("bad stats %+v for %d results", stats, len(want))
+		}
+		if stats.Ranges < 1 {
+			t.Fatalf("no decomposition ranges")
+		}
+	}
+}
+
+func TestQueryOutsideWorld(t *testing.T) {
+	ix, _ := New(Options{World: unitWorld()})
+	ix.Insert(geom.Pt(0.5, 0.5), "x")
+	got, stats := ix.RangeSearch(geom.NewRect(2, 2, 3, 3))
+	if len(got) != 0 || stats.NodesAccessed != 0 {
+		t.Fatalf("disjoint query did work: %v %+v", got, stats)
+	}
+	// A query covering the whole world returns everything.
+	got, _ = ix.RangeSearch(geom.NewRect(-1, -1, 2, 2))
+	if len(got) != 1 {
+		t.Fatalf("covering query found %d", len(got))
+	}
+}
+
+func TestDecompositionBudget(t *testing.T) {
+	// A thin diagonal-ish window forces many cells; the budget must keep
+	// the decomposition bounded while staying correct.
+	ix, err := New(Options{World: unitWorld(), MaxRanges: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 3000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+		ix.Insert(pts[i], i)
+	}
+	q := geom.NewRect(0.101, 0.303, 0.707, 0.404)
+	got, stats := ix.RangeSearch(q)
+	want := 0
+	for _, p := range pts {
+		if q.ContainsPoint(p) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("budgeted decomposition lost results: %d vs %d", len(got), want)
+	}
+	// The budget may be slightly overshot by in-flight recursion but must
+	// stay the same order of magnitude.
+	if stats.Ranges > 8+3*64 {
+		t.Fatalf("decomposition exploded: %d ranges", stats.Ranges)
+	}
+}
+
+func TestTighterDecompositionReducesCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	build := func(maxRanges int) (*Index, geom.Rect) {
+		ix, err := New(Options{World: unitWorld(), MaxRanges: maxRanges})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(4))
+		for i := 0; i < 8000; i++ {
+			ix.Insert(geom.Pt(r.Float64(), r.Float64()), i)
+		}
+		return ix, geom.Square(0.3+0.4*rng.Float64(), 0.3+0.4*rng.Float64(), 0.09)
+	}
+	coarse, q := build(1)
+	fine, _ := build(256)
+	_, cs := coarse.RangeCount(q), 0
+	_ = cs
+	sCoarse := coarse.RangeCount(q)
+	sFine := fine.RangeCount(q)
+	if sFine.Results != sCoarse.Results {
+		t.Fatalf("results differ across budgets: %d vs %d", sFine.Results, sCoarse.Results)
+	}
+	if sFine.Candidates > sCoarse.Candidates {
+		t.Fatalf("finer decomposition inspected more candidates: %d > %d", sFine.Candidates, sCoarse.Candidates)
+	}
+}
+
+// TestComparisonWithRTree documents the family comparison the paper makes:
+// both indexes return identical results; the Z-order index inspects
+// candidate points outside the window (false positives of the curve
+// mapping), which the R-Tree does not.
+func TestComparisonWithRTree(t *testing.T) {
+	data := dataset.MustGenerate(dataset.CHI, 8000, 5)
+	ix, err := New(Options{World: unitWorld()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := rtree.New(rtree.Options{MaxEntries: 50, MinEntries: 20})
+	for i, r := range data {
+		ix.Insert(r.Center(), i)
+		rt.Insert(r, i)
+	}
+	queries := dataset.RangeQueries(100, 0.001, unitWorld(), 6)
+	var zCand, zRes, rRes int
+	for _, q := range queries {
+		zs := ix.RangeCount(q)
+		rs := rt.SearchCount(q)
+		zCand += zs.Candidates
+		zRes += zs.Results
+		rRes += rs.Results
+	}
+	if zRes != rRes {
+		t.Fatalf("index families disagree on results: %d vs %d", zRes, rRes)
+	}
+	if zCand < zRes {
+		t.Fatalf("candidates < results")
+	}
+	t.Logf("z-order inspected %d candidates for %d results (%.1fx overhead)",
+		zCand, zRes, float64(zCand)/float64(zRes+1))
+}

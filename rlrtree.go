@@ -1,0 +1,218 @@
+// Package rlrtree is an in-memory spatial index library built around the
+// RLR-Tree (Gu et al., SIGMOD 2023): an R-Tree whose two insertion
+// heuristics — ChooseSubtree and Split — are replaced by policies learned
+// with reinforcement learning, while the tree structure and every query
+// algorithm stay exactly those of the classic R-Tree.
+//
+// The package exposes three layers:
+//
+//   - A full classic R-Tree with pluggable strategies (New, Options): the
+//     Guttman R-Tree, R*-Tree, and RR*-Tree baselines are all available
+//     out of the box, along with range search, exact KNN, deletion, and
+//     per-query node-access statistics.
+//
+//   - RLR-Tree training (TrainChoosePolicy, TrainSplitPolicy,
+//     TrainCombined): learn a Policy from a sample of your data. Policies
+//     serialize to JSON (Policy.Save, LoadPolicy) and transfer to datasets
+//     far larger than the training sample.
+//
+//   - RLR-Tree usage (NewRLRTree): an ordinary *Tree whose insertions are
+//     driven by the learned policy. Everything that works on an R-Tree —
+//     Search, KNN, Delete — works on it unchanged, which is the paper's
+//     core design property.
+//
+// Quick start:
+//
+//	data := ...                                  // []rlrtree.Rect
+//	policy, _, err := rlrtree.TrainCombined(data[:100_000], rlrtree.TrainConfig{})
+//	tree := rlrtree.NewRLRTree(policy)
+//	for i, r := range data {
+//		tree.Insert(r, i)
+//	}
+//	results, stats := tree.Search(rlrtree.NewRect(0.1, 0.1, 0.2, 0.2))
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package rlrtree
+
+import (
+	"io"
+
+	"github.com/rlr-tree/rlrtree/internal/core"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/pager"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// Geometry types.
+type (
+	// Rect is an axis-aligned rectangle; points are rectangles with
+	// Min == Max.
+	Rect = geom.Rect
+	// Point is a location in the plane.
+	Point = geom.Point
+)
+
+// NewRect returns the rectangle spanning the two corners, normalizing
+// their order.
+func NewRect(x1, y1, x2, y2 float64) Rect { return geom.NewRect(x1, y1, x2, y2) }
+
+// Pt returns the point (x, y).
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// PointRect returns the degenerate rectangle covering exactly p.
+func PointRect(p Point) Rect { return geom.PointRect(p) }
+
+// Square returns the axis-aligned square with the given center and side.
+func Square(cx, cy, side float64) Rect { return geom.Square(cx, cy, side) }
+
+// Tree types and strategy plug-ins.
+type (
+	// Tree is the R-Tree. It is not safe for concurrent mutation;
+	// concurrent read-only queries are safe.
+	Tree = rtree.Tree
+	// Options configures a Tree (capacity bounds and strategies).
+	Options = rtree.Options
+	// QueryStats reports per-query node accesses (the paper's cost metric).
+	QueryStats = rtree.QueryStats
+	// Neighbor is one KNN result.
+	Neighbor = rtree.Neighbor
+	// Entry and Node expose the tree structure to custom strategies.
+	Entry = rtree.Entry
+	Node  = rtree.Node
+	// SubtreeChooser and Splitter are the two strategy extension points.
+	SubtreeChooser = rtree.SubtreeChooser
+	Splitter       = rtree.Splitter
+)
+
+// Heuristic strategies (the paper's baselines).
+type (
+	// GuttmanChooser is the classic least-area-enlargement rule.
+	GuttmanChooser = rtree.GuttmanChooser
+	// RStarChooser is the R*-Tree ChooseSubtree rule.
+	RStarChooser = rtree.RStarChooser
+	// RRStarChooser is the revised R*-Tree ChooseSubtree rule.
+	RRStarChooser = rtree.RRStarChooser
+	// LinearSplit and QuadraticSplit are Guttman's node splits.
+	LinearSplit    = rtree.LinearSplit
+	QuadraticSplit = rtree.QuadraticSplit
+	// GreeneSplit is Greene's split.
+	GreeneSplit = rtree.GreeneSplit
+	// RStarSplit is the R*-Tree split.
+	RStarSplit = rtree.RStarSplit
+	// MinOverlapSplit is the minimum-overlap partition (the paper's
+	// reference splitter).
+	MinOverlapSplit = rtree.MinOverlapSplit
+	// RRStarSplit is the revised R*-Tree split.
+	RRStarSplit = rtree.RRStarSplit
+)
+
+// New returns an empty R-Tree. The zero Options selects the paper's
+// defaults: capacity 50, minimum fill 20, Guttman insertion, quadratic
+// split. It panics on invalid options; NewChecked returns the error
+// instead.
+func New(opts Options) *Tree { return rtree.New(opts) }
+
+// NewChecked is New returning an error instead of panicking.
+func NewChecked(opts Options) (*Tree, error) { return rtree.NewChecked(opts) }
+
+// Learned-policy types.
+type (
+	// Policy holds trained RLR-Tree Q-networks plus the featurization
+	// parameters; nil networks fall back to the reference heuristics.
+	Policy = core.Policy
+	// TrainConfig collects the training hyperparameters; the zero value
+	// reproduces the paper's setup.
+	TrainConfig = core.Config
+	// TrainReport summarizes a training run.
+	TrainReport = core.TrainReport
+)
+
+// NewRLRTree returns an empty tree whose ChooseSubtree and Split decisions
+// are made greedily by the trained policy. All query methods work on it
+// unchanged.
+func NewRLRTree(p *Policy) *Tree { return p.NewTree() }
+
+// TrainChoosePolicy trains only the ChooseSubtree agent (the paper's "RL
+// ChooseSubtree" index) on the given sample.
+func TrainChoosePolicy(data []Rect, cfg TrainConfig) (*Policy, *TrainReport, error) {
+	return core.TrainChoosePolicy(data, cfg)
+}
+
+// TrainSplitPolicy trains only the Split agent (the paper's "RL Split"
+// index) on the given sample.
+func TrainSplitPolicy(data []Rect, cfg TrainConfig) (*Policy, *TrainReport, error) {
+	return core.TrainSplitPolicy(data, cfg)
+}
+
+// TrainCombined trains both agents with the paper's alternating schedule
+// and returns the full RLR-Tree policy.
+func TrainCombined(data []Rect, cfg TrainConfig) (*Policy, *TrainReport, error) {
+	return core.TrainCombined(data, cfg)
+}
+
+// LoadPolicy reads a policy saved with Policy.Save.
+func LoadPolicy(path string) (*Policy, error) { return core.LoadPolicy(path) }
+
+// Item is one object for bulk loading: a bounding rectangle plus payload.
+type Item = rtree.Item
+
+// BulkLoadSTR builds a tree bottom-up with Sort-Tile-Recursive packing —
+// the static-loading alternative to one-by-one insertion. The result is an
+// ordinary *Tree that supports queries and further dynamic updates using
+// opts' strategies.
+func BulkLoadSTR(opts Options, items []Item) (*Tree, error) {
+	return rtree.BulkLoadSTR(opts, items)
+}
+
+// DecodeTree reads a tree previously written with (*Tree).Encode. The
+// options supply the strategies for future insertions; payload types must
+// be gob-registered by the caller.
+func DecodeTree(r io.Reader, opts Options) (*Tree, error) {
+	return rtree.Decode(r, opts)
+}
+
+// NearestIter yields stored objects in nondecreasing distance order —
+// incremental KNN for when k is unknown in advance. See
+// (*Tree).NewNearestIter.
+type NearestIter = rtree.NearestIter
+
+// JoinPair is one result of a spatial join.
+type JoinPair = rtree.JoinPair
+
+// JoinIntersects reports every intersecting object pair between two trees
+// using the synchronized R-Tree join; see rtree.JoinIntersects.
+func JoinIntersects(a, b *Tree, fn func(JoinPair)) (statsA, statsB QueryStats) {
+	return rtree.JoinIntersects(a, b, fn)
+}
+
+// SVGOptions configures (*Tree).WriteSVG, which renders the bounding-box
+// hierarchy for visual inspection.
+type SVGOptions = rtree.SVGOptions
+
+// BufferPool simulates a disk-resident deployment: an LRU page cache over
+// tree nodes. Replay query workloads against it with ReplayRange to
+// measure page faults instead of logical node accesses.
+type BufferPool = pager.BufferPool
+
+// NewBufferPool returns an LRU pool holding at most capacity node pages.
+func NewBufferPool(capacity int) *BufferPool { return pager.NewBufferPool(capacity) }
+
+// IOStats reports the cost of replayed queries under a BufferPool.
+type IOStats = pager.IOStats
+
+// ReplayRange replays a range-query workload through a buffer pool and
+// returns logical accesses, page faults and result counts.
+func ReplayRange(t *Tree, pool *BufferPool, queries []Rect) IOStats {
+	return pager.ReplayRange(t, pool, queries)
+}
+
+// WarmPool pins the tree's top levels into the pool and resets its
+// counters, the standard posture where upper index levels stay in memory.
+func WarmPool(t *Tree, pool *BufferPool) { pager.Warm(t, pool) }
+
+// ResumeCombined continues alternating training of a previously trained
+// combined policy on new data — continual adaptation without retraining
+// from scratch. The input policy is not modified.
+func ResumeCombined(prev *Policy, data []Rect, cfg TrainConfig) (*Policy, *TrainReport, error) {
+	return core.ResumeCombined(prev, data, cfg)
+}
