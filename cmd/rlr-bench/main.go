@@ -23,18 +23,24 @@ import (
 	"strings"
 	"time"
 
+	"github.com/rlr-tree/rlrtree/internal/cliutil"
 	"github.com/rlr-tree/rlrtree/internal/experiment"
 )
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "experiment scale: small, medium, or paper")
-		expList   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
-		quiet     = flag.Bool("quiet", false, "suppress progress logging")
-		seed      = flag.Int64("seed", 0, "override the scale's random seed")
+		scaleName   = flag.String("scale", "small", "experiment scale: small, medium, or paper")
+		expList     = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		csvDir      = flag.String("csv", "", "also write each table as CSV into this directory")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+		seed        = flag.Int64("seed", 0, "override the scale's random seed")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		cliutil.PrintVersion(os.Stdout, "rlr-bench")
+		return
+	}
 
 	sc, err := experiment.ScaleByName(*scaleName)
 	if err != nil {

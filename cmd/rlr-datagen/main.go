@@ -16,20 +16,26 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/rlr-tree/rlrtree/internal/cliutil"
 	"github.com/rlr-tree/rlrtree/internal/dataset"
 	"github.com/rlr-tree/rlrtree/internal/geom"
 )
 
 func main() {
 	var (
-		kind    = flag.String("kind", "UNI", "dataset kind: UNI, GAU, SKE, CHI, IND")
-		n       = flag.Int("n", 100_000, "number of objects")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "output CSV path (required)")
-		queries = flag.Int("queries", 0, "generate this many range queries instead of a dataset")
-		size    = flag.Float64("size", 0.0001, "query area as a fraction of the unit square (with -queries)")
+		kind        = flag.String("kind", "UNI", "dataset kind: UNI, GAU, SKE, CHI, IND")
+		n           = flag.Int("n", 100_000, "number of objects")
+		seed        = flag.Int64("seed", 1, "random seed")
+		out         = flag.String("out", "", "output CSV path (required)")
+		queries     = flag.Int("queries", 0, "generate this many range queries instead of a dataset")
+		size        = flag.Float64("size", 0.0001, "query area as a fraction of the unit square (with -queries)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		cliutil.PrintVersion(os.Stdout, "rlr-datagen")
+		return
+	}
 
 	if *out == "" {
 		fatal(fmt.Errorf("-out is required"))

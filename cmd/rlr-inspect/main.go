@@ -22,16 +22,21 @@ import (
 
 func main() {
 	var (
-		dataPath   = flag.String("data", "", "dataset CSV (required)")
-		policyPath = flag.String("policy", "", "trained RLR-Tree policy JSON")
-		indexKind  = flag.String("index", "rtree", "heuristic index when no policy: rtree, rstar, rrstar")
-		maxE       = flag.Int("max-entries", 50, "node capacity M")
-		minE       = flag.Int("min-entries", 20, "minimum node fill m")
-		svgPath    = flag.String("svg", "", "write an SVG rendering of the MBR hierarchy here")
-		svgLevel   = flag.Int("svg-level", 0, "deepest level to draw (0 = all)")
-		svgObjects = flag.Bool("svg-objects", false, "also draw leaf objects in the SVG")
+		dataPath    = flag.String("data", "", "dataset CSV (required)")
+		policyPath  = flag.String("policy", "", "trained RLR-Tree policy JSON")
+		indexKind   = flag.String("index", "rtree", "heuristic index when no policy: rtree, rstar, rrstar")
+		maxE        = flag.Int("max-entries", 50, "node capacity M")
+		minE        = flag.Int("min-entries", 20, "minimum node fill m")
+		svgPath     = flag.String("svg", "", "write an SVG rendering of the MBR hierarchy here")
+		svgLevel    = flag.Int("svg-level", 0, "deepest level to draw (0 = all)")
+		svgObjects  = flag.Bool("svg-objects", false, "also draw leaf objects in the SVG")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		cliutil.PrintVersion(os.Stdout, "rlr-inspect")
+		return
+	}
 
 	if *dataPath == "" {
 		fatal(fmt.Errorf("-data is required"))

@@ -1,0 +1,240 @@
+// Command rlr-loadgen replays a dataset-generated workload against a
+// running rlr-serve instance and reports throughput and latency
+// percentiles, making the serving path itself benchmarkable.
+//
+// Usage:
+//
+//	rlr-loadgen -addr http://localhost:8080 -n 50000 -queries 5000 -qps 2000
+//	rlr-loadgen -addr http://localhost:8080 -load=false -queries 10000 -knn-frac 0.2
+//
+// Phase 1 (unless -load=false) bulk loads -n objects of the chosen
+// dataset kind through POST /insert in -batch-sized batches. Phase 2
+// issues -queries window queries (area fraction -size) and KNN queries
+// (fraction -knn-frac, k = -k) from -c concurrent workers, paced at
+// -qps requests/second (0 = closed loop, as fast as the server allows).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/cliutil"
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "base URL of rlr-serve")
+		kind        = flag.String("kind", "UNI", "dataset kind: UNI, GAU, SKE, CHI, IND")
+		n           = flag.Int("n", 50_000, "objects to load in phase 1")
+		batch       = flag.Int("batch", 1000, "insert batch size")
+		load        = flag.Bool("load", true, "run the load phase")
+		queries     = flag.Int("queries", 5000, "total queries in phase 2")
+		size        = flag.Float64("size", 0.0001, "window query area as a fraction of the unit square")
+		knnFrac     = flag.Float64("knn-frac", 0, "fraction of queries that are KNN")
+		k           = flag.Int("k", 10, "K for KNN queries")
+		qps         = flag.Float64("qps", 0, "target queries/second (0 = closed loop)")
+		workers     = flag.Int("c", 8, "concurrent query workers")
+		seed        = flag.Int64("seed", 1, "random seed")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		cliutil.PrintVersion(os.Stdout, "rlr-loadgen")
+		return
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: *workers * 2,
+		},
+	}
+
+	if *load {
+		if err := loadPhase(client, *addr, *kind, *n, *batch, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	if *queries > 0 {
+		if err := queryPhase(client, *addr, *queries, *size, *knnFrac, *k, *qps, *workers, *seed); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+type wireItem struct {
+	ID   string    `json:"id"`
+	Rect []float64 `json:"rect"`
+}
+
+func loadPhase(client *http.Client, addr, kind string, n, batch int, seed int64) error {
+	data, err := dataset.Generate(dataset.Kind(kind), n, seed)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for lo := 0; lo < len(data); lo += batch {
+		hi := min(lo+batch, len(data))
+		items := make([]wireItem, hi-lo)
+		for i, r := range data[lo:hi] {
+			items[i] = wireItem{
+				ID:   fmt.Sprintf("obj-%07d", lo+i),
+				Rect: []float64{r.MinX, r.MinY, r.MaxX, r.MaxY},
+			}
+		}
+		body, err := json.Marshal(map[string]any{"items": items})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(addr+"/insert", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("insert batch [%d:%d]: HTTP %d", lo, hi, resp.StatusCode)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("load:   %d objects (%s) in %s — %.0f inserts/s (batch %d)\n",
+		n, kind, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), batch)
+	return nil
+}
+
+// queryResult is one completed request's measurement.
+type queryResult struct {
+	latency time.Duration
+	nodes   int
+	isKNN   bool
+	err     error
+}
+
+func queryPhase(client *http.Client, addr string, queries int, size, knnFrac float64, k int, qps float64, workers int, seed int64) error {
+	world := geom.NewRect(0, 0, 1, 1)
+	windows := dataset.RangeQueries(queries, size, world, seed+1)
+	points := dataset.KNNQueryPoints(queries, world, seed+2)
+	rng := rand.New(rand.NewSource(seed + 3))
+
+	urls := make([]string, queries)
+	kinds := make([]bool, queries) // true = KNN
+	for i := 0; i < queries; i++ {
+		if rng.Float64() < knnFrac {
+			p := points[i]
+			urls[i] = fmt.Sprintf("%s/knn?point=%g,%g&k=%d", addr, p.X, p.Y, k)
+			kinds[i] = true
+		} else {
+			q := windows[i]
+			urls[i] = fmt.Sprintf("%s/search?rect=%g,%g,%g,%g", addr, q.MinX, q.MinY, q.MaxX, q.MaxY)
+		}
+	}
+
+	work := make(chan int, workers)
+	results := make(chan queryResult, queries)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				start := time.Now()
+				resp, err := client.Get(urls[i])
+				r := queryResult{isKNN: kinds[i], err: err}
+				if err == nil {
+					var body struct {
+						NodesAccessed int `json:"nodes_accessed"`
+					}
+					if resp.StatusCode != http.StatusOK {
+						r.err = fmt.Errorf("HTTP %d", resp.StatusCode)
+					} else if derr := json.NewDecoder(resp.Body).Decode(&body); derr != nil {
+						r.err = derr
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					r.nodes = body.NodesAccessed
+				}
+				r.latency = time.Since(start)
+				results <- r
+			}
+		}()
+	}
+
+	// Paced (or closed-loop) dispatch.
+	start := time.Now()
+	var interval time.Duration
+	if qps > 0 {
+		interval = time.Duration(float64(time.Second) / qps)
+	}
+	for i := 0; i < queries; i++ {
+		if interval > 0 {
+			next := start.Add(time.Duration(i) * interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	close(results)
+	elapsed := time.Since(start)
+
+	var (
+		lats              []time.Duration
+		nodes, knns       int
+		errors, windowsOK int
+	)
+	for r := range results {
+		if r.err != nil {
+			errors++
+			continue
+		}
+		lats = append(lats, r.latency)
+		nodes += r.nodes
+		if r.isKNN {
+			knns++
+		} else {
+			windowsOK++
+		}
+	}
+	if len(lats) == 0 {
+		return fmt.Errorf("all %d queries failed (last phase saw %d errors)", queries, errors)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	var total time.Duration
+	for _, l := range lats {
+		total += l
+	}
+	fmt.Printf("query:  %d ok (%d window, %d knn), %d errors in %s — %.0f q/s achieved",
+		len(lats), windowsOK, knns, errors, elapsed.Round(time.Millisecond), float64(len(lats))/elapsed.Seconds())
+	if qps > 0 {
+		fmt.Printf(" (target %.0f)", qps)
+	}
+	fmt.Println()
+	fmt.Printf("        latency avg %s  p50 %s  p90 %s  p99 %s  max %s\n",
+		(total / time.Duration(len(lats))).Round(time.Microsecond),
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	fmt.Printf("        node accesses: %d total, %.1f per query\n", nodes, float64(nodes)/float64(len(lats)))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rlr-loadgen:", err)
+	os.Exit(1)
+}

@@ -25,17 +25,22 @@ import (
 
 func main() {
 	var (
-		dataPath   = flag.String("data", "", "dataset CSV (required)")
-		policyPath = flag.String("policy", "", "trained RLR-Tree policy JSON")
-		indexKind  = flag.String("index", "rtree", "heuristic index when no policy: rtree, rstar, rrstar")
-		rangeQ     = flag.String("range", "", "one range query: minx,miny,maxx,maxy")
-		knnQ       = flag.String("knn", "", "one KNN query point: x,y")
-		k          = flag.Int("k", 10, "K for KNN queries")
-		queriesCSV = flag.String("queries", "", "batch of range queries from CSV (4 columns)")
-		maxE       = flag.Int("max-entries", 50, "node capacity M")
-		minE       = flag.Int("min-entries", 20, "minimum node fill m")
+		dataPath    = flag.String("data", "", "dataset CSV (required)")
+		policyPath  = flag.String("policy", "", "trained RLR-Tree policy JSON")
+		indexKind   = flag.String("index", "rtree", "heuristic index when no policy: rtree, rstar, rrstar")
+		rangeQ      = flag.String("range", "", "one range query: minx,miny,maxx,maxy")
+		knnQ        = flag.String("knn", "", "one KNN query point: x,y")
+		k           = flag.Int("k", 10, "K for KNN queries")
+		queriesCSV  = flag.String("queries", "", "batch of range queries from CSV (4 columns)")
+		maxE        = flag.Int("max-entries", 50, "node capacity M")
+		minE        = flag.Int("min-entries", 20, "minimum node fill m")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		cliutil.PrintVersion(os.Stdout, "rlr-query")
+		return
+	}
 
 	if *dataPath == "" {
 		fatal(fmt.Errorf("-data is required"))

@@ -1,0 +1,123 @@
+// Command rlr-serve runs the HTTP/JSON spatial query service of
+// internal/server over an RLR-Tree (with -policy) or a heuristic R-Tree
+// baseline (with -index).
+//
+// Usage:
+//
+//	rlr-serve -addr :8080 -snapshot tree.gob -snapshot-every 30s
+//	rlr-serve -addr :8080 -policy policy.json -snapshot tree.gob
+//
+// On startup the server restores the snapshot file when it exists, so a
+// restart resumes with the indexed data intact; on SIGINT/SIGTERM it
+// drains in-flight requests and writes a final snapshot. GET /debug/vars
+// exposes the standard expvar page including the server's metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/cliutil"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+	"github.com/rlr-tree/rlrtree/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		policyPath  = flag.String("policy", "", "trained RLR-Tree policy JSON")
+		indexKind   = flag.String("index", "rtree", "heuristic index when no policy: rtree, rstar, rrstar")
+		maxE        = flag.Int("max-entries", 50, "node capacity M")
+		minE        = flag.Int("min-entries", 20, "minimum node fill m")
+		snapPath    = flag.String("snapshot", "", "snapshot file (restore on start, write on shutdown)")
+		snapEvery   = flag.Duration("snapshot-every", 0, "background snapshot interval (0 disables)")
+		reqTimeout  = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout")
+		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
+		maxResults  = flag.Int("max-results", server.DefaultMaxResults, "maximum ids per /search response")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		cliutil.PrintVersion(os.Stdout, "rlr-serve")
+		return
+	}
+
+	logger := log.New(os.Stderr, "rlr-serve: ", log.LstdFlags)
+
+	opts, name, err := cliutil.IndexOptions(*policyPath, *indexKind, *maxE, *minE)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	tree, err := rtree.NewChecked(opts)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *snapPath != "" {
+		restored, err := server.LoadSnapshot(*snapPath, opts)
+		switch {
+		case err == nil:
+			tree = restored
+			logger.Printf("restored %d objects from %s (height %d)", tree.Len(), *snapPath, tree.Height())
+		case errors.Is(err, os.ErrNotExist):
+			logger.Printf("no snapshot at %s, starting empty", *snapPath)
+		default:
+			logger.Fatal(err)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Tree:           rtree.NewConcurrent(tree),
+		IndexName:      name,
+		SnapshotPath:   *snapPath,
+		SnapshotEvery:  *snapEvery,
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxResults:     *maxResults,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv.PublishExpvar()
+	srv.Start()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("serving %s index on %s (%d objects)", name, *addr, tree.Len())
+
+	select {
+	case err := <-errCh:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down: draining requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	if err := srv.Close(); err != nil && *snapPath != "" {
+		logger.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "rlr-serve: bye")
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/rlr-tree/rlrtree/internal/cliutil"
 	"github.com/rlr-tree/rlrtree/internal/core"
 	"github.com/rlr-tree/rlrtree/internal/dataset"
 	"github.com/rlr-tree/rlrtree/internal/geom"
@@ -23,23 +24,28 @@ import (
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "training dataset CSV (2 or 4 columns)")
-		kind      = flag.String("kind", "", "generate the training set instead: UNI, GAU, SKE, CHI, IND")
-		n         = flag.Int("n", 100_000, "generated training-set size (with -kind)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		mode      = flag.String("mode", "combined", "training mode: choose, split, combined")
-		out       = flag.String("out", "policy.json", "output policy path")
-		k         = flag.Int("k", core.DefaultK, "action-space size k")
-		p         = flag.Int("p", core.DefaultP, "insertions per reward computation")
-		queryFrac = flag.Float64("train-query", core.DefaultTrainingQueryFrac, "training query area fraction")
-		chooseEp  = flag.Int("choose-epochs", core.DefaultChooseEpochs, "ChooseSubtree training epochs")
-		splitEp   = flag.Int("split-epochs", core.DefaultSplitEpochs, "Split training epochs")
-		parts     = flag.Int("parts", core.DefaultParts, "dataset slices for Split training")
-		maxE      = flag.Int("max-entries", 50, "node capacity M")
-		minE      = flag.Int("min-entries", 20, "minimum node fill m")
-		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		dataPath    = flag.String("data", "", "training dataset CSV (2 or 4 columns)")
+		kind        = flag.String("kind", "", "generate the training set instead: UNI, GAU, SKE, CHI, IND")
+		n           = flag.Int("n", 100_000, "generated training-set size (with -kind)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		mode        = flag.String("mode", "combined", "training mode: choose, split, combined")
+		out         = flag.String("out", "policy.json", "output policy path")
+		k           = flag.Int("k", core.DefaultK, "action-space size k")
+		p           = flag.Int("p", core.DefaultP, "insertions per reward computation")
+		queryFrac   = flag.Float64("train-query", core.DefaultTrainingQueryFrac, "training query area fraction")
+		chooseEp    = flag.Int("choose-epochs", core.DefaultChooseEpochs, "ChooseSubtree training epochs")
+		splitEp     = flag.Int("split-epochs", core.DefaultSplitEpochs, "Split training epochs")
+		parts       = flag.Int("parts", core.DefaultParts, "dataset slices for Split training")
+		maxE        = flag.Int("max-entries", 50, "node capacity M")
+		minE        = flag.Int("min-entries", 20, "minimum node fill m")
+		quiet       = flag.Bool("quiet", false, "suppress progress output")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		cliutil.PrintVersion(os.Stdout, "rlr-train")
+		return
+	}
 
 	var (
 		train []geom.Rect

@@ -5,6 +5,7 @@ package cliutil
 
 import (
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 
@@ -13,19 +14,37 @@ import (
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 )
 
+// Version is the single release identifier shared by every rlr-* tool;
+// each binary's -version flag prints it via PrintVersion.
+const Version = "0.2.0"
+
+// PrintVersion writes the standard "-version" line for the named tool.
+func PrintVersion(w io.Writer, tool string) {
+	fmt.Fprintf(w, "%s version %s\n", tool, Version)
+}
+
 // IndexKinds lists the heuristic index names accepted by BuildIndex.
 var IndexKinds = []string{"rtree", "rstar", "rrstar"}
 
-// BuildIndex returns an empty index: the RLR-Tree from policyPath when it
-// is non-empty, otherwise the named heuristic baseline. The returned name
-// labels the index in tool output.
-func BuildIndex(policyPath, indexKind string, maxE, minE int) (*rtree.Tree, string, error) {
+// IndexOptions resolves the tree options for a named configuration: the
+// RLR-Tree policy's strategies (and its trained capacity bounds) when
+// policyPath is non-empty, otherwise the named heuristic baseline with the
+// given bounds. The returned name labels the index in tool output. The
+// options are what rtree.Decode needs to restore a snapshot with the same
+// insertion behaviour it was built with.
+func IndexOptions(policyPath, indexKind string, maxE, minE int) (rtree.Options, string, error) {
 	if policyPath != "" {
 		pol, err := core.LoadPolicy(policyPath)
 		if err != nil {
-			return nil, "", err
+			return rtree.Options{}, "", err
 		}
-		return pol.NewTree(), "RLR-Tree", nil
+		opts := rtree.Options{
+			MaxEntries: pol.MaxEntries,
+			MinEntries: pol.MinEntries,
+			Chooser:    pol.Chooser(),
+			Splitter:   pol.Splitter(),
+		}
+		return opts, "RLR-Tree", nil
 	}
 	opts := rtree.Options{MaxEntries: maxE, MinEntries: minE}
 	switch indexKind {
@@ -37,10 +56,21 @@ func BuildIndex(policyPath, indexKind string, maxE, minE int) (*rtree.Tree, stri
 	case "rrstar":
 		opts.Chooser, opts.Splitter = rtree.RRStarChooser{}, rtree.RRStarSplit{}
 	default:
-		return nil, "", fmt.Errorf("unknown index %q (have %s)", indexKind, strings.Join(IndexKinds, ", "))
+		return rtree.Options{}, "", fmt.Errorf("unknown index %q (have %s)", indexKind, strings.Join(IndexKinds, ", "))
+	}
+	return opts, indexKind, nil
+}
+
+// BuildIndex returns an empty index: the RLR-Tree from policyPath when it
+// is non-empty, otherwise the named heuristic baseline. The returned name
+// labels the index in tool output.
+func BuildIndex(policyPath, indexKind string, maxE, minE int) (*rtree.Tree, string, error) {
+	opts, name, err := IndexOptions(policyPath, indexKind, maxE, minE)
+	if err != nil {
+		return nil, "", err
 	}
 	t, err := rtree.NewChecked(opts)
-	return t, indexKind, err
+	return t, name, err
 }
 
 // ParseFloats parses exactly n comma-separated numbers.

@@ -3,6 +3,7 @@ package cliutil
 import (
 	"math/rand"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/rlr-tree/rlrtree/internal/core"
@@ -66,6 +67,28 @@ func TestBuildIndexFromPolicy(t *testing.T) {
 	}
 	if _, _, err := BuildIndex(filepath.Join(t.TempDir(), "missing.json"), "", 0, 0); err == nil {
 		t.Fatalf("missing policy accepted")
+	}
+}
+
+func TestIndexOptionsMatchBuildIndex(t *testing.T) {
+	opts, name, err := IndexOptions("", "rstar", 16, 6)
+	if err != nil || name != "rstar" {
+		t.Fatalf("IndexOptions: %q %v", name, err)
+	}
+	if opts.Chooser == nil || opts.Splitter == nil || !opts.ForcedReinsert {
+		t.Fatalf("rstar options incomplete: %+v", opts)
+	}
+	if _, _, err := IndexOptions("", "nope", 16, 6); err == nil {
+		t.Fatalf("unknown kind accepted")
+	}
+}
+
+func TestPrintVersion(t *testing.T) {
+	var b strings.Builder
+	PrintVersion(&b, "rlr-test")
+	want := "rlr-test version " + Version + "\n"
+	if b.String() != want {
+		t.Fatalf("got %q, want %q", b.String(), want)
 	}
 }
 

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// TestPolicyTreeGobRoundTrip encodes a policy-built RLR-Tree with gob,
+// decodes it, and checks that a fixed query workload sees identical
+// Search and KNN results *and* identical node-access statistics — the
+// serving layer's snapshot/restore path must preserve the learned
+// structure exactly, not just the result sets.
+func TestPolicyTreeGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := gaussianData(rng, 1200)
+	pol, _, err := TrainCombined(data, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tree := pol.NewTree()
+	for i, r := range data {
+		tree.Insert(r, i)
+	}
+
+	var buf bytes.Buffer
+	if err := tree.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The policy's strategies re-attach at decode time, exactly as a
+	// server restart with the same -policy flag would wire them.
+	back, err := rtree.Decode(&buf, rtree.Options{
+		MaxEntries: pol.MaxEntries,
+		MinEntries: pol.MinEntries,
+		Chooser:    pol.Chooser(),
+		Splitter:   pol.Splitter(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tree.Len() || back.Height() != tree.Height() {
+		t.Fatalf("shape changed: len %d/%d height %d/%d",
+			back.Len(), tree.Len(), back.Height(), tree.Height())
+	}
+
+	queries := make([]geom.Rect, 200)
+	for i := range queries {
+		queries[i] = geom.Square(rng.Float64(), rng.Float64(), 0.05)
+	}
+	for i, q := range queries {
+		res1, st1 := tree.Search(q)
+		res2, st2 := back.Search(q)
+		if st1 != st2 {
+			t.Fatalf("query %d: stats %+v != %+v", i, st1, st2)
+		}
+		got := make(map[int]bool, len(res2))
+		for _, d := range res2 {
+			got[d.(int)] = true
+		}
+		if len(res1) != len(res2) {
+			t.Fatalf("query %d: %d results != %d", i, len(res1), len(res2))
+		}
+		for _, d := range res1 {
+			if !got[d.(int)] {
+				t.Fatalf("query %d: object %v missing after round trip", i, d)
+			}
+		}
+
+		p := geom.Pt(q.MinX, q.MinY)
+		nb1, kst1 := tree.KNN(p, 5)
+		nb2, kst2 := back.KNN(p, 5)
+		if kst1 != kst2 {
+			t.Fatalf("knn %d: stats %+v != %+v", i, kst1, kst2)
+		}
+		for j := range nb1 {
+			if nb1[j].Data != nb2[j].Data || nb1[j].DistSq != nb2[j].DistSq {
+				t.Fatalf("knn %d neighbor %d: %+v != %+v", i, j, nb1[j], nb2[j])
+			}
+		}
+	}
+
+	// The restored tree keeps inserting with the learned policy.
+	for i := 0; i < 300; i++ {
+		back.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.001), 10_000+i)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("restored tree invalid after further inserts: %v", err)
+	}
+}

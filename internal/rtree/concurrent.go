@@ -30,6 +30,22 @@ func (c *ConcurrentTree) Insert(r geom.Rect, data any) {
 	c.tree.Insert(r, data)
 }
 
+// InsertBatch adds len(rects) objects under a single acquisition of the
+// write lock, amortizing the lock handoff across the batch — the bulk
+// ingest path of a serving workload, where per-object locking would let
+// readers interleave between every insertion and thrash the mutex. rects
+// and data must have equal length; data[i] is stored under rects[i].
+func (c *ConcurrentTree) InsertBatch(rects []geom.Rect, data []any) {
+	if len(rects) != len(data) {
+		panic("rtree: InsertBatch length mismatch")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, r := range rects {
+		c.tree.Insert(r, data[i])
+	}
+}
+
 // Delete removes an object under the write lock.
 func (c *ConcurrentTree) Delete(r geom.Rect, data any) bool {
 	c.mu.Lock()
@@ -80,5 +96,15 @@ func (c *ConcurrentTree) Snapshot() *Tree {
 func (c *ConcurrentTree) Update(fn func(t *Tree)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	fn(c.tree)
+}
+
+// View applies fn to the underlying tree under the read lock, for
+// read-only compound operations (structural statistics, serialization)
+// that need a consistent view but no private copy. fn must not mutate the
+// tree or retain references to it past the call.
+func (c *ConcurrentTree) View(fn func(t *Tree)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	fn(c.tree)
 }

@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -66,6 +67,81 @@ func TestConcurrentTreeMixedWorkload(t *testing.T) {
 	if err := snap.Validate(); err != nil {
 		t.Fatalf("snapshot invalid after concurrent workload: %v", err)
 	}
+}
+
+func TestConcurrentInsertBatchWithReaders(t *testing.T) {
+	ct := NewConcurrent(New(testOpts()))
+	const (
+		writers   = 4
+		batches   = 25
+		batchSize = 40
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for b := 0; b < batches; b++ {
+				rects := make([]geom.Rect, batchSize)
+				data := make([]any, batchSize)
+				for i := range rects {
+					rects[i] = geom.Square(rng.Float64(), rng.Float64(), 0.01)
+					data[i] = w*batches*batchSize + b*batchSize + i
+				}
+				ct.InsertBatch(rects, data)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := geom.Square(rng.Float64(), rng.Float64(), 0.1)
+				res, stats := ct.Search(q)
+				if len(res) != stats.Results {
+					t.Errorf("stats mismatch")
+					return
+				}
+				ct.KNN(geom.Pt(rng.Float64(), rng.Float64()), 3)
+				ct.View(func(tr *Tree) { _ = tr.Height() })
+			}
+		}()
+	}
+	for ct.Len() < writers*batches*batchSize {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+
+	if ct.Len() != writers*batches*batchSize {
+		t.Fatalf("final len %d, want %d", ct.Len(), writers*batches*batchSize)
+	}
+	var err error
+	ct.View(func(tr *Tree) { err = tr.Validate() })
+	if err != nil {
+		t.Fatalf("tree invalid after concurrent batch inserts: %v", err)
+	}
+}
+
+func TestInsertBatchLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	ct := NewConcurrent(New(testOpts()))
+	ct.InsertBatch(make([]geom.Rect, 2), make([]any, 3))
 }
 
 func TestConcurrentSnapshotIsIsolated(t *testing.T) {

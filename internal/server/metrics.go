@@ -1,0 +1,140 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (exclusive) of the latency
+// histogram, in microseconds; the final implicit bucket is unbounded.
+// The range spans sub-50µs in-memory queries up to second-scale stalls.
+var latencyBuckets = [...]int64{50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000}
+
+// endpointMetrics accumulates one endpoint's counters. The fields are
+// expvar types — lock-free atomics with a JSON representation — but the
+// struct itself is not auto-published: publishing is a process-global
+// act, owned by PublishExpvar, so that tests can run many servers.
+type endpointMetrics struct {
+	count      expvar.Int
+	errors     expvar.Int
+	totalNanos expvar.Int
+	nodeAccess expvar.Int // cumulative R-Tree node accesses (query endpoints)
+	buckets    [len(latencyBuckets) + 1]expvar.Int
+}
+
+func (e *endpointMetrics) observe(d time.Duration, isError bool) {
+	e.count.Add(1)
+	if isError {
+		e.errors.Add(1)
+	}
+	e.totalNanos.Add(int64(d))
+	us := d.Microseconds()
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if us < latencyBuckets[i] {
+			break
+		}
+	}
+	e.buckets[i].Add(1)
+}
+
+func (e *endpointMetrics) addNodeAccesses(n int) {
+	e.nodeAccess.Add(int64(n))
+}
+
+// quantile returns the upper bound of the histogram bucket containing
+// the q-quantile observation — a conservative estimate whose resolution
+// is the bucket width. The unbounded tail reports -1 (">1s").
+func (e *endpointMetrics) quantile(q float64) int64 {
+	total := e.count.Value()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	var cum int64
+	for i := range e.buckets {
+		cum += e.buckets[i].Value()
+		if cum > rank {
+			if i == len(latencyBuckets) {
+				return -1
+			}
+			return latencyBuckets[i]
+		}
+	}
+	return -1
+}
+
+// EndpointStats is the JSON form of one endpoint's metrics in /stats.
+// Latency quantiles are histogram-bucket upper bounds in microseconds
+// (-1 means beyond the largest bucket).
+type EndpointStats struct {
+	Count        int64 `json:"count"`
+	Errors       int64 `json:"errors"`
+	AvgMicros    int64 `json:"latency_avg_us"`
+	P50Micros    int64 `json:"latency_p50_us"`
+	P95Micros    int64 `json:"latency_p95_us"`
+	P99Micros    int64 `json:"latency_p99_us"`
+	NodeAccesses int64 `json:"node_accesses"`
+}
+
+func (e *endpointMetrics) stats() EndpointStats {
+	s := EndpointStats{
+		Count:        e.count.Value(),
+		Errors:       e.errors.Value(),
+		NodeAccesses: e.nodeAccess.Value(),
+		P50Micros:    e.quantile(0.50),
+		P95Micros:    e.quantile(0.95),
+		P99Micros:    e.quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.AvgMicros = e.totalNanos.Value() / s.Count / 1_000
+	}
+	return s
+}
+
+// metrics is the per-server registry of endpoint metrics.
+type metrics struct {
+	mu  sync.Mutex
+	eps map[string]*endpointMetrics
+}
+
+func (m *metrics) init() {
+	m.eps = make(map[string]*endpointMetrics)
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep, ok := m.eps[name]
+	if !ok {
+		ep = &endpointMetrics{}
+		m.eps[name] = ep
+	}
+	return ep
+}
+
+func (m *metrics) snapshot() map[string]EndpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]EndpointStats, len(m.eps))
+	for name, ep := range m.eps {
+		out[name] = ep.stats()
+	}
+	return out
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar exports this server's full /stats payload on the
+// process-wide expvar registry under "rlrtree.server", alongside the
+// standard expvar memstats — visible on GET /debug/vars when the caller
+// mounts expvar.Handler(). expvar registration is global and permanent,
+// so only the first server in the process wins; later calls are no-ops.
+func (s *Server) PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("rlrtree.server", expvar.Func(func() any {
+			return s.statsPayload()
+		}))
+	})
+}

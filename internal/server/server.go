@@ -1,0 +1,449 @@
+// Package server exposes an RLR-Tree (or any heuristic R-Tree) as a
+// concurrent HTTP/JSON spatial query service. The paper's deployability
+// argument — a learned index that answers queries with the unmodified
+// classic R-Tree algorithms — means the serving layer needs nothing
+// special: the index sits behind ordinary handlers, queries take the
+// shared lock of rtree.ConcurrentTree and run in parallel, and mutations
+// serialize through its write lock.
+//
+// Endpoints:
+//
+//	POST /insert    {"id":"a","rect":[x1,y1,x2,y2]} or {"items":[...]}
+//	POST /delete    {"id":"a","rect":[x1,y1,x2,y2]}
+//	GET  /search    ?rect=x1,y1,x2,y2
+//	GET  /knn       ?point=x,y&k=10
+//	GET  /stats     tree structure + per-endpoint request metrics
+//	POST /snapshot  force a snapshot to disk now
+//	GET  /healthz   liveness probe
+//
+// Object payloads are string IDs; delete matches on (rect, id), the same
+// equality rule as rtree.(*Tree).Delete. Every response is JSON. Request
+// bodies are size-capped and every request carries a deadline.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/cliutil"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// Defaults for the zero values of Config.
+const (
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxBodyBytes   = 16 << 20 // 16 MiB: ~100K-item insert batches
+	DefaultMaxResults     = 100_000
+)
+
+// Config configures a Server. Tree is the only required field.
+type Config struct {
+	// Tree is the served index. Build it empty (cliutil.BuildIndex), by
+	// bulk loading, or by restoring a snapshot (LoadSnapshot), then wrap
+	// it with rtree.NewConcurrent.
+	Tree *rtree.ConcurrentTree
+	// IndexName labels the index in /stats output ("rtree", "RLR-Tree"...).
+	IndexName string
+	// SnapshotPath is where snapshots are written; empty disables
+	// snapshotting (POST /snapshot then returns 503).
+	SnapshotPath string
+	// SnapshotEvery is the background snapshot interval; zero disables
+	// the background loop (explicit POST /snapshot still works).
+	SnapshotEvery time.Duration
+	// RequestTimeout bounds each request end to end.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request body sizes.
+	MaxBodyBytes int64
+	// MaxResults caps the number of IDs one /search response returns
+	// (the response reports the true total count alongside).
+	MaxResults int
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP spatial query service. Create with New, mount
+// Handler on an http.Server, call Start to begin background snapshots,
+// and Close to stop them and write the final snapshot.
+type Server struct {
+	cfg     Config
+	tree    *rtree.ConcurrentTree
+	metrics metrics
+	started time.Time
+
+	snapshots  atomic.Int64 // snapshots written
+	lastSnap   atomic.Int64 // unix nanos of the last snapshot
+	autoID     atomic.Uint64
+	stopSnap   chan struct{}
+	snapLoopWG chan struct{} // closed when the background loop exits
+	closed     atomic.Bool
+}
+
+// New validates cfg and returns a Server. It does not start the
+// background snapshot loop; call Start for that.
+func New(cfg Config) (*Server, error) {
+	if cfg.Tree == nil {
+		return nil, errors.New("server: Config.Tree is required")
+	}
+	if cfg.IndexName == "" {
+		cfg.IndexName = "rtree"
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxResults <= 0 {
+		cfg.MaxResults = DefaultMaxResults
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:        cfg,
+		tree:       cfg.Tree,
+		started:    time.Now(),
+		stopSnap:   make(chan struct{}),
+		snapLoopWG: make(chan struct{}),
+	}
+	s.metrics.init()
+	return s, nil
+}
+
+// Start launches the background snapshot loop when configured. Safe to
+// call when snapshots are disabled (it is then a no-op).
+func (s *Server) Start() {
+	if s.cfg.SnapshotPath == "" || s.cfg.SnapshotEvery <= 0 {
+		close(s.snapLoopWG)
+		return
+	}
+	go s.snapshotLoop()
+}
+
+// Close stops the background snapshot loop and writes a final snapshot —
+// the graceful-shutdown half that belongs to the index (the HTTP half is
+// http.Server.Shutdown, which the caller runs first to drain in-flight
+// requests). Close is idempotent.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stopSnap)
+	<-s.snapLoopWG
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	err := s.SaveSnapshot()
+	if err != nil {
+		s.cfg.Logf("final snapshot failed: %v", err)
+	} else {
+		s.cfg.Logf("final snapshot written to %s", s.cfg.SnapshotPath)
+	}
+	return err
+}
+
+// Handler returns the service's HTTP handler: the route mux wrapped with
+// the per-request deadline.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /insert", s.instrument("insert", s.handleInsert))
+	mux.HandleFunc("POST /delete", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("GET /search", s.instrument("search", s.handleSearch))
+	mux.HandleFunc("GET /knn", s.instrument("knn", s.handleKNN))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("POST /snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+// instrument wraps a handler with body capping, latency/count metrics,
+// and the request deadline context.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.metrics.endpoint(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		ep.observe(time.Since(start), sw.code >= 400)
+	}
+}
+
+// statusWriter records the status code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// itemPayload is one object in the insert wire format.
+type itemPayload struct {
+	ID   string    `json:"id"`
+	Rect []float64 `json:"rect"`
+}
+
+// insertRequest accepts either a single object or a batch.
+type insertRequest struct {
+	itemPayload
+	Items []itemPayload `json:"items"`
+}
+
+type insertResponse struct {
+	Inserted int `json:"inserted"`
+	// IDs echoes the stored IDs only when the server assigned at least
+	// one (requests that name every ID already know them, and echoing
+	// a large batch would dominate the response).
+	IDs  []string `json:"ids,omitempty"`
+	Size int      `json:"size"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad insert body: %w", err))
+		return
+	}
+	items := req.Items
+	if len(items) == 0 {
+		if len(req.Rect) == 0 {
+			httpError(w, http.StatusBadRequest, errors.New("insert needs rect or items"))
+			return
+		}
+		items = []itemPayload{req.itemPayload}
+	}
+	rects := make([]geom.Rect, len(items))
+	data := make([]any, len(items))
+	ids := make([]string, len(items))
+	assigned := false
+	for i, it := range items {
+		rect, err := parseRectSlice(it.Rect)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("items[%d]: %w", i, err))
+			return
+		}
+		id := it.ID
+		if id == "" {
+			id = fmt.Sprintf("obj-%d", s.autoID.Add(1))
+			assigned = true
+		}
+		rects[i], data[i], ids[i] = rect, id, id
+	}
+	if err := r.Context().Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	// One write-lock acquisition for the whole batch.
+	s.tree.InsertBatch(rects, data)
+	resp := insertResponse{Inserted: len(items), Size: s.tree.Len()}
+	if assigned {
+		resp.IDs = ids
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type deleteRequest struct {
+	ID   string    `json:"id"`
+	Rect []float64 `json:"rect"`
+}
+
+type deleteResponse struct {
+	Deleted bool `json:"deleted"`
+	Size    int  `json:"size"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad delete body: %w", err))
+		return
+	}
+	rect, err := parseRectSlice(req.Rect)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" {
+		httpError(w, http.StatusBadRequest, errors.New("delete needs id"))
+		return
+	}
+	ok := s.tree.Delete(rect, req.ID)
+	writeJSON(w, http.StatusOK, deleteResponse{Deleted: ok, Size: s.tree.Len()})
+}
+
+type searchResponse struct {
+	IDs           []string `json:"ids"`
+	Count         int      `json:"count"`
+	Truncated     bool     `json:"truncated,omitempty"`
+	NodesAccessed int      `json:"nodes_accessed"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q, err := cliutil.ParseRect(r.URL.Query().Get("rect"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad rect: %w", err))
+		return
+	}
+	results, stats := s.tree.Search(q)
+	s.metrics.endpoint("search").addNodeAccesses(stats.NodesAccessed)
+	resp := searchResponse{Count: len(results), NodesAccessed: stats.NodesAccessed}
+	n := len(results)
+	if n > s.cfg.MaxResults {
+		n, resp.Truncated = s.cfg.MaxResults, true
+	}
+	resp.IDs = make([]string, 0, n)
+	for _, d := range results[:n] {
+		resp.IDs = append(resp.IDs, fmt.Sprint(d))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type knnNeighbor struct {
+	ID     string    `json:"id"`
+	Rect   []float64 `json:"rect"`
+	DistSq float64   `json:"distsq"`
+}
+
+type knnResponse struct {
+	Neighbors     []knnNeighbor `json:"neighbors"`
+	NodesAccessed int           `json:"nodes_accessed"`
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	p, err := cliutil.ParsePoint(r.URL.Query().Get("point"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad point: %w", err))
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if _, err := fmt.Sscanf(ks, "%d", &k); err != nil || k <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+			return
+		}
+	}
+	if k > s.cfg.MaxResults {
+		k = s.cfg.MaxResults
+	}
+	neighbors, stats := s.tree.KNN(p, k)
+	s.metrics.endpoint("knn").addNodeAccesses(stats.NodesAccessed)
+	resp := knnResponse{NodesAccessed: stats.NodesAccessed, Neighbors: make([]knnNeighbor, len(neighbors))}
+	for i, nb := range neighbors {
+		resp.Neighbors[i] = knnNeighbor{
+			ID:     fmt.Sprint(nb.Data),
+			Rect:   []float64{nb.Rect.MinX, nb.Rect.MinY, nb.Rect.MaxX, nb.Rect.MaxY},
+			DistSq: nb.DistSq,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the /stats payload; EndpointStats documents the
+// per-endpoint half.
+type statsResponse struct {
+	Index         string                   `json:"index"`
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Tree          treeStatsPayload         `json:"tree"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Snapshots     snapshotStats            `json:"snapshots"`
+}
+
+type treeStatsPayload struct {
+	Size        int     `json:"size"`
+	Height      int     `json:"height"`
+	Nodes       int     `json:"nodes"`
+	Leaves      int     `json:"leaves"`
+	AvgFill     float64 `json:"avg_fill"`
+	MemoryBytes int64   `json:"memory_bytes"`
+}
+
+type snapshotStats struct {
+	Path    string `json:"path,omitempty"`
+	Written int64  `json:"written"`
+	LastRFC string `json:"last,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsPayload())
+}
+
+func (s *Server) statsPayload() statsResponse {
+	var ts rtree.TreeStats
+	s.tree.View(func(t *rtree.Tree) { ts = t.Stats() })
+	resp := statsResponse{
+		Index:         s.cfg.IndexName,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Tree: treeStatsPayload{
+			Size:        ts.Size,
+			Height:      ts.Height,
+			Nodes:       ts.Nodes,
+			Leaves:      ts.Leaves,
+			AvgFill:     ts.AvgFill,
+			MemoryBytes: ts.MemoryBytes,
+		},
+		Endpoints: s.metrics.snapshot(),
+		Snapshots: snapshotStats{Path: s.cfg.SnapshotPath, Written: s.snapshots.Load()},
+	}
+	if ns := s.lastSnap.Load(); ns != 0 {
+		resp.Snapshots.LastRFC = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	return resp
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SnapshotPath == "" {
+		httpError(w, http.StatusServiceUnavailable, errors.New("snapshotting disabled (no -snapshot path)"))
+		return
+	}
+	if err := s.SaveSnapshot(); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":    s.cfg.SnapshotPath,
+		"written": s.snapshots.Load(),
+	})
+}
+
+// parseRectSlice validates the wire form [minx, miny, maxx, maxy].
+func parseRectSlice(v []float64) (geom.Rect, error) {
+	if len(v) != 4 {
+		return geom.Rect{}, fmt.Errorf("rect needs 4 numbers, got %d", len(v))
+	}
+	for _, f := range v {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return geom.Rect{}, fmt.Errorf("rect has non-finite coordinate %v", f)
+		}
+	}
+	r := geom.Rect{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}
+	if !r.Valid() {
+		return geom.Rect{}, fmt.Errorf("invalid rect %v (min > max)", r)
+	}
+	return r, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

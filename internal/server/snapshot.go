@@ -1,0 +1,89 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// SaveSnapshot writes the current tree to Config.SnapshotPath with the
+// gob encoding of rtree.(*Tree).Encode. The tree is cloned under the
+// read lock and encoded outside it, so disk I/O never blocks writers;
+// the file is written to a temp sibling and renamed into place, so a
+// crash mid-write leaves the previous snapshot intact.
+func (s *Server) SaveSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return fmt.Errorf("server: no snapshot path configured")
+	}
+	snap := s.tree.Snapshot()
+	if err := writeTreeAtomic(s.cfg.SnapshotPath, snap); err != nil {
+		return err
+	}
+	s.snapshots.Add(1)
+	s.lastSnap.Store(time.Now().UnixNano())
+	return nil
+}
+
+func writeTreeAtomic(path string, t *rtree.Tree) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("server: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := t.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot restores a tree from a snapshot file. opts supplies the
+// insertion strategies for the restored tree's future writes — build it
+// with cliutil.IndexOptions so a server restarted with the same -policy /
+// -index flags keeps the insertion behaviour its snapshot was built
+// with. Returns os.ErrNotExist (wrapped) when no snapshot exists yet.
+func LoadSnapshot(path string, opts rtree.Options) (*rtree.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: open snapshot: %w", err)
+	}
+	defer f.Close()
+	t, err := rtree.Decode(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("server: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// snapshotLoop writes periodic background snapshots until Close.
+func (s *Server) snapshotLoop() {
+	defer close(s.snapLoopWG)
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSnap:
+			return
+		case <-t.C:
+			if err := s.SaveSnapshot(); err != nil {
+				s.cfg.Logf("background snapshot failed: %v", err)
+			} else {
+				s.cfg.Logf("background snapshot written (%d objects)", s.tree.Len())
+			}
+		}
+	}
+}

@@ -153,6 +153,21 @@ func TrainCombined(data []Rect, cfg TrainConfig) (*Policy, *TrainReport, error) 
 // LoadPolicy reads a policy saved with Policy.Save.
 func LoadPolicy(path string) (*Policy, error) { return core.LoadPolicy(path) }
 
+// ConcurrentTree is a Tree behind a readers-writer lock: queries run
+// concurrently under the shared lock, mutations serialize through the
+// exclusive lock, and InsertBatch amortizes one lock acquisition over a
+// whole batch. It is the index type the HTTP serving layer
+// (internal/server, cmd/rlr-serve) puts on the network.
+type ConcurrentTree = rtree.ConcurrentTree
+
+// NewConcurrentTree wraps t for concurrent use. The caller must stop
+// using t directly.
+func NewConcurrentTree(t *Tree) *ConcurrentTree { return rtree.NewConcurrent(t) }
+
+// TreeStats summarizes a tree's structure (size, height, node counts,
+// fill, memory footprint); see (*Tree).Stats.
+type TreeStats = rtree.TreeStats
+
 // Item is one object for bulk loading: a bounding rectangle plus payload.
 type Item = rtree.Item
 

@@ -174,6 +174,29 @@ func TestPublicBulkLoadAndSerialization(t *testing.T) {
 	}
 }
 
+func TestPublicConcurrentTree(t *testing.T) {
+	ct := rlrtree.NewConcurrentTree(rlrtree.New(rlrtree.Options{MaxEntries: 16, MinEntries: 6}))
+	data := trainData(500)
+	rects := make([]rlrtree.Rect, len(data))
+	payloads := make([]any, len(data))
+	for i, r := range data {
+		rects[i], payloads[i] = r, i
+	}
+	ct.InsertBatch(rects, payloads)
+	if ct.Len() != len(data) {
+		t.Fatalf("len %d", ct.Len())
+	}
+	res, stats := ct.Search(rlrtree.NewRect(0, 0, 1, 1))
+	if len(res) != len(data) || stats.NodesAccessed == 0 {
+		t.Fatalf("search: %d results, %+v", len(res), stats)
+	}
+	var ts rlrtree.TreeStats
+	ct.View(func(tr *rlrtree.Tree) { ts = tr.Stats() })
+	if ts.Size != len(data) || ts.Nodes == 0 {
+		t.Fatalf("stats: %+v", ts)
+	}
+}
+
 func TestPublicIteratorJoinAndPager(t *testing.T) {
 	data := trainData(2000)
 	tree := rlrtree.New(rlrtree.Options{MaxEntries: 16, MinEntries: 6})
