@@ -12,6 +12,7 @@ package rlrtree_test
 // full -bench=. run trains each configuration once.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -232,3 +233,133 @@ func BenchmarkTrainStep(b *testing.B) {
 // BenchmarkIO regenerates the disk-deployment extension: relative page
 // faults under LRU buffer pools of varying size.
 func BenchmarkIO(b *testing.B) { benchExperiment(b, "io") }
+
+// --- Query-kernel benchmarks (allocation profile) -------------------------
+//
+// These size-swept benchmarks pin the allocation behaviour of the iterative,
+// scratch-pooled query kernels: SearchCount, SearchEach and the Append
+// variants must report 0 allocs/op in steady state; Search and KNN allocate
+// exactly their returned result slice. Results are recorded in
+// BENCH_queries.json and EXPERIMENTS.md.
+
+var queryBenchTrees = map[int]*rlrtree.Tree{}
+
+// queryBenchTree builds (once per size, cached across benchmarks) a GAU
+// tree at the paper's node capacities.
+func queryBenchTree(b *testing.B, n int) *rlrtree.Tree {
+	b.Helper()
+	if t, ok := queryBenchTrees[n]; ok {
+		return t
+	}
+	data := dataset.MustGenerate(dataset.GAU, n, 1)
+	t := rlrtree.New(rlrtree.Options{})
+	for i, r := range data {
+		t.Insert(r, i)
+	}
+	queryBenchTrees[n] = t
+	return t
+}
+
+var queryBenchSizes = []int{10_000, 100_000, 400_000}
+
+func benchSizes(b *testing.B, fn func(b *testing.B, tree *rlrtree.Tree)) {
+	b.Helper()
+	for _, n := range queryBenchSizes {
+		tree := queryBenchTree(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b, tree)
+		})
+	}
+}
+
+// BenchmarkSearchCount is the training-reward hot path: counting window
+// queries at the paper's default 0.01% query size. Pooled path: 0 allocs/op.
+func BenchmarkSearchCount(b *testing.B) {
+	queries := dataset.RangeQueries(1024, 0.0001, rlrtree.NewRect(0, 0, 1, 1), 2)
+	benchSizes(b, func(b *testing.B, tree *rlrtree.Tree) {
+		for i := 0; i < b.N; i++ {
+			tree.SearchCount(queries[i%len(queries)])
+		}
+	})
+}
+
+// BenchmarkSearchWindow measures materializing range search (allocates the
+// returned payload slice only).
+func BenchmarkSearchWindow(b *testing.B) {
+	queries := dataset.RangeQueries(1024, 0.0001, rlrtree.NewRect(0, 0, 1, 1), 2)
+	benchSizes(b, func(b *testing.B, tree *rlrtree.Tree) {
+		for i := 0; i < b.N; i++ {
+			tree.Search(queries[i%len(queries)])
+		}
+	})
+}
+
+// BenchmarkSearchAppend reuses the caller's result buffer. Pooled path:
+// 0 allocs/op in steady state.
+func BenchmarkSearchAppend(b *testing.B) {
+	queries := dataset.RangeQueries(1024, 0.0001, rlrtree.NewRect(0, 0, 1, 1), 2)
+	benchSizes(b, func(b *testing.B, tree *rlrtree.Tree) {
+		var dst []any
+		for i := 0; i < b.N; i++ {
+			dst, _ = tree.SearchAppend(queries[i%len(queries)], dst[:0])
+		}
+	})
+}
+
+// BenchmarkSearchEach streams matches through a callback. Pooled path:
+// 0 allocs/op.
+func BenchmarkSearchEach(b *testing.B) {
+	queries := dataset.RangeQueries(1024, 0.0001, rlrtree.NewRect(0, 0, 1, 1), 2)
+	sink := func(rlrtree.Rect, any) {}
+	benchSizes(b, func(b *testing.B, tree *rlrtree.Tree) {
+		for i := 0; i < b.N; i++ {
+			tree.SearchEach(queries[i%len(queries)], sink)
+		}
+	})
+}
+
+// BenchmarkKNN25 measures exact 25-NN (allocates the returned neighbor
+// slice only).
+func BenchmarkKNN25(b *testing.B) {
+	points := dataset.KNNQueryPoints(1024, rlrtree.NewRect(0, 0, 1, 1), 3)
+	benchSizes(b, func(b *testing.B, tree *rlrtree.Tree) {
+		for i := 0; i < b.N; i++ {
+			tree.KNN(points[i%len(points)], 25)
+		}
+	})
+}
+
+// BenchmarkKNNAppend25 reuses the caller's neighbor buffer. Pooled path:
+// 0 allocs/op in steady state.
+func BenchmarkKNNAppend25(b *testing.B) {
+	points := dataset.KNNQueryPoints(1024, rlrtree.NewRect(0, 0, 1, 1), 3)
+	benchSizes(b, func(b *testing.B, tree *rlrtree.Tree) {
+		var dst []rlrtree.Neighbor
+		for i := 0; i < b.N; i++ {
+			dst, _ = tree.KNNAppend(points[i%len(points)], 25, dst[:0])
+		}
+	})
+}
+
+// BenchmarkKNNBestFirst25 measures the pooled best-first traversal across
+// tree sizes (the k-sized result slice is its only allocation).
+func BenchmarkKNNBestFirst25(b *testing.B) {
+	points := dataset.KNNQueryPoints(1024, rlrtree.NewRect(0, 0, 1, 1), 3)
+	benchSizes(b, func(b *testing.B, tree *rlrtree.Tree) {
+		for i := 0; i < b.N; i++ {
+			tree.KNNBestFirst(points[i%len(points)], 25)
+		}
+	})
+}
+
+// BenchmarkContainsPoint measures the point-containment probe. Pooled
+// path: 0 allocs/op.
+func BenchmarkContainsPoint(b *testing.B) {
+	points := dataset.KNNQueryPoints(1024, rlrtree.NewRect(0, 0, 1, 1), 3)
+	benchSizes(b, func(b *testing.B, tree *rlrtree.Tree) {
+		for i := 0; i < b.N; i++ {
+			tree.ContainsPoint(points[i%len(points)])
+		}
+	})
+}

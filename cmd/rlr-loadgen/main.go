@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -212,10 +213,7 @@ func queryPhase(client *http.Client, addr string, queries int, size, knnFrac flo
 		return fmt.Errorf("all %d queries failed (last phase saw %d errors)", queries, errors)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(q float64) time.Duration {
-		i := int(q * float64(len(lats)-1))
-		return lats[i]
-	}
+	pct := func(q float64) time.Duration { return percentile(lats, q) }
 	var total time.Duration
 	for _, l := range lats {
 		total += l
@@ -232,6 +230,26 @@ func queryPhase(client *http.Client, addr string, queries int, size, knnFrac flo
 		pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 	fmt.Printf("        node accesses: %d total, %.1f per query\n", nodes, float64(nodes)/float64(len(lats)))
 	return nil
+}
+
+// percentile returns the nearest-rank q-quantile of the sorted latency
+// slice: the smallest observation with at least q·n observations at or
+// below it (rank ceil(q·n), clamped to the slice). The floored
+// interpolation index this replaces (int(q·(n-1))) under-reported tail
+// percentiles — on 100 samples it returned the 99th-smallest value as
+// "p99" instead of the 100th, hiding the worst observed latency entirely.
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(lats)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(lats) {
+		i = len(lats) - 1
+	}
+	return lats[i]
 }
 
 func fatal(err error) {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileNearestRank pins the nearest-rank definition on a known
+// latency slice, including the small-run tails the floored index got
+// wrong: on 100 sorted samples 1ms..100ms, p99 must be the 99th-smallest
+// value's successor rank (ceil(0.99·100) = 99 → 99ms) and p100 the max.
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+	lats100 := make([]time.Duration, 100)
+	for i := range lats100 {
+		lats100[i] = ms(i + 1)
+	}
+	lats10 := make([]time.Duration, 10)
+	for i := range lats10 {
+		lats10[i] = ms(i + 1)
+	}
+
+	cases := []struct {
+		name string
+		lats []time.Duration
+		q    float64
+		want time.Duration
+	}{
+		{"empty", nil, 0.99, 0},
+		{"single", []time.Duration{ms(7)}, 0.5, ms(7)},
+		{"single-p99", []time.Duration{ms(7)}, 0.99, ms(7)},
+		{"p50-of-10", lats10, 0.50, ms(5)},
+		{"p90-of-10", lats10, 0.90, ms(9)},
+		// The seed's floored index reported int(0.99*9) = 8 → 9ms here,
+		// i.e. p99 of a 10-sample run silently excluded the maximum.
+		{"p99-of-10", lats10, 0.99, ms(10)},
+		{"p100-of-10", lats10, 1.0, ms(10)},
+		{"p50-of-100", lats100, 0.50, ms(50)},
+		{"p99-of-100", lats100, 0.99, ms(99)},
+		{"p999-of-100", lats100, 0.999, ms(100)},
+		{"q-zero", lats10, 0, ms(1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := percentile(c.lats, c.q); got != c.want {
+				t.Fatalf("percentile(n=%d, q=%g) = %v, want %v", len(c.lats), c.q, got, c.want)
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +44,7 @@ func main() {
 		reqTimeout  = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout")
 		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
 		maxResults  = flag.Int("max-results", server.DefaultMaxResults, "maximum ids per /search response")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU, heap, allocs profiles)")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -93,6 +95,16 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if *pprofOn {
+		// Mounted outside srv.Handler() so profiles escape the request
+		// timeout (a 30 s CPU profile outlives any query deadline).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Printf("pprof enabled on /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,

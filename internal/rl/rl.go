@@ -39,6 +39,7 @@ type ReplayBuffer struct {
 	buf  []Transition
 	next int
 	full bool
+	perm []int // reusable index permutation for without-replacement draws
 }
 
 // NewReplayBuffer returns a buffer holding at most capacity transitions.
@@ -74,15 +75,35 @@ func (b *ReplayBuffer) Reset() {
 	b.full = false
 }
 
-// Sample draws n transitions uniformly at random with replacement. It
-// returns fewer when the buffer holds fewer than one.
+// Sample draws n transitions uniformly at random, and returns nil when
+// the buffer is empty. Whenever the buffer holds at least n transitions
+// the draw is without replacement (a partial Fisher–Yates shuffle over an
+// index permutation), so a minibatch never contains duplicate transitions
+// that would over-weight their TD errors in the batch gradient. Only when
+// n exceeds the buffer size does it fall back to drawing with
+// replacement, keeping early-training minibatches at full batch size.
 func (b *ReplayBuffer) Sample(rng *rand.Rand, n int) []Transition {
 	if len(b.buf) == 0 {
 		return nil
 	}
 	out := make([]Transition, n)
-	for i := range out {
-		out[i] = b.buf[rng.Intn(len(b.buf))]
+	if n > len(b.buf) {
+		for i := range out {
+			out[i] = b.buf[rng.Intn(len(b.buf))]
+		}
+		return out
+	}
+	if cap(b.perm) < len(b.buf) {
+		b.perm = make([]int, len(b.buf))
+	}
+	perm := b.perm[:len(b.buf)]
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(perm)-i)
+		perm[i], perm[j] = perm[j], perm[i]
+		out[i] = b.buf[perm[i]]
 	}
 	return out
 }

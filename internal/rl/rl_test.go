@@ -305,3 +305,80 @@ func TestLinearQNetwork(t *testing.T) {
 		t.Fatalf("linear net did not train")
 	}
 }
+
+// TestSampleWithoutReplacement: whenever the buffer holds at least n
+// transitions, a minibatch must contain n distinct transitions — duplicate
+// draws over-weight a transition's TD error in the batch gradient.
+func TestSampleWithoutReplacement(t *testing.T) {
+	b := NewReplayBuffer(64)
+	for i := 0; i < 64; i++ {
+		b.Add(Transition{Reward: float64(i)})
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		batch := b.Sample(rng, 32)
+		if len(batch) != 32 {
+			t.Fatalf("batch size %d, want 32", len(batch))
+		}
+		seen := make(map[float64]bool, len(batch))
+		for _, tr := range batch {
+			if seen[tr.Reward] {
+				t.Fatalf("trial %d: transition %v drawn twice in one minibatch", trial, tr.Reward)
+			}
+			seen[tr.Reward] = true
+		}
+	}
+	// n == Len: the batch must be a full permutation of the buffer.
+	batch := b.Sample(rng, 64)
+	distinct := make(map[float64]bool, len(batch))
+	for _, tr := range batch {
+		distinct[tr.Reward] = true
+	}
+	if len(distinct) != 64 {
+		t.Fatalf("full-buffer sample covered %d/64 transitions", len(distinct))
+	}
+}
+
+// TestSampleWithReplacementFallback: a buffer smaller than the batch still
+// yields a full batch (necessarily with duplicates).
+func TestSampleWithReplacementFallback(t *testing.T) {
+	b := NewReplayBuffer(16)
+	for i := 0; i < 3; i++ {
+		b.Add(Transition{Reward: float64(i)})
+	}
+	rng := rand.New(rand.NewSource(10))
+	batch := b.Sample(rng, 8)
+	if len(batch) != 8 {
+		t.Fatalf("batch size %d, want 8 (with-replacement fallback)", len(batch))
+	}
+	for _, tr := range batch {
+		if tr.Reward < 0 || tr.Reward > 2 {
+			t.Fatalf("sampled transition %v not in buffer", tr.Reward)
+		}
+	}
+}
+
+// TestSampleUniformity: without-replacement draws stay uniform — over many
+// minibatches every transition is selected at (approximately) the same
+// rate n/Len.
+func TestSampleUniformity(t *testing.T) {
+	const size, n, rounds = 50, 10, 20000
+	b := NewReplayBuffer(size)
+	for i := 0; i < size; i++ {
+		b.Add(Transition{Reward: float64(i)})
+	}
+	rng := rand.New(rand.NewSource(11))
+	counts := make(map[float64]int, size)
+	for r := 0; r < rounds; r++ {
+		for _, tr := range b.Sample(rng, n) {
+			counts[tr.Reward]++
+		}
+	}
+	want := float64(rounds) * n / size // 4000 expected draws each
+	for i := 0; i < size; i++ {
+		got := float64(counts[float64(i)])
+		if got < want*0.9 || got > want*1.1 {
+			t.Fatalf("transition %d drawn %v times, want ≈%v (±10%%)", i, got, want)
+		}
+	}
+}

@@ -60,6 +60,14 @@ func (c *ConcurrentTree) Search(q geom.Rect) ([]any, QueryStats) {
 	return c.tree.Search(q)
 }
 
+// SearchAppend appends matches to dst under the read lock; with a
+// caller-reused dst the query allocates nothing.
+func (c *ConcurrentTree) SearchAppend(q geom.Rect, dst []any) ([]any, QueryStats) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.SearchAppend(q, dst)
+}
+
 // SearchCount counts matches under the read lock.
 func (c *ConcurrentTree) SearchCount(q geom.Rect) QueryStats {
 	c.mu.RLock()
@@ -67,11 +75,34 @@ func (c *ConcurrentTree) SearchCount(q geom.Rect) QueryStats {
 	return c.tree.SearchCount(q)
 }
 
+// SearchEach streams matches to fn under the read lock. fn must not call
+// back into the tree (the lock is held) and must not block.
+func (c *ConcurrentTree) SearchEach(q geom.Rect, fn func(geom.Rect, any)) QueryStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.SearchEach(q, fn)
+}
+
+// ContainsPoint reports point containment under the read lock.
+func (c *ConcurrentTree) ContainsPoint(p geom.Point) (bool, QueryStats) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.ContainsPoint(p)
+}
+
 // KNN runs a nearest-neighbor query under the read lock.
 func (c *ConcurrentTree) KNN(p geom.Point, k int) ([]Neighbor, QueryStats) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.tree.KNN(p, k)
+}
+
+// KNNAppend appends the k nearest neighbors to dst under the read lock;
+// with a caller-reused dst the query allocates nothing.
+func (c *ConcurrentTree) KNNAppend(p geom.Point, k int, dst []Neighbor) ([]Neighbor, QueryStats) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.KNNAppend(p, k, dst)
 }
 
 // Len returns the object count under the read lock.

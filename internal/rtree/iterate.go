@@ -1,8 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
-
 	"github.com/rlr-tree/rlrtree/internal/geom"
 )
 
@@ -13,7 +11,9 @@ import (
 // "expand until three results pass a filter").
 //
 // The iterator holds references into the tree; mutating the tree
-// invalidates it.
+// invalidates it. The priority queue is owned by the iterator (not the
+// query-scratch pool — an iterator's lifetime is caller-controlled) but
+// uses the same allocation-free sift loops as the pooled kernels.
 type NearestIter struct {
 	tree  *Tree
 	point geom.Point
@@ -25,7 +25,7 @@ type NearestIter struct {
 func (t *Tree) NewNearestIter(p geom.Point) *NearestIter {
 	it := &NearestIter{tree: t, point: p}
 	if t.size > 0 {
-		heap.Push(&it.pq, bfItem{node: t.root, dist: t.root.MBR().MinDistSq(p)})
+		it.pq.push(bfItem{node: t.root, dist: t.root.MBR().MinDistSq(p)})
 	}
 	return it
 }
@@ -33,8 +33,8 @@ func (t *Tree) NewNearestIter(p geom.Point) *NearestIter {
 // Next returns the next nearest object, or false when the tree is
 // exhausted.
 func (it *NearestIter) Next() (Neighbor, bool) {
-	for it.pq.Len() > 0 {
-		item := heap.Pop(&it.pq).(bfItem)
+	for len(it.pq) > 0 {
+		item := it.pq.pop()
 		if item.node == nil {
 			it.stats.Results++
 			return Neighbor{Rect: item.rect, Data: item.data, DistSq: item.dist}, true
@@ -44,13 +44,13 @@ func (it *NearestIter) Next() (Neighbor, bool) {
 			it.stats.LeavesAccessed++
 			for i := range item.node.entries {
 				e := &item.node.entries[i]
-				heap.Push(&it.pq, bfItem{rect: e.Rect, data: e.Data, dist: e.Rect.MinDistSq(it.point)})
+				it.pq.push(bfItem{rect: e.Rect, data: e.Data, dist: e.Rect.MinDistSq(it.point)})
 			}
 			continue
 		}
 		for i := range item.node.entries {
 			e := &item.node.entries[i]
-			heap.Push(&it.pq, bfItem{node: e.Child, dist: e.Rect.MinDistSq(it.point)})
+			it.pq.push(bfItem{node: e.Child, dist: e.Rect.MinDistSq(it.point)})
 		}
 	}
 	return Neighbor{}, false

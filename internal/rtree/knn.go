@@ -1,9 +1,7 @@
 package rtree
 
 import (
-	"container/heap"
 	"math"
-	"sort"
 
 	"github.com/rlr-tree/rlrtree/internal/geom"
 )
@@ -19,7 +17,8 @@ type Neighbor struct {
 // KNN returns the k stored objects nearest to p (by minimum distance from p
 // to the object MBR), ordered by ascending distance, together with the
 // query statistics. Fewer than k results are returned when the tree holds
-// fewer than k objects.
+// fewer than k objects. The returned slice is freshly allocated; use
+// KNNAppend to amortize it.
 //
 // The algorithm is the branch-and-bound depth-first traversal of
 // Roussopoulos, Kelley and Vincent (SIGMOD 1995) — the algorithm the
@@ -32,71 +31,96 @@ func (t *Tree) KNN(p geom.Point, k int) ([]Neighbor, QueryStats) {
 	if k <= 0 || t.size == 0 {
 		return nil, stats
 	}
-	best := &knnHeap{}
-	t.knnNode(t.root, p, k, best, &stats)
-
-	out := make([]Neighbor, len(*best))
-	copy(out, *best)
-	sort.Slice(out, func(i, j int) bool { return out[i].DistSq < out[j].DistSq })
+	sc := getScratch()
+	t.knnSearch(p, k, sc, &stats)
+	out := make([]Neighbor, len(sc.best))
+	sc.best.drainAscending(out)
+	sc.release()
 	stats.Results = len(out)
 	return out, stats
 }
 
-func (t *Tree) knnNode(n *Node, p geom.Point, k int, best *knnHeap, stats *QueryStats) {
-	stats.NodesAccessed++
-	if n.leaf {
-		stats.LeavesAccessed++
-		for i := range n.entries {
-			d := n.entries[i].Rect.MinDistSq(p)
-			if len(*best) < k {
-				heap.Push(best, Neighbor{Rect: n.entries[i].Rect, Data: n.entries[i].Data, DistSq: d})
-			} else if d < (*best)[0].DistSq {
-				(*best)[0] = Neighbor{Rect: n.entries[i].Rect, Data: n.entries[i].Data, DistSq: d}
-				heap.Fix(best, 0)
+// KNNAppend appends the k nearest neighbors of p to dst in ascending
+// distance order and returns the extended slice. When dst has sufficient
+// capacity the query performs no heap allocation. Stats count only this
+// query; Results is the number of neighbors appended.
+func (t *Tree) KNNAppend(p geom.Point, k int, dst []Neighbor) ([]Neighbor, QueryStats) {
+	var stats QueryStats
+	if k <= 0 || t.size == 0 {
+		return dst, stats
+	}
+	sc := getScratch()
+	t.knnSearch(p, k, sc, &stats)
+	start := len(dst)
+	for range sc.best {
+		dst = append(dst, Neighbor{})
+	}
+	sc.best.drainAscending(dst[start:])
+	sc.release()
+	stats.Results = len(dst) - start
+	return dst, stats
+}
+
+// knnSearch is the iterative form of the recursive branch-and-bound
+// descent. Each visited internal node becomes a knnFrame whose
+// MINDIST-sorted branches live in a stacked arena (sc.branches); resuming a
+// frame after a subtree returns re-reads the pruning bound, exactly like
+// the recursive loop re-evaluating the k-th best distance between sibling
+// visits. On return sc.best holds the (at most k) nearest neighbors as a
+// max-heap.
+func (t *Tree) knnSearch(p geom.Point, k int, sc *queryScratch, stats *QueryStats) {
+	node := t.root
+	for {
+		stats.NodesAccessed++
+		if node.leaf {
+			stats.LeavesAccessed++
+			for i := range node.entries {
+				d := node.entries[i].Rect.MinDistSq(p)
+				if len(sc.best) < k {
+					sc.best.push(Neighbor{Rect: node.entries[i].Rect, Data: node.entries[i].Data, DistSq: d})
+				} else if d < sc.best[0].DistSq {
+					sc.best[0] = Neighbor{Rect: node.entries[i].Rect, Data: node.entries[i].Data, DistSq: d}
+					sc.best.fixRoot()
+				}
 			}
+		} else {
+			lo := len(sc.branches)
+			for i := range node.entries {
+				sc.branches = append(sc.branches, knnBranch{
+					child: node.entries[i].Child,
+					dist:  node.entries[i].Rect.MinDistSq(p),
+				})
+			}
+			sortBranchesByDist(sc.branches[lo:])
+			sc.frames = append(sc.frames, knnFrame{lo: lo, hi: len(sc.branches), cur: lo})
 		}
-		return
-	}
 
-	// Visit children in MINDIST order; prune against the k-th best.
-	type branch struct {
-		child *Node
-		dist  float64
-	}
-	branches := make([]branch, len(n.entries))
-	for i := range n.entries {
-		branches[i] = branch{child: n.entries[i].Child, dist: n.entries[i].Rect.MinDistSq(p)}
-	}
-	sort.Slice(branches, func(i, j int) bool { return branches[i].dist < branches[j].dist })
-	for _, b := range branches {
-		if b.dist > kthBestDist(best, k) {
-			break // all following branches are at least as far
+		// Resume the innermost unfinished frame: visit its next branch or,
+		// when the branch's MINDIST exceeds the current bound, abandon the
+		// frame's remaining (farther) branches — the recursive "break".
+		descend := false
+		for len(sc.frames) > 0 {
+			f := &sc.frames[len(sc.frames)-1]
+			if f.cur < f.hi {
+				b := sc.branches[f.cur]
+				f.cur++
+				bound := math.Inf(1)
+				if len(sc.best) >= k {
+					bound = sc.best[0].DistSq
+				}
+				if b.dist > bound {
+					f.cur = f.hi
+					continue
+				}
+				node = b.child
+				descend = true
+				break
+			}
+			sc.branches = sc.branches[:f.lo]
+			sc.frames = sc.frames[:len(sc.frames)-1]
 		}
-		t.knnNode(b.child, p, k, best, stats)
+		if !descend {
+			return
+		}
 	}
-}
-
-// kthBestDist returns the current pruning bound: +Inf until k results are
-// collected, then the k-th smallest distance so far.
-func kthBestDist(best *knnHeap, k int) float64 {
-	if len(*best) < k {
-		return math.Inf(1)
-	}
-	return (*best)[0].DistSq
-}
-
-// knnHeap is a max-heap of the k best neighbors so far, ordered by DistSq
-// (the root is the worst of the current best).
-type knnHeap []Neighbor
-
-func (h knnHeap) Len() int           { return len(h) }
-func (h knnHeap) Less(i, j int) bool { return h[i].DistSq > h[j].DistSq }
-func (h knnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *knnHeap) Push(x any)        { *h = append(*h, x.(Neighbor)) }
-func (h *knnHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

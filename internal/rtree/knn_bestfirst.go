@@ -1,8 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
-
 	"github.com/rlr-tree/rlrtree/internal/geom"
 )
 
@@ -14,18 +12,23 @@ import (
 // order. Best-first is I/O-optimal — it expands no node whose MINDIST
 // exceeds the k-th neighbor distance — and is provided as an alternative
 // query algorithm; its node accesses lower-bound the DFS variant's.
+//
+// The priority queue comes from the pooled query scratch and is operated
+// with direct sift loops, so the only allocation in steady state is the
+// returned result slice.
 func (t *Tree) KNNBestFirst(p geom.Point, k int) ([]Neighbor, QueryStats) {
 	var stats QueryStats
 	if k <= 0 || t.size == 0 {
 		return nil, stats
 	}
 
-	pq := &bfHeap{}
-	heap.Push(pq, bfItem{node: t.root, dist: t.root.MBR().MinDistSq(p)})
+	sc := getScratch()
+	pq := &sc.bf
+	pq.push(bfItem{node: t.root, dist: t.root.MBR().MinDistSq(p)})
 
 	out := make([]Neighbor, 0, k)
-	for pq.Len() > 0 && len(out) < k {
-		it := heap.Pop(pq).(bfItem)
+	for len(*pq) > 0 && len(out) < k {
+		it := pq.pop()
 		if it.node == nil {
 			out = append(out, Neighbor{Rect: it.rect, Data: it.data, DistSq: it.dist})
 			continue
@@ -35,44 +38,16 @@ func (t *Tree) KNNBestFirst(p geom.Point, k int) ([]Neighbor, QueryStats) {
 			stats.LeavesAccessed++
 			for i := range it.node.entries {
 				e := &it.node.entries[i]
-				heap.Push(pq, bfItem{rect: e.Rect, data: e.Data, dist: e.Rect.MinDistSq(p)})
+				pq.push(bfItem{rect: e.Rect, data: e.Data, dist: e.Rect.MinDistSq(p)})
 			}
 			continue
 		}
 		for i := range it.node.entries {
 			e := &it.node.entries[i]
-			heap.Push(pq, bfItem{node: e.Child, dist: e.Rect.MinDistSq(p)})
+			pq.push(bfItem{node: e.Child, dist: e.Rect.MinDistSq(p)})
 		}
 	}
+	sc.release()
 	stats.Results = len(out)
 	return out, stats
-}
-
-// bfItem is either an unexpanded node (node != nil) or a candidate object.
-type bfItem struct {
-	node *Node
-	rect geom.Rect
-	data any
-	dist float64
-}
-
-type bfHeap []bfItem
-
-func (h bfHeap) Len() int { return len(h) }
-func (h bfHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
-	}
-	// Objects before nodes at equal distance, so ready results are not
-	// delayed behind expansions that cannot beat them.
-	return h[i].node == nil && h[j].node != nil
-}
-func (h bfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *bfHeap) Push(x any)   { *h = append(*h, x.(bfItem)) }
-func (h *bfHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

@@ -18,87 +18,154 @@ type QueryStats struct {
 	Results int
 }
 
+// The window-search kernels below are iterative: an explicit traversal
+// stack from the pooled queryScratch replaces the seed's recursive
+// searchNode closure. Children are pushed in reverse entry order so the
+// pop order reproduces the recursion's depth-first visit order exactly —
+// node accesses, leaf accesses and emission order are all byte-for-byte
+// those of the recursive kernel. The loop is intentionally written out in
+// each public entry point instead of being shared through a callback:
+// a callback closing over the output would escape to the heap, and these
+// few lines are the hottest code in the repository (every training reward
+// and every served query runs them).
+
 // Search returns the data payloads of all objects whose MBR intersects q,
-// together with the query statistics. Order is unspecified.
+// together with the query statistics. Order is unspecified. The returned
+// slice is freshly allocated; use SearchAppend to amortize it.
 func (t *Tree) Search(q geom.Rect) ([]any, QueryStats) {
-	var (
-		out   []any
-		stats QueryStats
-	)
-	t.searchNode(t.root, q, &stats, func(e Entry) {
-		out = append(out, e.Data)
-	})
-	stats.Results = len(out)
-	return out, stats
+	return t.SearchAppend(q, nil)
+}
+
+// SearchAppend appends the payloads of all objects whose MBR intersects q
+// to dst and returns the extended slice. When dst has sufficient capacity
+// the query performs no heap allocation. Stats count only this query;
+// Results is the number of objects appended.
+func (t *Tree) SearchAppend(q geom.Rect, dst []any) ([]any, QueryStats) {
+	var stats QueryStats
+	start := len(dst)
+	sc := getScratch()
+	stack := append(sc.stack, t.root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.NodesAccessed++
+		if n.leaf {
+			stats.LeavesAccessed++
+			for i := range n.entries {
+				if q.Intersects(n.entries[i].Rect) {
+					dst = append(dst, n.entries[i].Data)
+				}
+			}
+			continue
+		}
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			if q.Intersects(n.entries[i].Rect) {
+				stack = append(stack, n.entries[i].Child)
+			}
+		}
+	}
+	sc.stack = stack
+	sc.release()
+	stats.Results = len(dst) - start
+	return dst, stats
 }
 
 // SearchCount returns the number of objects whose MBR intersects q without
 // materializing the result set. It is the hot path of reward computation
-// during RLR-Tree training, where only node-access counts matter.
+// during RLR-Tree training, where only node-access counts matter. It
+// performs no heap allocation.
 func (t *Tree) SearchCount(q geom.Rect) QueryStats {
 	var stats QueryStats
-	t.searchNode(t.root, q, &stats, func(Entry) {
-		stats.Results++
-	})
+	sc := getScratch()
+	stack := append(sc.stack, t.root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.NodesAccessed++
+		if n.leaf {
+			stats.LeavesAccessed++
+			for i := range n.entries {
+				if q.Intersects(n.entries[i].Rect) {
+					stats.Results++
+				}
+			}
+			continue
+		}
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			if q.Intersects(n.entries[i].Rect) {
+				stack = append(stack, n.entries[i].Child)
+			}
+		}
+	}
+	sc.stack = stack
+	sc.release()
 	return stats
 }
 
 // SearchEach invokes fn for each object whose MBR intersects q. fn receives
-// the object's MBR and payload.
+// the object's MBR and payload. Beyond whatever fn itself does, the query
+// performs no heap allocation.
 func (t *Tree) SearchEach(q geom.Rect, fn func(geom.Rect, any)) QueryStats {
 	var stats QueryStats
-	t.searchNode(t.root, q, &stats, func(e Entry) {
-		stats.Results++
-		fn(e.Rect, e.Data)
-	})
+	sc := getScratch()
+	stack := append(sc.stack, t.root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.NodesAccessed++
+		if n.leaf {
+			stats.LeavesAccessed++
+			for i := range n.entries {
+				if q.Intersects(n.entries[i].Rect) {
+					stats.Results++
+					fn(n.entries[i].Rect, n.entries[i].Data)
+				}
+			}
+			continue
+		}
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			if q.Intersects(n.entries[i].Rect) {
+				stack = append(stack, n.entries[i].Child)
+			}
+		}
+	}
+	sc.stack = stack
+	sc.release()
 	return stats
 }
 
-func (t *Tree) searchNode(n *Node, q geom.Rect, stats *QueryStats, emit func(Entry)) {
-	stats.NodesAccessed++
-	if n.leaf {
-		stats.LeavesAccessed++
-		for i := range n.entries {
-			if q.Intersects(n.entries[i].Rect) {
-				emit(n.entries[i])
-			}
-		}
-		return
-	}
-	for i := range n.entries {
-		if q.Intersects(n.entries[i].Rect) {
-			t.searchNode(n.entries[i].Child, q, stats, emit)
-		}
-	}
-}
-
-// ContainsPoint reports whether any stored object's MBR contains p.
+// ContainsPoint reports whether any stored object's MBR contains p. The
+// traversal stops at the first hit, exactly like the recursive version's
+// early return. It performs no heap allocation.
 func (t *Tree) ContainsPoint(p geom.Point) (bool, QueryStats) {
 	var stats QueryStats
-	found := t.containsPoint(t.root, p, &stats)
+	found := false
+	sc := getScratch()
+	stack := append(sc.stack, t.root)
+	for len(stack) > 0 && !found {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.NodesAccessed++
+		if n.leaf {
+			stats.LeavesAccessed++
+			for i := range n.entries {
+				if n.entries[i].Rect.ContainsPoint(p) {
+					found = true
+					break
+				}
+			}
+			continue
+		}
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			if n.entries[i].Rect.ContainsPoint(p) {
+				stack = append(stack, n.entries[i].Child)
+			}
+		}
+	}
+	sc.stack = stack
+	sc.release()
 	if found {
 		stats.Results = 1
 	}
 	return found, stats
-}
-
-func (t *Tree) containsPoint(n *Node, p geom.Point, stats *QueryStats) bool {
-	stats.NodesAccessed++
-	if n.leaf {
-		stats.LeavesAccessed++
-		for i := range n.entries {
-			if n.entries[i].Rect.ContainsPoint(p) {
-				return true
-			}
-		}
-		return false
-	}
-	for i := range n.entries {
-		if n.entries[i].Rect.ContainsPoint(p) {
-			if t.containsPoint(n.entries[i].Child, p, stats) {
-				return true
-			}
-		}
-	}
-	return false
 }

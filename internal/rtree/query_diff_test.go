@@ -1,0 +1,449 @@
+package rtree
+
+// Differential tests pinning the iterative, pooled query kernels to the
+// seed's recursive implementations. The reference kernels below are the
+// pre-refactor code kept verbatim, with one documented exception: the seed
+// ordered KNN branches with sort.Slice, whose order among exactly tied
+// MINDISTs is unspecified (pdqsort is unstable); the reference uses
+// sort.SliceStable so that ties canonically keep entry order — the same
+// deterministic choice the iterative kernel's stable insertion sort makes.
+// For every query the tests demand identical QueryStats (node accesses are
+// the paper's cost metric, so the refactor must not change them by even
+// one) and identical results.
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// --- reference (seed) kernels --------------------------------------------
+
+func refSearchNode(n *Node, q geom.Rect, stats *QueryStats, emit func(Entry)) {
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			if q.Intersects(n.entries[i].Rect) {
+				emit(n.entries[i])
+			}
+		}
+		return
+	}
+	for i := range n.entries {
+		if q.Intersects(n.entries[i].Rect) {
+			refSearchNode(n.entries[i].Child, q, stats, emit)
+		}
+	}
+}
+
+func refSearch(t *Tree, q geom.Rect) ([]any, QueryStats) {
+	var (
+		out   []any
+		stats QueryStats
+	)
+	refSearchNode(t.root, q, &stats, func(e Entry) {
+		out = append(out, e.Data)
+	})
+	stats.Results = len(out)
+	return out, stats
+}
+
+func refSearchCount(t *Tree, q geom.Rect) QueryStats {
+	var stats QueryStats
+	refSearchNode(t.root, q, &stats, func(Entry) {
+		stats.Results++
+	})
+	return stats
+}
+
+func refContainsPointNode(n *Node, p geom.Point, stats *QueryStats) bool {
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			if n.entries[i].Rect.ContainsPoint(p) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.entries {
+		if n.entries[i].Rect.ContainsPoint(p) {
+			if refContainsPointNode(n.entries[i].Child, p, stats) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func refContainsPoint(t *Tree, p geom.Point) (bool, QueryStats) {
+	var stats QueryStats
+	found := refContainsPointNode(t.root, p, &stats)
+	if found {
+		stats.Results = 1
+	}
+	return found, stats
+}
+
+// refKnnHeap is the seed's container/heap-driven max-heap of the k best.
+type refKnnHeap []Neighbor
+
+func (h refKnnHeap) Len() int           { return len(h) }
+func (h refKnnHeap) Less(i, j int) bool { return h[i].DistSq > h[j].DistSq }
+func (h refKnnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refKnnHeap) Push(x any)        { *h = append(*h, x.(Neighbor)) }
+func (h *refKnnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func refKthBestDist(best *refKnnHeap, k int) float64 {
+	if len(*best) < k {
+		return math.Inf(1)
+	}
+	return (*best)[0].DistSq
+}
+
+func refKNNNode(n *Node, p geom.Point, k int, best *refKnnHeap, stats *QueryStats) {
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			d := n.entries[i].Rect.MinDistSq(p)
+			if len(*best) < k {
+				heap.Push(best, Neighbor{Rect: n.entries[i].Rect, Data: n.entries[i].Data, DistSq: d})
+			} else if d < (*best)[0].DistSq {
+				(*best)[0] = Neighbor{Rect: n.entries[i].Rect, Data: n.entries[i].Data, DistSq: d}
+				heap.Fix(best, 0)
+			}
+		}
+		return
+	}
+	type branch struct {
+		child *Node
+		dist  float64
+	}
+	branches := make([]branch, len(n.entries))
+	for i := range n.entries {
+		branches[i] = branch{child: n.entries[i].Child, dist: n.entries[i].Rect.MinDistSq(p)}
+	}
+	sort.SliceStable(branches, func(i, j int) bool { return branches[i].dist < branches[j].dist })
+	for _, b := range branches {
+		if b.dist > refKthBestDist(best, k) {
+			break
+		}
+		refKNNNode(b.child, p, k, best, stats)
+	}
+}
+
+func refKNN(t *Tree, p geom.Point, k int) ([]Neighbor, QueryStats) {
+	var stats QueryStats
+	if k <= 0 || t.size == 0 {
+		return nil, stats
+	}
+	best := &refKnnHeap{}
+	refKNNNode(t.root, p, k, best, &stats)
+	out := make([]Neighbor, len(*best))
+	copy(out, *best)
+	sort.Slice(out, func(i, j int) bool { return out[i].DistSq < out[j].DistSq })
+	stats.Results = len(out)
+	return out, stats
+}
+
+// refBfHeap is the seed's container/heap-driven best-first queue.
+type refBfHeap []bfItem
+
+func (h refBfHeap) Len() int { return len(h) }
+func (h refBfHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node == nil && h[j].node != nil
+}
+func (h refBfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refBfHeap) Push(x any)   { *h = append(*h, x.(bfItem)) }
+func (h *refBfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func refKNNBestFirst(t *Tree, p geom.Point, k int) ([]Neighbor, QueryStats) {
+	var stats QueryStats
+	if k <= 0 || t.size == 0 {
+		return nil, stats
+	}
+	pq := &refBfHeap{}
+	heap.Push(pq, bfItem{node: t.root, dist: t.root.MBR().MinDistSq(p)})
+	out := make([]Neighbor, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		it := heap.Pop(pq).(bfItem)
+		if it.node == nil {
+			out = append(out, Neighbor{Rect: it.rect, Data: it.data, DistSq: it.dist})
+			continue
+		}
+		stats.NodesAccessed++
+		if it.node.leaf {
+			stats.LeavesAccessed++
+			for i := range it.node.entries {
+				e := &it.node.entries[i]
+				heap.Push(pq, bfItem{rect: e.Rect, data: e.Data, dist: e.Rect.MinDistSq(p)})
+			}
+			continue
+		}
+		for i := range it.node.entries {
+			e := &it.node.entries[i]
+			heap.Push(pq, bfItem{node: e.Child, dist: e.Rect.MinDistSq(p)})
+		}
+	}
+	stats.Results = len(out)
+	return out, stats
+}
+
+// --- tree + query generators ---------------------------------------------
+
+func diffRandRect(rng *rand.Rand) geom.Rect {
+	x, y := rng.Float64(), rng.Float64()
+	if rng.Intn(4) == 0 {
+		return geom.PointRect(geom.Pt(x, y)) // degenerate: exercises ties
+	}
+	w, h := rng.Float64()*0.05, rng.Float64()*0.05
+	return geom.NewRect(x, y, x+w, y+h)
+}
+
+func diffBuildTree(tb testing.TB, rng *rand.Rand, size int, opts Options) *Tree {
+	tb.Helper()
+	t := New(opts)
+	for i := 0; i < size; i++ {
+		t.Insert(diffRandRect(rng), i)
+	}
+	return t
+}
+
+// diffConfigs spans empty through multi-level trees under different
+// capacities and split strategies, so the kernels are compared on root-only,
+// height-2 and height-3+ structures alike.
+func diffConfigs() []struct {
+	name string
+	size int
+	opts Options
+} {
+	return []struct {
+		name string
+		size int
+		opts Options
+	}{
+		{"empty", 0, Options{MaxEntries: 8, MinEntries: 3}},
+		{"rootonly", 5, Options{MaxEntries: 8, MinEntries: 3}},
+		{"height2", 60, Options{MaxEntries: 8, MinEntries: 3}},
+		{"deep", 900, Options{MaxEntries: 8, MinEntries: 3, Splitter: LinearSplit{}}},
+		{"deep-rstar", 900, Options{MaxEntries: 10, MinEntries: 4, Chooser: RStarChooser{}, Splitter: RStarSplit{}}},
+		{"default-caps", 3000, Options{}},
+	}
+}
+
+func TestSearchKernelsMatchRecursive(t *testing.T) {
+	for _, cfg := range diffConfigs() {
+		t.Run(cfg.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			tr := diffBuildTree(t, rng, cfg.size, cfg.opts)
+			for trial := 0; trial < 200; trial++ {
+				q := diffRandRect(rng)
+				wantOut, wantStats := refSearch(tr, q)
+				gotOut, gotStats := tr.Search(q)
+				if gotStats != wantStats {
+					t.Fatalf("Search stats diverged: got %+v want %+v (query %v)", gotStats, wantStats, q)
+				}
+				if !reflect.DeepEqual(gotOut, wantOut) {
+					t.Fatalf("Search results diverged: got %v want %v (query %v)", gotOut, wantOut, q)
+				}
+				if cs := tr.SearchCount(q); cs != refSearchCount(tr, q) {
+					t.Fatalf("SearchCount diverged: got %+v (query %v)", cs, q)
+				}
+				var eachOut []any
+				eachStats := tr.SearchEach(q, func(_ geom.Rect, d any) { eachOut = append(eachOut, d) })
+				if eachStats != wantStats || !reflect.DeepEqual(eachOut, wantOut) {
+					t.Fatalf("SearchEach diverged (query %v)", q)
+				}
+				dst := make([]any, 3, 8) // pre-filled dst: appended tail must match
+				dst[0], dst[1], dst[2] = "a", "b", "c"
+				appOut, appStats := tr.SearchAppend(q, dst)
+				if appStats != wantStats || len(appOut) != 3+len(wantOut) ||
+					appOut[0] != "a" || appOut[1] != "b" || appOut[2] != "c" {
+					t.Fatalf("SearchAppend diverged (query %v)", q)
+				}
+				for i, d := range appOut[3:] {
+					if d != wantOut[i] {
+						t.Fatalf("SearchAppend tail diverged at %d (query %v)", i, q)
+					}
+				}
+
+				p := geom.Pt(rng.Float64(), rng.Float64())
+				wantOk, wantCP := refContainsPoint(tr, p)
+				gotOk, gotCP := tr.ContainsPoint(p)
+				if gotOk != wantOk || gotCP != wantCP {
+					t.Fatalf("ContainsPoint diverged: got (%v,%+v) want (%v,%+v) at %v", gotOk, gotCP, wantOk, wantCP, p)
+				}
+			}
+		})
+	}
+}
+
+// sameNeighbors reports whether two ascending KNN result lists agree:
+// identical distance sequences, and within every group of exactly tied
+// distances the same set of payloads (tie order within a group is
+// unspecified in both implementations).
+func sameNeighbors(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].DistSq != b[i].DistSq {
+			return false
+		}
+	}
+	for lo := 0; lo < len(a); {
+		hi := lo + 1
+		for hi < len(a) && a[hi].DistSq == a[lo].DistSq {
+			hi++
+		}
+		seen := make(map[any]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			seen[a[i].Data]++
+			seen[b[i].Data]--
+		}
+		for _, v := range seen {
+			if v != 0 {
+				return false
+			}
+		}
+		lo = hi
+	}
+	return true
+}
+
+func TestKNNKernelsMatchRecursive(t *testing.T) {
+	for _, cfg := range diffConfigs() {
+		t.Run(cfg.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			tr := diffBuildTree(t, rng, cfg.size, cfg.opts)
+			for trial := 0; trial < 120; trial++ {
+				p := geom.Pt(rng.Float64(), rng.Float64())
+				for _, k := range []int{1, 3, 25, cfg.size + 1} {
+					wantOut, wantStats := refKNN(tr, p, k)
+					gotOut, gotStats := tr.KNN(p, k)
+					if gotStats != wantStats {
+						t.Fatalf("KNN stats diverged (k=%d p=%v): got %+v want %+v", k, p, gotStats, wantStats)
+					}
+					if !sameNeighbors(gotOut, wantOut) {
+						t.Fatalf("KNN results diverged (k=%d p=%v)", k, p)
+					}
+					appOut, appStats := tr.KNNAppend(p, k, make([]Neighbor, 0, k))
+					if appStats != wantStats || !sameNeighbors(appOut, wantOut) {
+						t.Fatalf("KNNAppend diverged (k=%d p=%v)", k, p)
+					}
+
+					wantBF, wantBFStats := refKNNBestFirst(tr, p, k)
+					gotBF, gotBFStats := tr.KNNBestFirst(p, k)
+					if gotBFStats != wantBFStats {
+						t.Fatalf("KNNBestFirst stats diverged (k=%d p=%v): got %+v want %+v", k, p, gotBFStats, wantBFStats)
+					}
+					if !sameNeighbors(gotBF, wantBF) {
+						t.Fatalf("KNNBestFirst results diverged (k=%d p=%v)", k, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzSearchCountMatchesRecursive fuzzes the window-query kernel against
+// the recursive oracle on a fixed tree.
+func FuzzSearchCountMatchesRecursive(f *testing.F) {
+	rng := rand.New(rand.NewSource(31))
+	tr := diffBuildTree(f, rng, 500, Options{MaxEntries: 8, MinEntries: 3})
+	f.Add(0.1, 0.1, 0.3, 0.3)
+	f.Add(0.0, 0.0, 1.0, 1.0)
+	f.Add(0.5, 0.5, 0.5, 0.5)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2 float64) {
+		if math.IsNaN(x1) || math.IsNaN(y1) || math.IsNaN(x2) || math.IsNaN(y2) {
+			t.Skip()
+		}
+		q := geom.NewRect(x1, y1, x2, y2)
+		if got, want := tr.SearchCount(q), refSearchCount(tr, q); got != want {
+			t.Fatalf("SearchCount(%v) = %+v, recursive oracle %+v", q, got, want)
+		}
+	})
+}
+
+// TestPooledScratchConcurrentReaders hammers every pooled kernel from
+// parallel readers of one ConcurrentTree while a writer churns insertions
+// and deletions — under -race this proves scratch recycling never shares
+// state between in-flight queries.
+func TestPooledScratchConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	tr := diffBuildTree(t, rng, 2000, Options{MaxEntries: 16, MinEntries: 6})
+	ct := NewConcurrent(tr)
+
+	const readers = 8
+	const iters = 300
+	var readerWG, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	writerWG.Add(1)
+	go func() { // writer
+		defer writerWG.Done()
+		wrng := rand.New(rand.NewSource(53))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r := diffRandRect(wrng)
+			ct.Insert(r, 100000+i)
+			if i%3 == 0 {
+				ct.Delete(r, 100000+i)
+			}
+		}
+	}()
+
+	for w := 0; w < readers; w++ {
+		readerWG.Add(1)
+		go func(seed int64) {
+			defer readerWG.Done()
+			rrng := rand.New(rand.NewSource(seed))
+			var dst []any
+			var nbs []Neighbor
+			for i := 0; i < iters; i++ {
+				q := diffRandRect(rrng)
+				p := geom.Pt(rrng.Float64(), rrng.Float64())
+				ct.SearchCount(q)
+				dst, _ = ct.SearchAppend(q, dst[:0])
+				ct.SearchEach(q, func(geom.Rect, any) {})
+				ct.ContainsPoint(p)
+				nbs, _ = ct.KNNAppend(p, 10, nbs[:0])
+				if _, stats := ct.KNN(p, 5); stats.NodesAccessed < 1 {
+					t.Error("KNN accessed no nodes")
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+}

@@ -1,0 +1,223 @@
+package rtree
+
+import (
+	"sync"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// This file is the scratch-state layer behind the iterative query kernels
+// in query.go, knn.go and knn_bestfirst.go. The kernels replace the seed's
+// recursive, closure-driven traversals: every piece of per-query state — the
+// window-search traversal stack, the KNN branch arena and frame stack, the
+// KNN result heap, and the best-first priority queue — lives in one
+// queryScratch recycled through a package-level sync.Pool. Tree,
+// ConcurrentTree and the HTTP serving layer all reach the kernels through
+// the same package, so they share one pool, and a steady-state query
+// performs zero heap allocations inside the index.
+//
+// The heaps are operated with hand-written sift loops on the concrete
+// element types rather than container/heap, whose interface methods box
+// every pushed element into an `any` (one allocation per push — the
+// dominant cost of the seed's best-first KNN). The sift loops replicate
+// container/heap's up/down algorithms exactly, so the heap arrangement, and
+// therefore every pop order and every pruning bound, is byte-for-byte the
+// arrangement the seed produced.
+
+// knnBranch is one child subtree of an internal node together with its
+// MINDIST from the query point.
+type knnBranch struct {
+	child *Node
+	dist  float64
+}
+
+// knnFrame is one suspended internal node of the iterative KNN descent: its
+// MINDIST-sorted branches occupy branches[lo:hi] of the scratch arena and
+// cur indexes the next branch to visit. Setting cur = hi abandons the
+// remaining branches (the pruning "break" of the recursive formulation).
+type knnFrame struct {
+	lo, hi, cur int
+}
+
+// queryScratch is the reusable per-query state of the iterative kernels.
+// All slices keep their backing arrays across queries; after a handful of
+// queries a pooled scratch reaches the high-water capacity of the workload
+// and stops allocating entirely.
+type queryScratch struct {
+	stack    []*Node     // window/point search traversal stack
+	branches []knnBranch // KNN DFS branch arena, stacked per frame
+	frames   []knnFrame  // KNN DFS suspended internal nodes
+	best     knnHeap     // KNN result max-heap (the k best so far)
+	bf       bfHeap      // best-first KNN priority queue
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+// getScratch returns a scratch with all components empty (but with their
+// backing arrays intact).
+func getScratch() *queryScratch {
+	return scratchPool.Get().(*queryScratch)
+}
+
+// release clears every pointer the previous query parked in the backing
+// arrays — node pointers and user payloads must not be kept alive by an
+// idle pool entry — and returns s to the pool.
+func (s *queryScratch) release() {
+	clear(s.stack[:cap(s.stack)])
+	clear(s.branches[:cap(s.branches)])
+	clear(s.best[:cap(s.best)])
+	clear(s.bf[:cap(s.bf)])
+	s.stack = s.stack[:0]
+	s.branches = s.branches[:0]
+	s.frames = s.frames[:0]
+	s.best = s.best[:0]
+	s.bf = s.bf[:0]
+	scratchPool.Put(s)
+}
+
+// sortBranchesByDist insertion-sorts b ascending by dist. Fan-outs are
+// bounded by MaxEntries (50 by default), where insertion sort beats
+// sort.Slice and — unlike it — allocates nothing and is stable, so
+// equal-distance branches keep their entry order deterministically.
+func sortBranchesByDist(b []knnBranch) {
+	for i := 1; i < len(b); i++ {
+		x := b[i]
+		j := i - 1
+		for j >= 0 && b[j].dist > x.dist {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = x
+	}
+}
+
+// --- knnHeap: max-heap of the k best neighbors (root = current worst) ----
+
+// knnHeap orders by descending DistSq so the root is the k-th best distance,
+// the pruning bound of branch-and-bound KNN.
+type knnHeap []Neighbor
+
+// push appends nb and sifts it up.
+func (h *knnHeap) push(nb Neighbor) {
+	*h = append(*h, nb)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s[j].DistSq <= s[i].DistSq {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// fixRoot restores the heap after the root was replaced in place.
+func (h knnHeap) fixRoot() {
+	h.down(0, len(h))
+}
+
+// popMax removes and returns the root (the worst of the current best).
+func (h *knnHeap) popMax() Neighbor {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	s[:n].down(0, n)
+	top := s[n]
+	*h = s[:n]
+	return top
+}
+
+func (h knnHeap) down(i, n int) {
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && h[r].DistSq > h[j].DistSq {
+			j = r
+		}
+		if h[i].DistSq >= h[j].DistSq {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// drainAscending empties h into out (which must have length len(h)) in
+// ascending-distance order, by repeatedly popping the maximum into the
+// back. O(k log k), no allocation.
+func (h *knnHeap) drainAscending(out []Neighbor) {
+	for i := len(*h) - 1; i >= 0; i-- {
+		out[i] = h.popMax()
+	}
+}
+
+// --- bfHeap: min-heap for best-first (Hjaltason–Samet) KNN ---------------
+
+// bfItem is either an unexpanded node (node != nil) or a candidate object.
+type bfItem struct {
+	node *Node
+	rect geom.Rect
+	data any
+	dist float64
+}
+
+type bfHeap []bfItem
+
+// bfLess orders by ascending distance; at equal distance objects come
+// before nodes, so ready results are not delayed behind expansions that
+// cannot beat them.
+func bfLess(a, b bfItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.node == nil && b.node != nil
+}
+
+// push appends it and sifts up.
+func (h *bfHeap) push(it bfItem) {
+	*h = append(*h, it)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !bfLess(s[j], s[i]) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// pop removes and returns the minimum item.
+func (h *bfHeap) pop() bfItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	s[:n].down(0, n)
+	top := s[n]
+	// Clear the vacated slot so the backing array does not pin the popped
+	// item's node and payload references between queries.
+	s[n] = bfItem{}
+	*h = s[:n]
+	return top
+}
+
+func (h bfHeap) down(i, n int) {
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && bfLess(h[r], h[j]) {
+			j = r
+		}
+		if !bfLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}

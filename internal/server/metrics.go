@@ -93,10 +93,13 @@ func (e *endpointMetrics) stats() EndpointStats {
 	return s
 }
 
-// metrics is the per-server registry of endpoint metrics.
+// metrics is the per-server registry of endpoint metrics, plus the
+// cross-endpoint panic-recovery counter maintained by the recovery
+// middleware.
 type metrics struct {
-	mu  sync.Mutex
-	eps map[string]*endpointMetrics
+	mu     sync.Mutex
+	eps    map[string]*endpointMetrics
+	panics expvar.Int // handler panics converted to 500s
 }
 
 func (m *metrics) init() {

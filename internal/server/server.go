@@ -22,12 +22,16 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -166,7 +170,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 // instrument wraps a handler with body capping, latency/count metrics,
-// and the request deadline context.
+// panic recovery, and the request deadline context.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.metrics.endpoint(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -177,20 +181,49 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r.WithContext(ctx))
+		s.recoverable(endpoint, h, sw, r.WithContext(ctx))
 		ep.observe(time.Since(start), sw.code >= 400)
 	}
 }
 
-// statusWriter records the status code for error accounting.
+// recoverable runs h and converts a handler panic (for example the
+// InsertBatch length-mismatch panic path) into a 500 JSON error plus a
+// counted expvar metric, instead of letting net/http kill the connection.
+// The response is only written when the handler had not started one.
+func (s *Server) recoverable(endpoint string, h http.HandlerFunc, sw *statusWriter, r *http.Request) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		s.metrics.panics.Add(1)
+		s.cfg.Logf("panic in /%s: %v\n%s", endpoint, v, debug.Stack())
+		if !sw.wrote {
+			httpError(sw, http.StatusInternalServerError, fmt.Errorf("internal error: %v", v))
+		} else {
+			sw.code = http.StatusInternalServerError // count it as an error
+		}
+	}()
+	h(sw, r)
+}
+
+// statusWriter records the status code for error accounting and whether
+// the response has been started (panic recovery must not write twice).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 // itemPayload is one object in the insert wire format.
@@ -294,30 +327,88 @@ type searchResponse struct {
 	NodesAccessed int      `json:"nodes_accessed"`
 }
 
+// respScratch is the reusable response-encoding state of the query
+// handlers: the ID and neighbor accumulation slices and the JSON output
+// buffer. Pooled like the index's query scratch, it makes a steady-state
+// /search or /knn allocate only what encoding/json itself needs.
+type respScratch struct {
+	ids       []string
+	neighbors []knnNeighbor
+	knnBuf    []rtree.Neighbor
+	buf       bytes.Buffer
+}
+
+var respPool = sync.Pool{New: func() any { return new(respScratch) }}
+
+func getRespScratch() *respScratch {
+	rs := respPool.Get().(*respScratch)
+	// Non-nil accumulators keep the wire format stable: empty results
+	// encode as [] rather than null, as the pre-pooling handlers did.
+	if rs.ids == nil {
+		rs.ids = make([]string, 0, 16)
+	}
+	if rs.neighbors == nil {
+		rs.neighbors = make([]knnNeighbor, 0, 16)
+	}
+	return rs
+}
+
+func (rs *respScratch) release() {
+	clear(rs.ids[:cap(rs.ids)]) // drop string/payload references
+	clear(rs.neighbors[:cap(rs.neighbors)])
+	clear(rs.knnBuf[:cap(rs.knnBuf)])
+	rs.ids = rs.ids[:0]
+	rs.neighbors = rs.neighbors[:0]
+	rs.knnBuf = rs.knnBuf[:0]
+	rs.buf.Reset()
+	respPool.Put(rs)
+}
+
+// idString renders a stored payload as its wire ID. Payloads inserted
+// through this server are always strings; the type switch keeps foreign
+// payloads (trees restored from snapshots written by other tools) working
+// without paying fmt.Sprint on the fast path.
+func idString(d any) string {
+	switch v := d.(type) {
+	case string:
+		return v
+	case int:
+		return strconv.Itoa(v)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q, err := cliutil.ParseRect(r.URL.Query().Get("rect"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad rect: %w", err))
 		return
 	}
-	results, stats := s.tree.Search(q)
+	rs := getRespScratch()
+	defer rs.release()
+	// Stream matches straight into the pooled ID slice — no intermediate
+	// []any materialization; the cap keeps truncated responses cheap.
+	maxIDs := s.cfg.MaxResults
+	stats := s.tree.SearchEach(q, func(_ geom.Rect, d any) {
+		if len(rs.ids) < maxIDs {
+			rs.ids = append(rs.ids, idString(d))
+		}
+	})
 	s.metrics.endpoint("search").addNodeAccesses(stats.NodesAccessed)
-	resp := searchResponse{Count: len(results), NodesAccessed: stats.NodesAccessed}
-	n := len(results)
-	if n > s.cfg.MaxResults {
-		n, resp.Truncated = s.cfg.MaxResults, true
+	resp := searchResponse{
+		IDs:           rs.ids,
+		Count:         stats.Results,
+		Truncated:     stats.Results > len(rs.ids),
+		NodesAccessed: stats.NodesAccessed,
 	}
-	resp.IDs = make([]string, 0, n)
-	for _, d := range results[:n] {
-		resp.IDs = append(resp.IDs, fmt.Sprint(d))
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONBuf(w, http.StatusOK, resp, &rs.buf)
 }
 
 type knnNeighbor struct {
-	ID     string    `json:"id"`
-	Rect   []float64 `json:"rect"`
-	DistSq float64   `json:"distsq"`
+	ID     string     `json:"id"`
+	Rect   [4]float64 `json:"rect"`
+	DistSq float64    `json:"distsq"`
 }
 
 type knnResponse struct {
@@ -341,17 +432,20 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if k > s.cfg.MaxResults {
 		k = s.cfg.MaxResults
 	}
-	neighbors, stats := s.tree.KNN(p, k)
+	rs := getRespScratch()
+	defer rs.release()
+	neighbors, stats := s.tree.KNNAppend(p, k, rs.knnBuf)
+	rs.knnBuf = neighbors
 	s.metrics.endpoint("knn").addNodeAccesses(stats.NodesAccessed)
-	resp := knnResponse{NodesAccessed: stats.NodesAccessed, Neighbors: make([]knnNeighbor, len(neighbors))}
-	for i, nb := range neighbors {
-		resp.Neighbors[i] = knnNeighbor{
-			ID:     fmt.Sprint(nb.Data),
-			Rect:   []float64{nb.Rect.MinX, nb.Rect.MinY, nb.Rect.MaxX, nb.Rect.MaxY},
+	for _, nb := range neighbors {
+		rs.neighbors = append(rs.neighbors, knnNeighbor{
+			ID:     idString(nb.Data),
+			Rect:   [4]float64{nb.Rect.MinX, nb.Rect.MinY, nb.Rect.MaxX, nb.Rect.MaxY},
 			DistSq: nb.DistSq,
-		}
+		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	resp := knnResponse{NodesAccessed: stats.NodesAccessed, Neighbors: rs.neighbors}
+	writeJSONBuf(w, http.StatusOK, resp, &rs.buf)
 }
 
 // statsResponse is the /stats payload; EndpointStats documents the
@@ -362,6 +456,9 @@ type statsResponse struct {
 	Tree          treeStatsPayload         `json:"tree"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 	Snapshots     snapshotStats            `json:"snapshots"`
+	// PanicsRecovered counts handler panics converted to 500 responses
+	// by the recovery middleware.
+	PanicsRecovered int64 `json:"panics_recovered"`
 }
 
 type treeStatsPayload struct {
@@ -397,8 +494,9 @@ func (s *Server) statsPayload() statsResponse {
 			AvgFill:     ts.AvgFill,
 			MemoryBytes: ts.MemoryBytes,
 		},
-		Endpoints: s.metrics.snapshot(),
-		Snapshots: snapshotStats{Path: s.cfg.SnapshotPath, Written: s.snapshots.Load()},
+		Endpoints:       s.metrics.snapshot(),
+		Snapshots:       snapshotStats{Path: s.cfg.SnapshotPath, Written: s.snapshots.Load()},
+		PanicsRecovered: s.metrics.panics.Value(),
 	}
 	if ns := s.lastSnap.Load(); ns != 0 {
 		resp.Snapshots.LastRFC = time.Unix(0, ns).UTC().Format(time.RFC3339)
@@ -442,6 +540,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONBuf encodes v through the caller's reusable buffer, setting
+// Content-Length so keep-alive clients need no chunked framing. The buffer
+// belongs to a pooled respScratch; its backing array is recycled across
+// requests.
+func writeJSONBuf(w http.ResponseWriter, code int, v any, buf *bytes.Buffer) {
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(code)
+	w.Write(buf.Bytes())
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

@@ -408,3 +408,51 @@ func TestSearchTruncation(t *testing.T) {
 		t.Fatalf("truncation: %+v", sr)
 	}
 }
+
+// TestPanicRecovery proves the recovery middleware converts a handler
+// panic into a 500 JSON error on a live connection (instead of net/http
+// aborting it), counts it, and leaves the server serving.
+func TestPanicRecovery(t *testing.T) {
+	s, ts := newTestServer(t, "")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /boom", s.instrument("boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	pts := httptest.NewServer(mux)
+	defer pts.Close()
+
+	var errResp map[string]string
+	resp := getJSON(t, pts.URL+"/boom", &errResp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", resp.StatusCode)
+	}
+	if errResp["error"] == "" {
+		t.Fatalf("500 body carries no JSON error: %v", errResp)
+	}
+	if got := s.metrics.panics.Value(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+
+	// The real server still works and reports the panic in /stats.
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.PanicsRecovered != 1 {
+		t.Fatalf("stats panics_recovered = %d, want 1", st.PanicsRecovered)
+	}
+
+	// A handler that panics after starting its response must not trigger
+	// a second write; the request is still counted as an error.
+	mux.HandleFunc("GET /late", s.instrument("late", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		panic("late kaboom")
+	}))
+	resp, err := http.Get(pts.URL + "/late")
+	if err != nil {
+		t.Fatalf("late panic killed the connection: %v", err)
+	}
+	resp.Body.Close()
+	if got := s.metrics.panics.Value(); got != 2 {
+		t.Fatalf("panics counter = %d, want 2", got)
+	}
+}
