@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/rlr-tree/rlrtree/internal/cliutil"
 	"github.com/rlr-tree/rlrtree/internal/core"
@@ -38,6 +39,7 @@ func main() {
 		parts       = flag.Int("parts", core.DefaultParts, "dataset slices for Split training")
 		maxE        = flag.Int("max-entries", 50, "node capacity M")
 		minE        = flag.Int("min-entries", 20, "minimum node fill m")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for reward evaluation (1 = sequential; policy is identical either way)")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -68,7 +70,8 @@ func main() {
 		TrainingQueryFrac: *queryFrac,
 		ChooseEpochs:      *chooseEp, SplitEpochs: *splitEp, Parts: *parts,
 		MaxEntries: *maxE, MinEntries: *minE,
-		Seed: *seed,
+		Seed:    *seed,
+		Workers: *workers,
 	}
 	if !*quiet {
 		cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "# "+msg) }
@@ -93,6 +96,16 @@ func main() {
 	}
 	if err := pol.Save(*out); err != nil {
 		fatal(err)
+	}
+	var inserts, rewardQueries int
+	for _, ep := range report.Epochs {
+		inserts += ep.Inserts
+		rewardQueries += ep.RewardQueries
+	}
+	secs := report.Duration.Seconds()
+	if secs > 0 {
+		fmt.Fprintf(os.Stderr, "throughput: %.0f inserts/s, %.0f reward-queries/s (workers=%d)\n",
+			float64(inserts)/secs, float64(rewardQueries)/secs, *workers)
 	}
 	fmt.Fprintf(os.Stderr, "trained %s policy on %d objects in %s (%d+%d updates); wrote %s\n",
 		*mode, len(train), report.Duration.Round(1e6), report.ChooseUpdates, report.SplitUpdates, *out)

@@ -119,11 +119,14 @@ func TrainCostFuncPolicy(data []geom.Rect, cfg Config) (*CostFuncPolicy, *TrainR
 	start := time.Now()
 	world := worldOf(data)
 	agent := newChooseAgent(cfg)
+	pool := newRewardPool(cfg.Workers)
+	defer pool.Close()
 	report := &TrainReport{}
 	for epoch := 1; epoch <= cfg.ChooseEpochs; epoch++ {
-		loss := trainChooseEpoch(data, world, cfg, agent, rtree.MinOverlapSplit{})
-		report.ChooseLosses = append(report.ChooseLosses, loss)
-		cfg.logf("costfunc epoch %d/%d: loss=%.6f", epoch, cfg.ChooseEpochs, loss)
+		st := trainChooseEpoch(data, world, cfg, agent, rtree.MinOverlapSplit{}, pool)
+		report.ChooseLosses = append(report.ChooseLosses, st.Loss)
+		report.Epochs = append(report.Epochs, st)
+		cfg.logf("costfunc epoch %d/%d: loss=%.6f", epoch, cfg.ChooseEpochs, st.Loss)
 	}
 	report.ChooseUpdates = agent.Updates()
 	report.Duration = time.Since(start)

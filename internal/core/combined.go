@@ -42,6 +42,8 @@ func TrainCombined(data []geom.Rect, cfg Config) (*Policy, *TrainReport, error) 
 	frozenChooser := &policyChooser{net: chooseAgent.Network(), k: cfg.K, padded: cfg.PaddedState}
 	frozenSplitter := &policySplitter{net: splitAgent.Network(), k: cfg.K, byArea: cfg.SplitSortByArea}
 
+	pool := newRewardPool(cfg.Workers)
+	defer pool.Close()
 	chooseLeft, splitLeft := cfg.ChooseEpochs, cfg.SplitEpochs
 	total := cfg.ChooseEpochs + cfg.SplitEpochs
 	for epoch := 1; epoch <= total; epoch++ {
@@ -53,15 +55,23 @@ func TrainCombined(data []geom.Rect, cfg Config) (*Policy, *TrainReport, error) 
 			trainChoose = true
 		}
 		if trainChoose {
-			loss := trainChooseEpoch(data, world, cfg, chooseAgent, frozenSplitter)
-			report.ChooseLosses = append(report.ChooseLosses, loss)
+			st := trainChooseEpoch(data, world, cfg, chooseAgent, frozenSplitter, pool)
+			report.ChooseLosses = append(report.ChooseLosses, st.Loss)
+			report.Epochs = append(report.Epochs, st)
 			chooseLeft--
-			cfg.logf("combined epoch %d/%d (choose): loss=%.6f eps=%.3f", epoch, total, loss, chooseAgent.Epsilon())
+			cfg.logf("combined epoch %d/%d (choose): loss=%.6f eps=%.3f (%.0f ins/s, %.0f rq/s, eta %s)",
+				epoch, total, st.Loss, chooseAgent.Epsilon(),
+				rate(st.Inserts, st.Duration), rate(st.RewardQueries, st.Duration),
+				eta(time.Since(start), epoch, total))
 		} else {
-			loss := trainSplitEpoch(data, world, cfg, splitAgent, frozenChooser)
-			report.SplitLosses = append(report.SplitLosses, loss)
+			st := trainSplitEpoch(data, world, cfg, splitAgent, frozenChooser, pool)
+			report.SplitLosses = append(report.SplitLosses, st.Loss)
+			report.Epochs = append(report.Epochs, st)
 			splitLeft--
-			cfg.logf("combined epoch %d/%d (split): loss=%.6f eps=%.3f", epoch, total, loss, splitAgent.Epsilon())
+			cfg.logf("combined epoch %d/%d (split): loss=%.6f eps=%.3f (%.0f ins/s, %.0f rq/s, eta %s)",
+				epoch, total, st.Loss, splitAgent.Epsilon(),
+				rate(st.Inserts, st.Duration), rate(st.RewardQueries, st.Duration),
+				eta(time.Since(start), epoch, total))
 		}
 	}
 	report.ChooseUpdates = chooseAgent.Updates()
@@ -130,6 +140,8 @@ func ResumeCombined(prev *Policy, data []geom.Rect, cfg Config) (*Policy, *Train
 	frozenChooser := &policyChooser{net: chooseAgent.Network(), k: cfg.K, padded: cfg.PaddedState}
 	frozenSplitter := &policySplitter{net: splitAgent.Network(), k: cfg.K, byArea: cfg.SplitSortByArea}
 
+	pool := newRewardPool(cfg.Workers)
+	defer pool.Close()
 	total := cfg.ChooseEpochs + cfg.SplitEpochs
 	chooseLeft, splitLeft := cfg.ChooseEpochs, cfg.SplitEpochs
 	for epoch := 1; epoch <= total; epoch++ {
@@ -141,15 +153,17 @@ func ResumeCombined(prev *Policy, data []geom.Rect, cfg Config) (*Policy, *Train
 			trainChoose = true
 		}
 		if trainChoose {
-			loss := trainChooseEpoch(data, world, cfg, chooseAgent, frozenSplitter)
-			report.ChooseLosses = append(report.ChooseLosses, loss)
+			st := trainChooseEpoch(data, world, cfg, chooseAgent, frozenSplitter, pool)
+			report.ChooseLosses = append(report.ChooseLosses, st.Loss)
+			report.Epochs = append(report.Epochs, st)
 			chooseLeft--
-			cfg.logf("resume epoch %d/%d (choose): loss=%.6f", epoch, total, loss)
+			cfg.logf("resume epoch %d/%d (choose): loss=%.6f", epoch, total, st.Loss)
 		} else {
-			loss := trainSplitEpoch(data, world, cfg, splitAgent, frozenChooser)
-			report.SplitLosses = append(report.SplitLosses, loss)
+			st := trainSplitEpoch(data, world, cfg, splitAgent, frozenChooser, pool)
+			report.SplitLosses = append(report.SplitLosses, st.Loss)
+			report.Epochs = append(report.Epochs, st)
 			splitLeft--
-			cfg.logf("resume epoch %d/%d (split): loss=%.6f", epoch, total, loss)
+			cfg.logf("resume epoch %d/%d (split): loss=%.6f", epoch, total, st.Loss)
 		}
 	}
 	report.ChooseUpdates = chooseAgent.Updates()

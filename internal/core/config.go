@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 )
@@ -124,6 +125,11 @@ type Config struct {
 	// shortlist and measurably hurts the learned splits (see
 	// EXPERIMENTS.md); it is kept as a documented ablation.
 	SplitSortByArea bool
+	// Workers bounds the goroutines used for reward evaluation and the
+	// reference-tree sync overlap. Zero selects runtime.GOMAXPROCS(0);
+	// 1 forces the fully sequential path. The trained policy is
+	// bit-identical for any value given a fixed Seed.
+	Workers int
 	// Progress, when non-nil, receives one line per finished epoch.
 	Progress func(msg string)
 }
@@ -167,6 +173,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SplitGamma == 0 {
 		c.SplitGamma = DefaultSplitGamma
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// This file is the parallel execution layer of the training loops. Two
+// facts make the reward computation embarrassingly parallel: queries never
+// mutate a tree (internal/rtree's defining property), and the paper's
+// group reward is a mean of per-query access rates, so each query's
+// contribution can be computed on any worker as long as the final sum runs
+// in query-index order.
+//
+// Determinism is load-bearing: the trained policy must be bit-identical
+// for any worker count, because every ε-greedy decision downstream of a
+// reward depends on it through the replay buffer and the network weights.
+// The pool therefore never reduces concurrently. Workers only fill
+// vals[i] = NodesAccessed(q_i)/height — exactly the term the sequential
+// loop adds — and one goroutine sums the slice in index order, making the
+// floating-point addition sequence identical to the workers=1 run.
+
+// rewardJob asks a worker to evaluate queries[lo:hi] against tree, writing
+// each query's normalized access rate into vals[i].
+type rewardJob struct {
+	tree    *rtree.Tree
+	queries []geom.Rect
+	h       float64 // tree height, the paper's normalizer
+	vals    []float64
+	lo, hi  int
+	wg      *sync.WaitGroup
+}
+
+// rewardPool evaluates reward range-queries on a fixed set of worker
+// goroutines, one pool per training run. A pool with workers <= 1 runs
+// everything inline on the caller's goroutine and spawns nothing.
+type rewardPool struct {
+	workers int
+	jobs    chan rewardJob
+	vals    []float64 // per-query contributions, reduced in index order
+}
+
+// newRewardPool starts a pool with the given worker count (clamped to at
+// least 1). Close must be called to stop the workers.
+func newRewardPool(workers int) *rewardPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &rewardPool{workers: workers}
+	if workers > 1 {
+		p.jobs = make(chan rewardJob, 2*workers)
+		for i := 0; i < workers; i++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+// parallel reports whether the pool actually fans out.
+func (p *rewardPool) parallel() bool { return p != nil && p.workers > 1 }
+
+// Close stops the worker goroutines. The pool must be idle.
+func (p *rewardPool) Close() {
+	if p != nil && p.jobs != nil {
+		close(p.jobs)
+		p.jobs = nil
+	}
+}
+
+func (p *rewardPool) worker() {
+	for j := range p.jobs {
+		for i := j.lo; i < j.hi; i++ {
+			j.vals[i] = float64(j.tree.SearchCount(j.queries[i]).NodesAccessed) / j.h
+		}
+		j.wg.Done()
+	}
+}
+
+// submit fans queries out over the workers in chunks, writing per-query
+// contributions into vals (which must have len(queries) capacity behind
+// it). wg is incremented per chunk; the caller waits.
+func (p *rewardPool) submit(t *rtree.Tree, queries []geom.Rect, vals []float64, wg *sync.WaitGroup) {
+	h := float64(t.Height())
+	chunk := (len(queries) + p.workers - 1) / p.workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(queries); lo += chunk {
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		wg.Add(1)
+		p.jobs <- rewardJob{tree: t, queries: queries, h: h, vals: vals, lo: lo, hi: hi, wg: wg}
+	}
+}
+
+// sumOrdered reduces per-query contributions in index order — the exact
+// addition sequence of the sequential normalizedAccessRate loop.
+func sumOrdered(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// groupReward computes the shared reward of one p-object group: the gap
+// R' − R between the reference tree's and the RLR-Tree's normalized
+// access rates (RewardReference, the paper's design), or the RLR-Tree's
+// negated rate alone (RewardRaw, the rejected design kept as an ablation).
+// With a parallel pool the 2·P queries of both trees fan out over the
+// workers at once; the result is bit-identical to the sequential
+// evaluation for every worker count.
+func (p *rewardPool) groupReward(ref, rlr *rtree.Tree, queries []geom.Rect, mode RewardMode) float64 {
+	if !p.parallel() || len(queries) < 2 {
+		return groupRewardSeq(ref, rlr, queries, mode)
+	}
+	nq := len(queries)
+	want := nq
+	if mode != RewardRaw {
+		want = 2 * nq
+	}
+	if cap(p.vals) < want {
+		p.vals = make([]float64, want)
+	}
+	vals := p.vals[:want]
+
+	var wg sync.WaitGroup
+	p.submit(rlr, queries, vals[:nq], &wg)
+	if mode != RewardRaw {
+		p.submit(ref, queries, vals[nq:], &wg)
+	}
+	wg.Wait()
+
+	r := sumOrdered(vals[:nq]) / float64(nq)
+	if mode == RewardRaw {
+		return -r
+	}
+	return sumOrdered(vals[nq:])/float64(nq) - r
+}
+
+// queryCount returns how many reward range-queries one group evaluation
+// issues, for throughput accounting.
+func queryCount(n int, mode RewardMode) int {
+	if mode == RewardRaw {
+		return n
+	}
+	return 2 * n
+}
+
+// stepArena accumulates the recorded episodes of one training group in a
+// single reusable buffer, replacing the seed's per-insertion
+// append([]policyStep(nil), ...) copies. Episode boundaries are kept as
+// offsets so buffer growth while the group is being recorded cannot
+// invalidate earlier episodes; the slice headers handed to
+// observeEpisodes are materialized only after the group is complete.
+type stepArena struct {
+	buf   []policyStep
+	spans []int // episode i covers buf[spans[2i]:spans[2i+1]]
+	eps   [][]policyStep
+}
+
+// reset discards the recorded episodes, keeping all backing storage.
+func (a *stepArena) reset() {
+	a.buf = a.buf[:0]
+	a.spans = a.spans[:0]
+}
+
+// add copies one insertion's recorded steps into the arena as an episode.
+func (a *stepArena) add(steps []policyStep) {
+	lo := len(a.buf)
+	a.buf = append(a.buf, steps...)
+	a.spans = append(a.spans, lo, len(a.buf))
+}
+
+// episodes returns the recorded episodes as slices into the arena buffer.
+// The result is valid until the next reset.
+func (a *stepArena) episodes() [][]policyStep {
+	a.eps = a.eps[:0]
+	for i := 0; i < len(a.spans); i += 2 {
+		a.eps = append(a.eps, a.buf[a.spans[i]:a.spans[i+1]])
+	}
+	return a.eps
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// TestGroupRewardParallelMatchesSequential checks the core determinism
+// claim of the worker pool: for any worker count the fan-out with
+// index-ordered reduction performs the exact same sequence of floating
+// point operations as the sequential loop, so rewards are bit-identical.
+func TestGroupRewardParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	mk := func(seed int64, n int) *rtree.Tree {
+		r := rand.New(rand.NewSource(seed))
+		tr := rtree.New(rtree.Options{MaxEntries: 10, MinEntries: 4})
+		for i := 0; i < n; i++ {
+			tr.Insert(geom.Square(r.Float64(), r.Float64(), 0.01), i)
+		}
+		return tr
+	}
+	ref, rlr := mk(42, 500), mk(43, 500)
+	for _, workers := range []int{2, 3, 8} {
+		pool := newRewardPool(workers)
+		for _, nq := range []int{1, 2, 5, 64} {
+			queries := make([]geom.Rect, nq)
+			for i := range queries {
+				queries[i] = queryAround(geom.Pt(rng.Float64(), rng.Float64()), 0.001)
+			}
+			for _, mode := range []RewardMode{RewardReference, RewardRaw} {
+				want := groupRewardSeq(ref, rlr, queries, mode)
+				got := pool.groupReward(ref, rlr, queries, mode)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("workers=%d nq=%d mode=%d: parallel %v != sequential %v", workers, nq, mode, got, want)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+func gobBytes(t *testing.T, pol *Policy) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pol); err != nil {
+		t.Fatalf("gob: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainChooseWorkerDeterminism is the differential test of the issue:
+// the trained artifact must not depend on the worker count. It trains the
+// ChooseSubtree agent twice from the same seed — fully sequential and with
+// an 8-worker pool (which also enables the clone/reward overlap) — and
+// requires byte-identical epoch losses and a gob-identical policy.
+func TestTrainChooseWorkerDeterminism(t *testing.T) {
+	data := gaussianData(rand.New(rand.NewSource(44)), 700)
+	run := func(workers int) (*Policy, *TrainReport) {
+		cfg := tinyConfig()
+		cfg.Workers = workers
+		pol, rep, err := TrainChoosePolicy(data, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return pol, rep
+	}
+	pol1, rep1 := run(1)
+	pol8, rep8 := run(8)
+
+	if len(rep1.ChooseLosses) != len(rep8.ChooseLosses) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(rep1.ChooseLosses), len(rep8.ChooseLosses))
+	}
+	for i := range rep1.ChooseLosses {
+		if math.Float64bits(rep1.ChooseLosses[i]) != math.Float64bits(rep8.ChooseLosses[i]) {
+			t.Fatalf("epoch %d loss differs: %v (workers=1) vs %v (workers=8)",
+				i, rep1.ChooseLosses[i], rep8.ChooseLosses[i])
+		}
+	}
+	if !bytes.Equal(gobBytes(t, pol1), gobBytes(t, pol8)) {
+		t.Fatalf("trained policies differ between workers=1 and workers=8")
+	}
+}
+
+// TestTrainSplitWorkerDeterminism is the Split-agent counterpart: its
+// epoch loop shares the reward pool and the recycled-clone resets.
+func TestTrainSplitWorkerDeterminism(t *testing.T) {
+	data := gaussianData(rand.New(rand.NewSource(45)), 700)
+	run := func(workers int) (*Policy, *TrainReport) {
+		cfg := tinyConfig()
+		cfg.Workers = workers
+		pol, rep, err := TrainSplitPolicy(data, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return pol, rep
+	}
+	pol1, rep1 := run(1)
+	pol8, rep8 := run(8)
+
+	for i := range rep1.SplitLosses {
+		if math.Float64bits(rep1.SplitLosses[i]) != math.Float64bits(rep8.SplitLosses[i]) {
+			t.Fatalf("epoch %d loss differs: %v (workers=1) vs %v (workers=8)",
+				i, rep1.SplitLosses[i], rep8.SplitLosses[i])
+		}
+	}
+	if !bytes.Equal(gobBytes(t, pol1), gobBytes(t, pol8)) {
+		t.Fatalf("trained policies differ between workers=1 and workers=8")
+	}
+}
+
+// TestRewardPathZeroAlloc pins the satellite audit: the reward hot path —
+// SearchCount through normalizedAccessRate — must not allocate, so the
+// 2·P-per-group reward queries put no pressure on the GC.
+func TestRewardPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(46))
+	tr := rtree.New(rtree.Options{MaxEntries: 10, MinEntries: 4})
+	for i := 0; i < 2000; i++ {
+		tr.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.005), i)
+	}
+	queries := make([]geom.Rect, 16)
+	for i := range queries {
+		queries[i] = queryAround(geom.Pt(rng.Float64(), rng.Float64()), 0.001)
+	}
+	normalizedAccessRate(tr, queries) // warm the pooled traversal scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		normalizedAccessRate(tr, queries)
+	})
+	if allocs != 0 {
+		t.Fatalf("normalizedAccessRate allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkNormalizedAccessRate reports the reward path's cost; run with
+// -benchmem it must show 0 allocs/op (asserted by TestRewardPathZeroAlloc).
+func BenchmarkNormalizedAccessRate(b *testing.B) {
+	rng := rand.New(rand.NewSource(46))
+	tr := rtree.New(rtree.Options{MaxEntries: 50, MinEntries: 20})
+	for i := 0; i < 50_000; i++ {
+		tr.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.001), i)
+	}
+	queries := make([]geom.Rect, 32)
+	for i := range queries {
+		queries[i] = queryAround(geom.Pt(rng.Float64(), rng.Float64()), 0.0001)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		normalizedAccessRate(tr, queries)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is on; its instrumentation
+// allocates, so allocation-count assertions are skipped under -race.
+const raceEnabled = false

@@ -44,11 +44,13 @@ func normalizedAccessRate(t *rtree.Tree, queries []geom.Rect) float64 {
 	return sum / float64(len(queries))
 }
 
-// groupReward computes the shared reward of one p-object group: the gap
-// R' − R between the reference tree's and the RLR-Tree's normalized
-// access rates (RewardReference, the paper's design), or the RLR-Tree's
-// negated rate alone (RewardRaw, the rejected design kept as an ablation).
-func groupReward(ref, rlr *rtree.Tree, queries []geom.Rect, mode RewardMode) float64 {
+// groupRewardSeq computes the shared reward of one p-object group on the
+// caller's goroutine: the gap R' − R between the reference tree's and the
+// RLR-Tree's normalized access rates (RewardReference, the paper's
+// design), or the RLR-Tree's negated rate alone (RewardRaw, the rejected
+// design kept as an ablation). rewardPool.groupReward is the parallel
+// counterpart with bit-identical results.
+func groupRewardSeq(ref, rlr *rtree.Tree, queries []geom.Rect, mode RewardMode) float64 {
 	r := normalizedAccessRate(rlr, queries)
 	if mode == RewardRaw {
 		return -r

@@ -250,10 +250,10 @@ func TestNormalizedAccessRateAndGroupReward(t *testing.T) {
 		t.Fatalf("rate of empty query set must be 0")
 	}
 	// Identical trees give zero reference-gap reward.
-	if r := groupReward(tr, tr, queries, RewardReference); r != 0 {
+	if r := groupRewardSeq(tr, tr, queries, RewardReference); r != 0 {
 		t.Fatalf("self reward = %v, want 0", r)
 	}
-	if r := groupReward(tr, tr, queries, RewardRaw); r != -rate {
+	if r := groupRewardSeq(tr, tr, queries, RewardRaw); r != -rate {
 		t.Fatalf("raw reward = %v, want %v", r, -rate)
 	}
 }

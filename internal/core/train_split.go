@@ -47,13 +47,27 @@ func (s *splitRecorder) Split(t *rtree.Tree, n *rtree.Node) ([]rtree.Entry, []rt
 // tree to the base tree at every group boundary so splits stay frequent.
 // chooser is the ChooseSubtree strategy shared by both trees (the paper's
 // least-enlargement rule, or the current learned ChooseSubtree policy
-// during combined training). It returns the mean TD loss.
-func trainSplitEpoch(data []geom.Rect, world geom.Rect, cfg Config, agent *rl.DQN, chooser rtree.SubtreeChooser) float64 {
+// during combined training).
+//
+// Like trainChooseEpoch, the hot path recycles tree storage and fans the
+// reward queries out over the pool: the per-group resets of the RLR-Tree
+// and the reference tree rebuild the previous group's trees in place
+// (rtree.CloneWithInto) — both are dead once their group's reward is
+// computed — and episodes accumulate in a reusable arena. Results are
+// bit-identical to the sequential loop for any worker count.
+func trainSplitEpoch(data []geom.Rect, world geom.Rect, cfg Config, agent *rl.DQN, chooser rtree.SubtreeChooser, pool *rewardPool) EpochStats {
+	epochStart := time.Now()
 	qArea := cfg.TrainingQueryFrac * world.Area()
 	rec := &splitRecorder{agent: agent, k: cfg.K, byArea: cfg.SplitSortByArea, record: true}
 
 	var lossSum float64
 	var lossN int
+	st := EpochStats{Agent: "split"}
+	var arena stepArena
+	var queries []geom.Rect
+	// trlStore and refStore are the previous group's trees, rebuilt in
+	// place at every group boundary.
+	var trlStore, refStore *rtree.Tree
 	for j := 1; j < cfg.Parts; j++ {
 		cut := len(data) * j / cfg.Parts
 		if cut == 0 {
@@ -64,6 +78,7 @@ func trainSplitEpoch(data []geom.Rect, world geom.Rect, cfg Config, agent *rl.DQ
 		base := rtree.New(cfg.treeOptions(chooser, rtree.MinOverlapSplit{}))
 		for _, o := range data[:cut] {
 			base.Insert(o, nil)
+			st.Inserts++
 		}
 		var otrain []geom.Rect
 		for _, o := range data[cut:] {
@@ -71,6 +86,7 @@ func trainSplitEpoch(data []geom.Rect, world geom.Rect, cfg Config, agent *rl.DQ
 				otrain = append(otrain, o)
 			} else {
 				base.Insert(o, nil)
+				st.Inserts++
 			}
 		}
 
@@ -82,11 +98,12 @@ func trainSplitEpoch(data []geom.Rect, world geom.Rect, cfg Config, agent *rl.DQ
 			group := otrain[start:end]
 
 			// Reset both trees to the (almost full) base structure.
-			trl := base.CloneWith(chooser, rec)
-			ref := base.CloneWith(chooser, rtree.MinOverlapSplit{})
+			trl := base.CloneWithInto(trlStore, chooser, rec)
+			ref := base.CloneWithInto(refStore, chooser, rtree.MinOverlapSplit{})
+			trlStore, refStore = trl, ref
 
-			var episodes [][]policyStep
-			var queries []geom.Rect
+			arena.reset()
+			queries = queries[:0]
 			for _, o := range group {
 				ref.Insert(o, nil)
 				rec.steps = rec.steps[:0]
@@ -98,24 +115,28 @@ func trainSplitEpoch(data []geom.Rect, world geom.Rect, cfg Config, agent *rl.DQ
 					queries = append(queries, queryAround(o.Center(), qArea))
 				}
 				if len(rec.steps) > 0 {
-					episodes = append(episodes, append([]policyStep(nil), rec.steps...))
+					arena.add(rec.steps)
 				}
 			}
-			if len(queries) == 0 || len(episodes) == 0 {
+			st.Inserts += 2 * len(group)
+			if len(queries) == 0 || len(arena.spans) == 0 {
 				continue
 			}
-			r := groupReward(ref, trl, queries, cfg.RewardMode)
-			observeEpisodes(agent, episodes, r)
+			r := pool.groupReward(ref, trl, queries, cfg.RewardMode)
+			st.RewardQueries += queryCount(len(queries), cfg.RewardMode)
+			observeEpisodes(agent, arena.episodes(), r)
 			if loss := agent.TrainStep(); !math.IsNaN(loss) {
 				lossSum += loss
 				lossN++
 			}
 		}
 	}
-	if lossN == 0 {
-		return math.NaN()
+	st.Duration = time.Since(epochStart)
+	st.Loss = math.NaN()
+	if lossN > 0 {
+		st.Loss = lossSum / float64(lossN)
 	}
-	return lossSum / float64(lossN)
+	return st
 }
 
 // newSplitAgent builds the DQN for the Split MDP from the config.
@@ -147,11 +168,17 @@ func TrainSplitPolicy(data []geom.Rect, cfg Config) (*Policy, *TrainReport, erro
 	start := time.Now()
 	world := worldOf(data)
 	agent := newSplitAgent(cfg)
+	pool := newRewardPool(cfg.Workers)
+	defer pool.Close()
 	report := &TrainReport{}
 	for epoch := 1; epoch <= cfg.SplitEpochs; epoch++ {
-		loss := trainSplitEpoch(data, world, cfg, agent, rtree.GuttmanChooser{})
-		report.SplitLosses = append(report.SplitLosses, loss)
-		cfg.logf("split epoch %d/%d: loss=%.6f eps=%.3f", epoch, cfg.SplitEpochs, loss, agent.Epsilon())
+		st := trainSplitEpoch(data, world, cfg, agent, rtree.GuttmanChooser{}, pool)
+		report.SplitLosses = append(report.SplitLosses, st.Loss)
+		report.Epochs = append(report.Epochs, st)
+		cfg.logf("split epoch %d/%d: loss=%.6f eps=%.3f (%.0f ins/s, %.0f rq/s, eta %s)",
+			epoch, cfg.SplitEpochs, st.Loss, agent.Epsilon(),
+			rate(st.Inserts, st.Duration), rate(st.RewardQueries, st.Duration),
+			eta(time.Since(start), epoch, cfg.SplitEpochs))
 	}
 	report.SplitUpdates = agent.Updates()
 	report.Duration = time.Since(start)

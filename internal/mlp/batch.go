@@ -1,0 +1,211 @@
+package mlp
+
+import "fmt"
+
+// This file is the batched forward/backward path of the package. The
+// single-sample kernels in mlp.go walk the per-row weight slices; the
+// batched kernels below instead run over each layer's flat row-major weight
+// backing array (see Layer.flat), so one minibatch touches every weight
+// exactly once per layer with sequential memory access. The arithmetic —
+// per-output dot products accumulated in input order — is exactly that of
+// Forward, so batched and single-sample results are bit-identical.
+//
+// All mutable per-call state lives in a caller-owned BatchScratch, which
+// makes ForwardBatch safe for concurrent use on a shared (read-only)
+// network: each goroutine brings its own scratch.
+
+// BatchScratch holds the reusable buffers of one ForwardBatch (and, inside
+// TrainBatch, backward) caller. The zero value is ready to use; buffers
+// grow to the high-water batch size and are retained across calls. A
+// BatchScratch must not be shared between concurrent callers.
+type BatchScratch struct {
+	// z[l] and a[l] hold layer l's pre-activations and activations, flat
+	// row-major: sample s occupies [s*Out, (s+1)*Out).
+	z, a [][]float64
+	// in is TrainBatch's flat row-major copy of the batch inputs.
+	in []float64
+	// dOut is the flat row-major loss gradient w.r.t. the network output.
+	dOut []float64
+	// rows is the batch size the buffers are currently sized for.
+	rows int
+}
+
+// ensure sizes the scratch for a batch of rows samples through n.
+func (sc *BatchScratch) ensure(n *Network, rows int) {
+	if len(sc.z) != len(n.Layers) {
+		sc.z = make([][]float64, len(n.Layers))
+		sc.a = make([][]float64, len(n.Layers))
+		sc.rows = 0
+	}
+	if rows <= sc.rows {
+		return
+	}
+	for li, l := range n.Layers {
+		if cap(sc.z[li]) < rows*l.Out {
+			sc.z[li] = make([]float64, rows*l.Out)
+			sc.a[li] = make([]float64, rows*l.Out)
+		}
+	}
+	sc.rows = rows
+}
+
+// grow returns buf resliced to n elements, reallocating only when the
+// capacity is insufficient.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// flat returns the layer's weights as one row-major array (row o occupies
+// [o*In, (o+1)*In)) and re-points the exported W rows at it. Layers built
+// by New, Clone or the decoders are flat already; layers assembled by hand
+// or mutated row-wise are flattened on first use. The check that every row
+// still aliases the backing array is O(Out), negligible next to the
+// O(In·Out) work of any batched pass.
+func (l *Layer) flat() []float64 {
+	if l.wf != nil && len(l.wf) == l.In*l.Out {
+		ok := true
+		for o := range l.W {
+			if len(l.W[o]) != l.In || &l.W[o][0] != &l.wf[o*l.In] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return l.wf
+		}
+	}
+	wf := make([]float64, l.In*l.Out)
+	for o := range l.W {
+		copy(wf[o*l.In:(o+1)*l.In], l.W[o])
+		l.W[o] = wf[o*l.In : (o+1)*l.In : (o+1)*l.In]
+	}
+	l.wf = wf
+	return wf
+}
+
+// ForwardBatch computes the network outputs for a batch of inputs packed
+// flat and row-major into xs (sample s occupies [s*In, (s+1)*In)). It
+// returns the flat row-major output matrix (sample s at [s*Out, (s+1)*Out)),
+// which aliases sc and is only valid until sc's next use. Row s of the
+// result is bit-identical to Forward of row s.
+//
+// ForwardBatch is safe for concurrent use on a shared network as long as
+// every caller owns its scratch and no caller mutates the weights.
+func (n *Network) ForwardBatch(xs []float64, sc *BatchScratch) []float64 {
+	in := n.InputSize()
+	if len(xs)%in != 0 {
+		panic(fmt.Sprintf("mlp: batch input length %d not a multiple of input size %d", len(xs), in))
+	}
+	rows := len(xs) / in
+	sc.ensure(n, rows)
+	a := xs
+	for li, l := range n.Layers {
+		wf := l.flat()
+		z := sc.z[li][:rows*l.Out]
+		out := sc.a[li][:rows*l.Out]
+		for s := 0; s < rows; s++ {
+			x := a[s*l.In : (s+1)*l.In]
+			zr := z[s*l.Out:]
+			or := out[s*l.Out:]
+			for o := 0; o < l.Out; o++ {
+				sum := l.B[o]
+				w := wf[o*l.In : (o+1)*l.In]
+				for i, v := range x {
+					sum += w[i] * v
+				}
+				zr[o] = sum
+				or[o] = l.Act.apply(sum)
+			}
+		}
+		a = out
+	}
+	return a[:rows*n.OutputSize()]
+}
+
+// backwardBatch accumulates parameter gradients for every sample of the
+// batch that ForwardBatch just ran into sc. xs is the same flat input
+// matrix; dOut is the flat row-major dLoss/dOutput matrix. Samples are
+// processed in row order and each weight's gradient accumulates its
+// per-sample contributions in that order, so the result is bit-identical
+// to running the single-sample backward over the batch sequentially.
+func (n *Network) backwardBatch(xs, dOut []float64, sc *BatchScratch) {
+	n.ensureScratch()
+	last := len(n.Layers) - 1
+	outSz := n.Layers[last].Out
+	inSz := n.Layers[0].In
+	rows := len(dOut) / outSz
+	for s := 0; s < rows; s++ {
+		delta := n.scratchDelta[last]
+		copy(delta, dOut[s*outSz:(s+1)*outSz])
+		for li := last; li >= 0; li-- {
+			l := n.Layers[li]
+			z := sc.z[li][s*l.Out : (s+1)*l.Out]
+			var in []float64
+			if li > 0 {
+				p := n.Layers[li-1]
+				in = sc.a[li-1][s*p.Out : (s+1)*p.Out]
+			} else {
+				in = xs[s*inSz : (s+1)*inSz]
+			}
+			for o := 0; o < l.Out; o++ {
+				delta[o] *= l.Act.derivative(z[o])
+			}
+			gf := l.gradFlat()
+			for o := 0; o < l.Out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				gw := gf[o*l.In : (o+1)*l.In]
+				for i, v := range in {
+					gw[i] += d * v
+				}
+				l.GradB[o] += d
+			}
+			if li == 0 {
+				break
+			}
+			prev := n.scratchDelta[li-1]
+			for i := range prev {
+				prev[i] = 0
+			}
+			for o := 0; o < l.Out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				w := l.wf[o*l.In : (o+1)*l.In]
+				for i := range prev {
+					prev[i] += d * w[i]
+				}
+			}
+			delta = prev
+		}
+	}
+}
+
+// gradFlat is flat for the gradient matrix.
+func (l *Layer) gradFlat() []float64 {
+	if l.gf != nil && len(l.gf) == l.In*l.Out {
+		ok := true
+		for o := range l.GradW {
+			if len(l.GradW[o]) != l.In || &l.GradW[o][0] != &l.gf[o*l.In] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return l.gf
+		}
+	}
+	gf := make([]float64, l.In*l.Out)
+	for o := range l.GradW {
+		copy(gf[o*l.In:(o+1)*l.In], l.GradW[o])
+		l.GradW[o] = gf[o*l.In : (o+1)*l.In : (o+1)*l.In]
+	}
+	l.gf = gf
+	return gf
+}

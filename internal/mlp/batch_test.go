@@ -1,0 +1,136 @@
+package mlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestForwardBatchMatchesForward checks, over random networks and batch
+// shapes, that every row of ForwardBatch is bit-identical to the
+// single-sample Forward on the same input — the property TrainBatch and
+// the DQN rely on when they route through the batched path.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	shapes := [][]int{{3, 5, 2}, {8, 16, 4}, {4, 4}, {12, 32, 32, 6}}
+	for _, shape := range shapes {
+		n := New(rng, ReLU, shape...)
+		in, out := n.InputSize(), n.OutputSize()
+		for _, rows := range []int{1, 2, 7, 33} {
+			xs := make([]float64, rows*in)
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			var sc BatchScratch
+			got := n.ForwardBatch(xs, &sc)
+			if len(got) != rows*out {
+				t.Fatalf("shape %v rows %d: got %d outputs, want %d", shape, rows, len(got), rows*out)
+			}
+			for r := 0; r < rows; r++ {
+				want := n.Forward(xs[r*in : (r+1)*in])
+				for o := 0; o < out; o++ {
+					g, w := got[r*out+o], want[o]
+					if math.Float64bits(g) != math.Float64bits(w) {
+						t.Fatalf("shape %v rows %d row %d out %d: batch %v != forward %v", shape, rows, r, o, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForwardBatchRejectsRaggedInput(t *testing.T) {
+	n := New(rand.New(rand.NewSource(32)), ReLU, 3, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("ForwardBatch accepted input that is not a multiple of InputSize")
+		}
+	}()
+	var sc BatchScratch
+	n.ForwardBatch(make([]float64, 7), &sc)
+}
+
+// TestForwardBatchConcurrent hammers one shared network from many
+// goroutines, each with its own scratch — the usage pattern of the DQN's
+// per-agent scratches and of any future parallel inference. Run under
+// -race this proves ForwardBatch is read-only on the network.
+func TestForwardBatchConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := New(rng, ReLU, 8, 32, 4)
+	in, out := n.InputSize(), n.OutputSize()
+	const rows = 16
+	xs := make([]float64, rows*in)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	want := n.ForwardBatch(xs, &BatchScratch{})
+	wantCopy := append([]float64(nil), want...)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc BatchScratch
+			for iter := 0; iter < 200; iter++ {
+				got := n.ForwardBatch(xs, &sc)
+				for i := range wantCopy {
+					if math.Float64bits(got[i]) != math.Float64bits(wantCopy[i]) {
+						select {
+						case errs <- fmt.Errorf("iter %d: output %d drifted", iter, i%out):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	n := New(rng, ReLU, 8, 64, 2)
+	in := n.InputSize()
+	for _, rows := range []int{1, 8, 32, 128} {
+		xs := make([]float64, rows*in)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			var sc BatchScratch
+			n.ForwardBatch(xs, &sc) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.ForwardBatch(xs, &sc)
+			}
+		})
+	}
+}
+
+func BenchmarkForwardSingleLoop(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	n := New(rng, ReLU, 8, 64, 2)
+	in := n.InputSize()
+	const rows = 32
+	xs := make([]float64, rows*in)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < rows; r++ {
+			n.Forward(xs[r*in : (r+1)*in])
+		}
+	}
+}

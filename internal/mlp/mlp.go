@@ -98,12 +98,18 @@ func (a Activation) derivative(x float64) float64 {
 type Layer struct {
 	In, Out int
 	Act     Activation
-	// W is Out x In, row-major: W[o][i] weights input i into output o.
+	// W is Out x In, row-major: W[o][i] weights input i into output o. In
+	// layers built by this package the rows are views into one flat
+	// backing array (wf), which the batched kernels in batch.go iterate
+	// directly; see Layer.flat.
 	W [][]float64
 	B []float64
 	// Accumulated gradients, filled by Backward and consumed by optimizers.
 	GradW [][]float64
 	GradB []float64
+
+	// wf and gf are the flat row-major backing arrays of W and GradW.
+	wf, gf []float64
 }
 
 // Network is a stack of dense layers.
@@ -113,10 +119,12 @@ type Network struct {
 	// scratch buffers reused by the training path (forward/backward) and
 	// by Infer, so that the tight DQN update loop does not allocate. They
 	// make those methods unsafe for concurrent use; Forward remains
-	// allocation-per-call and safe for concurrent readers.
+	// allocation-per-call and safe for concurrent readers, and
+	// ForwardBatch is safe with a caller-owned BatchScratch.
 	scratchZ     [][]float64
 	scratchA     [][]float64
 	scratchDelta [][]float64
+	trainScratch BatchScratch
 }
 
 // ensureScratch sizes the reusable buffers once.
@@ -134,6 +142,23 @@ func (n *Network) ensureScratch() {
 	}
 }
 
+// newLayer builds a zero-weight layer with flat row-major weight and
+// gradient storage; W[o] and GradW[o] are views into the backing arrays.
+func newLayer(in, out int, act Activation) *Layer {
+	l := &Layer{In: in, Out: out, Act: act}
+	l.wf = make([]float64, in*out)
+	l.gf = make([]float64, in*out)
+	l.W = make([][]float64, out)
+	l.GradW = make([][]float64, out)
+	for o := 0; o < out; o++ {
+		l.W[o] = l.wf[o*in : (o+1)*in : (o+1)*in]
+		l.GradW[o] = l.gf[o*in : (o+1)*in : (o+1)*in]
+	}
+	l.B = make([]float64, out)
+	l.GradB = make([]float64, out)
+	return l
+}
+
 // New constructs a network with the given layer sizes, e.g. New(rng, SELU,
 // 8, 64, 2) builds 8 → 64 → 2 with SELU on the hidden layer and a linear
 // output (Q-values are unbounded, so the output layer is always linear).
@@ -148,19 +173,11 @@ func New(rng *rand.Rand, hidden Activation, sizes ...int) *Network {
 		if l == len(sizes)-2 {
 			act = Linear
 		}
-		layer := &Layer{In: sizes[l], Out: sizes[l+1], Act: act}
+		layer := newLayer(sizes[l], sizes[l+1], act)
 		std := 1 / math.Sqrt(float64(layer.In))
-		layer.W = make([][]float64, layer.Out)
-		layer.GradW = make([][]float64, layer.Out)
-		for o := range layer.W {
-			layer.W[o] = make([]float64, layer.In)
-			layer.GradW[o] = make([]float64, layer.In)
-			for i := range layer.W[o] {
-				layer.W[o][i] = rng.NormFloat64() * std
-			}
+		for i := range layer.wf {
+			layer.wf[i] = rng.NormFloat64() * std
 		}
-		layer.B = make([]float64, layer.Out)
-		layer.GradB = make([]float64, layer.Out)
 		n.Layers = append(n.Layers, layer)
 	}
 	return n
@@ -285,10 +302,11 @@ func (n *Network) backward(x []float64, dOut []float64) {
 // ZeroGrads clears all accumulated gradients.
 func (n *Network) ZeroGrads() {
 	for _, l := range n.Layers {
-		for o := range l.GradW {
-			for i := range l.GradW[o] {
-				l.GradW[o][i] = 0
-			}
+		gf := l.gradFlat()
+		for i := range gf {
+			gf[i] = 0
+		}
+		for o := range l.GradB {
 			l.GradB[o] = 0
 		}
 	}
@@ -321,26 +339,39 @@ func (n *Network) LossBatch(batch []Sample) float64 {
 
 // TrainBatch accumulates gradients of the mean squared error over the batch
 // and applies one optimizer step. It returns the pre-update mean loss.
+//
+// The forward and backward passes run through the batched kernels of
+// batch.go: one ForwardBatch over the whole minibatch, then per-sample
+// gradient accumulation in row order. The math is bit-identical to running
+// the single-sample forward/backward over the batch sequentially. Not safe
+// for concurrent use (it mutates the network).
 func (n *Network) TrainBatch(batch []Sample, opt Optimizer) float64 {
 	if len(batch) == 0 {
 		return 0
 	}
 	n.ZeroGrads()
-	n.ensureScratch()
+	sc := &n.trainScratch
+	inSz, outSz := n.InputSize(), n.OutputSize()
+	sc.in = grow(sc.in, len(batch)*inSz)
+	sc.dOut = grow(sc.dOut, len(batch)*outSz)
+	for i := range sc.dOut {
+		sc.dOut[i] = 0
+	}
+	for s, smp := range batch {
+		if len(smp.Input) != inSz {
+			panic(fmt.Sprintf("mlp: input size %d, want %d", len(smp.Input), inSz))
+		}
+		copy(sc.in[s*inSz:(s+1)*inSz], smp.Input)
+	}
+	out := n.ForwardBatch(sc.in, sc)
 	var sum float64
 	inv := 1 / float64(len(batch))
-	dOut := make([]float64, n.OutputSize())
-	for _, s := range batch {
-		n.forward(s.Input)
-		out := n.scratchA[len(n.Layers)-1]
-		d := out[s.Output] - s.Target
+	for s, smp := range batch {
+		d := out[s*outSz+smp.Output] - smp.Target
 		sum += d * d
-		for i := range dOut {
-			dOut[i] = 0
-		}
-		dOut[s.Output] = 2 * d * inv
-		n.backward(s.Input, dOut)
+		sc.dOut[s*outSz+smp.Output] = 2 * d * inv
 	}
+	n.backwardBatch(sc.in, sc.dOut, sc)
 	opt.Step(n)
 	return sum * inv
 }
@@ -350,15 +381,11 @@ func (n *Network) TrainBatch(batch []Sample, opt Optimizer) float64 {
 func (n *Network) Clone() *Network {
 	cp := &Network{}
 	for _, l := range n.Layers {
-		nl := &Layer{In: l.In, Out: l.Out, Act: l.Act}
-		nl.W = make([][]float64, l.Out)
-		nl.GradW = make([][]float64, l.Out)
+		nl := newLayer(l.In, l.Out, l.Act)
 		for o := range l.W {
-			nl.W[o] = append([]float64(nil), l.W[o]...)
-			nl.GradW[o] = make([]float64, l.In)
+			copy(nl.W[o], l.W[o])
 		}
-		nl.B = append([]float64(nil), l.B...)
-		nl.GradB = make([]float64, l.Out)
+		copy(nl.B, l.B)
 		cp.Layers = append(cp.Layers, nl)
 	}
 	return cp

@@ -48,12 +48,11 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 				return fmt.Errorf("mlp: layer %d row %d has %d weights, want %d", li, o, len(row), pl.In)
 			}
 		}
-		l := &Layer{In: pl.In, Out: pl.Out, Act: pl.Act, W: pl.W, B: pl.B}
-		l.GradW = make([][]float64, l.Out)
-		for o := range l.GradW {
-			l.GradW[o] = make([]float64, l.In)
+		l := newLayer(pl.In, pl.Out, pl.Act)
+		for o, row := range pl.W {
+			copy(l.W[o], row)
 		}
-		l.GradB = make([]float64, l.Out)
+		copy(l.B, pl.B)
 		n.Layers = append(n.Layers, l)
 	}
 	// Layer chaining must be consistent.

@@ -83,10 +83,22 @@ func (b *ReplayBuffer) Reset() {
 // n exceeds the buffer size does it fall back to drawing with
 // replacement, keeping early-training minibatches at full batch size.
 func (b *ReplayBuffer) Sample(rng *rand.Rand, n int) []Transition {
+	return b.SampleInto(rng, n, nil)
+}
+
+// SampleInto is Sample reusing dst's backing array when its capacity
+// suffices, so a tight training loop samples without allocating. The draw
+// is identical to Sample's for the same rng state.
+func (b *ReplayBuffer) SampleInto(rng *rand.Rand, n int, dst []Transition) []Transition {
 	if len(b.buf) == 0 {
 		return nil
 	}
-	out := make([]Transition, n)
+	var out []Transition
+	if cap(dst) >= n {
+		out = dst[:n]
+	} else {
+		out = make([]Transition, n)
+	}
 	if n > len(b.buf) {
 		for i := range out {
 			out[i] = b.buf[rng.Intn(len(b.buf))]
@@ -188,6 +200,19 @@ type DQN struct {
 	rng     *rand.Rand
 	eps     float64
 	updates int
+
+	// Per-agent scratch. Action selection and the batched TrainStep run
+	// through agent-owned buffers instead of the networks' shared
+	// single-sample scratch, so independent agents never contend and the
+	// hot loops allocate nothing. An individual DQN is still not safe for
+	// concurrent use (rng, replay and the networks are mutable).
+	actScratch mlp.BatchScratch // SelectAction / BestAction forward (batch of 1)
+	tgtScratch mlp.BatchScratch // TrainStep target-network batch pass
+	onlScratch mlp.BatchScratch // TrainStep online-network batch pass (Double DQN)
+	batchBuf   []Transition     // reused minibatch
+	nextFlat   []float64        // flat row-major matrix of non-terminal next states
+	nextRow    []int            // batch index -> row in nextFlat, -1 for terminal
+	samples    []mlp.Sample     // reused TrainBatch input
 }
 
 // NewDQN builds an agent from the config.
@@ -246,19 +271,21 @@ func (d *DQN) Updates() int { return d.updates }
 func (d *DQN) Replay() *ReplayBuffer { return d.replay }
 
 // SelectAction picks an action ε-greedily among the first numActions
-// outputs (numActions <= 0 means all).
+// outputs (numActions <= 0 means all). The greedy forward pass runs
+// through the agent's own scratch, so distinct agents can act concurrently
+// on their networks.
 func (d *DQN) SelectAction(state []float64, numActions int) int {
 	n := d.clampActions(numActions)
 	if d.rng.Float64() < d.eps {
 		return d.rng.Intn(n)
 	}
-	return argmaxPrefix(d.main.Infer(state), n)
+	return argmaxPrefix(d.main.ForwardBatch(state, &d.actScratch), n)
 }
 
 // BestAction picks the greedy action among the first numActions outputs.
 // This is the inference policy used when building the final RLR-Tree.
 func (d *DQN) BestAction(state []float64, numActions int) int {
-	return argmaxPrefix(d.main.Infer(state), d.clampActions(numActions))
+	return argmaxPrefix(d.main.ForwardBatch(state, &d.actScratch), d.clampActions(numActions))
 }
 
 func (d *DQN) clampActions(numActions int) int {
@@ -293,25 +320,61 @@ func (d *DQN) Observe(t Transition) {
 // the TD targets r + γ·max_a' Q̂(s', a') (just r for terminal transitions),
 // decays ε, and synchronizes the target network every SyncEvery updates.
 // It returns the batch loss, or NaN when the buffer is still empty.
+//
+// The bootstrap Q-values for the whole minibatch are computed in batched
+// network passes — one over the target network, plus one over the online
+// network under Double DQN — instead of one Infer call per transition. Each
+// row of a batched pass is bit-identical to the corresponding single-sample
+// Infer, so the computed targets (and the trained weights) are unchanged.
 func (d *DQN) TrainStep() float64 {
-	batch := d.replay.Sample(d.rng, d.cfg.BatchSize)
+	batch := d.replay.SampleInto(d.rng, d.cfg.BatchSize, d.batchBuf)
 	if batch == nil {
 		return math.NaN()
 	}
-	samples := make([]mlp.Sample, len(batch))
+	d.batchBuf = batch
+
+	// Gather the non-terminal next states into one flat row-major matrix.
+	d.nextFlat = d.nextFlat[:0]
+	d.nextRow = d.nextRow[:0]
+	rows := 0
+	for _, tr := range batch {
+		if tr.Terminal() {
+			d.nextRow = append(d.nextRow, -1)
+			continue
+		}
+		d.nextRow = append(d.nextRow, rows)
+		d.nextFlat = append(d.nextFlat, tr.Next...)
+		rows++
+	}
+
+	// Batched bootstrap passes. qTgt (and qOnl under Double DQN) hold one
+	// row of Q-values per non-terminal transition.
+	var qTgt, qOnl []float64
+	if rows > 0 {
+		qTgt = d.target.ForwardBatch(d.nextFlat, &d.tgtScratch)
+		if d.cfg.DoubleDQN {
+			qOnl = d.main.ForwardBatch(d.nextFlat, &d.onlScratch)
+		}
+	}
+
+	if cap(d.samples) < len(batch) {
+		d.samples = make([]mlp.Sample, len(batch))
+	}
+	samples := d.samples[:len(batch)]
+	na := d.cfg.NumActions
 	for i, tr := range batch {
 		target := tr.Reward
-		if !tr.Terminal() {
-			n := d.cfg.NumActions
+		if row := d.nextRow[i]; row >= 0 {
+			n := na
 			if tr.NextActions > 0 && tr.NextActions < n {
 				n = tr.NextActions
 			}
+			qt := qTgt[row*na : (row+1)*na]
 			if d.cfg.DoubleDQN {
-				a := argmaxPrefix(d.main.Infer(tr.Next), n)
-				target += d.cfg.Gamma * d.target.Infer(tr.Next)[a]
+				a := argmaxPrefix(qOnl[row*na:(row+1)*na], n)
+				target += d.cfg.Gamma * qt[a]
 			} else {
-				qn := d.target.Infer(tr.Next)
-				target += d.cfg.Gamma * qn[argmaxPrefix(qn, n)]
+				target += d.cfg.Gamma * qt[argmaxPrefix(qt, n)]
 			}
 		}
 		samples[i] = mlp.Sample{Input: tr.State, Output: tr.Action, Target: target}

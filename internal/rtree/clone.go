@@ -28,6 +28,58 @@ func (t *Tree) CloneWith(chooser SubtreeChooser, splitter Splitter) *Tree {
 	return nt
 }
 
+// CloneWithInto is CloneWith recycling dst's node storage: dst's structure
+// is overwritten with a deep copy of t's and dst is returned. A nil dst
+// falls back to a fresh CloneWith. The training loops call this once per
+// group to re-synchronize the reference tree; ping-ponging two trees
+// through it makes the per-group sync allocation-free in steady state,
+// because every node (and its entry slice, once grown to capacity) of the
+// discarded previous clone is reused.
+//
+// dst must not be t itself, and the copy reads only t: cloning is safe
+// concurrently with other readers of t (queries, other clones).
+func (t *Tree) CloneWithInto(dst *Tree, chooser SubtreeChooser, splitter Splitter) *Tree {
+	if dst == nil {
+		return t.CloneWith(chooser, splitter)
+	}
+	opts := t.opts
+	opts.Chooser = chooser
+	opts.Splitter = splitter
+
+	// Harvest dst's nodes into a free list, reusing the pooled query
+	// scratch's node stack for the traversal and a second scratch's stack
+	// as the list itself, so the harvest allocates nothing once the pool
+	// and the caller's trees reach steady state.
+	sc, fl := getScratch(), getScratch()
+	stack, free := sc.stack, fl.stack
+	if dst.root != nil {
+		stack = append(stack, dst.root)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !n.leaf {
+			for i := range n.entries {
+				stack = append(stack, n.entries[i].Child)
+			}
+		}
+		free = append(free, n)
+	}
+
+	dst.root = cloneNodeReuse(t.root, nil, &free)
+	dst.opts = opts
+	dst.height = t.height
+	dst.size = t.size
+	dst.splits = 0
+	dst.chooses = 0
+
+	sc.stack = stack
+	fl.stack = free
+	sc.release()
+	fl.release()
+	return dst
+}
+
 // SyncFrom resets the receiver's structure to a deep copy of src's,
 // preserving the receiver's strategies. Construction statistics are reset.
 func (t *Tree) SyncFrom(src *Tree) {
@@ -36,6 +88,37 @@ func (t *Tree) SyncFrom(src *Tree) {
 	t.size = src.size
 	t.splits = 0
 	t.chooses = 0
+}
+
+// cloneNodeReuse is cloneNode drawing nodes from a free list. Recycled
+// entry slices are kept when their capacity suffices, so a steady-state
+// clone performs no allocation at all.
+func cloneNodeReuse(n *Node, parent *Node, free *[]*Node) *Node {
+	var cp *Node
+	if fl := *free; len(fl) > 0 {
+		cp = fl[len(fl)-1]
+		*free = fl[:len(fl)-1]
+	} else {
+		cp = &Node{}
+	}
+	cp.parent = parent
+	cp.leaf = n.leaf
+	if cap(cp.entries) < len(n.entries) {
+		cp.entries = make([]Entry, len(n.entries))
+	} else {
+		// Clear the tail beyond the copied prefix so recycled slots do
+		// not pin nodes or payloads of the previous clone.
+		tail := cp.entries[len(n.entries):cap(cp.entries)]
+		clear(tail)
+		cp.entries = cp.entries[:len(n.entries)]
+	}
+	copy(cp.entries, n.entries)
+	if !n.leaf {
+		for i := range cp.entries {
+			cp.entries[i].Child = cloneNodeReuse(cp.entries[i].Child, cp, free)
+		}
+	}
+	return cp
 }
 
 func cloneNode(n *Node, parent *Node) *Node {

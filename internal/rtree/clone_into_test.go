@@ -1,0 +1,107 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+func TestCloneWithIntoNilDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := buildTree(t, testOpts(), randSquares(rng, 300, 0.01))
+	cl := tr.CloneWithInto(nil, RStarChooser{}, RStarSplit{})
+	if cl == tr {
+		t.Fatalf("CloneWithInto(nil) returned the receiver")
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if cl.Len() != tr.Len() || cl.Height() != tr.Height() || cl.NodeCount() != tr.NodeCount() {
+		t.Fatalf("clone structure differs")
+	}
+	if cl.Chooser().Name() != "rstar" || cl.Splitter().Name() != "rstar-split" {
+		t.Fatalf("CloneWithInto did not install strategies")
+	}
+}
+
+func TestCloneWithIntoRecyclesAndStaysEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	src := buildTree(t, testOpts(), randSquares(rng, 100, 0.01))
+	var store *Tree
+	// Grow the source across rounds so the recycled storage is exercised
+	// both when it is too small and when it is larger than needed.
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 60; i++ {
+			src.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.01), round*1000+i)
+		}
+		store = src.CloneWithInto(store, GuttmanChooser{}, MinOverlapSplit{})
+		if err := store.Validate(); err != nil {
+			t.Fatalf("round %d: recycled clone invalid: %v", round, err)
+		}
+		if store.Len() != src.Len() || store.Height() != src.Height() || store.NodeCount() != src.NodeCount() {
+			t.Fatalf("round %d: recycled clone structure differs", round)
+		}
+		q := geom.NewRect(0.2, 0.2, 0.8, 0.8)
+		a, sa := src.Search(q)
+		b, sb := store.Search(q)
+		if !equalInts(sortedInts(a), sortedInts(b)) || sa.NodesAccessed != sb.NodesAccessed {
+			t.Fatalf("round %d: recycled clone query behaviour differs", round)
+		}
+	}
+	// Mutating the clone must not affect the source (deep independence even
+	// through recycled entry slices).
+	before := src.Len()
+	for i := 0; i < 150; i++ {
+		store.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.01), -i)
+	}
+	if src.Len() != before {
+		t.Fatalf("clone mutation leaked into source")
+	}
+	if err := src.Validate(); err != nil {
+		t.Fatalf("source corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestCloneWithIntoShrinkingSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	big := buildTree(t, testOpts(), randSquares(rng, 800, 0.01))
+	store := big.CloneWithInto(nil, GuttmanChooser{}, MinOverlapSplit{})
+	// Rebuild the (large) store from a much smaller source: the free list
+	// must absorb the surplus nodes without corrupting anything.
+	small := buildTree(t, testOpts(), randSquares(rng, 50, 0.01))
+	store = small.CloneWithInto(store, GuttmanChooser{}, MinOverlapSplit{})
+	if err := store.Validate(); err != nil {
+		t.Fatalf("shrunk clone invalid: %v", err)
+	}
+	if store.Len() != small.Len() || store.NodeCount() != small.NodeCount() {
+		t.Fatalf("shrunk clone structure differs: len=%d want %d", store.Len(), small.Len())
+	}
+}
+
+func BenchmarkCloneWith(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	tr := New(testOpts())
+	for i, r := range randSquares(rng, 10_000, 0.001) {
+		tr.Insert(r, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.CloneWith(GuttmanChooser{}, MinOverlapSplit{})
+	}
+}
+
+func BenchmarkCloneWithInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	tr := New(testOpts())
+	for i, r := range randSquares(rng, 10_000, 0.001) {
+		tr.Insert(r, i)
+	}
+	store := tr.CloneWithInto(nil, GuttmanChooser{}, MinOverlapSplit{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store = tr.CloneWithInto(store, GuttmanChooser{}, MinOverlapSplit{})
+	}
+}
