@@ -8,7 +8,9 @@
 //	rlr-loadgen -addr http://localhost:8080 -load=false -queries 10000 -knn-frac 0.2
 //
 // Phase 1 (unless -load=false) bulk loads -n objects of the chosen
-// dataset kind through POST /insert in -batch-sized batches. Phase 2
+// dataset kind through POST /insert in -batch-sized batches from -ic
+// concurrent inserters (-ic > 1 exercises the server's write-side
+// concurrency — the case a -shards rlr-serve exists for). Phase 2
 // issues -queries window queries (area fraction -size) and KNN queries
 // (fraction -knn-frac, k = -k) from -c concurrent workers, paced at
 // -qps requests/second (0 = closed loop, as fast as the server allows).
@@ -39,6 +41,7 @@ func main() {
 		kind        = flag.String("kind", "UNI", "dataset kind: UNI, GAU, SKE, CHI, IND")
 		n           = flag.Int("n", 50_000, "objects to load in phase 1")
 		batch       = flag.Int("batch", 1000, "insert batch size")
+		insWorkers  = flag.Int("ic", 1, "concurrent insert workers in the load phase")
 		load        = flag.Bool("load", true, "run the load phase")
 		queries     = flag.Int("queries", 5000, "total queries in phase 2")
 		size        = flag.Float64("size", 0.0001, "window query area as a fraction of the unit square")
@@ -63,7 +66,7 @@ func main() {
 	}
 
 	if *load {
-		if err := loadPhase(client, *addr, *kind, *n, *batch, *seed); err != nil {
+		if err := loadPhase(client, *addr, *kind, *n, *batch, *insWorkers, *seed); err != nil {
 			fatal(err)
 		}
 	}
@@ -79,13 +82,15 @@ type wireItem struct {
 	Rect []float64 `json:"rect"`
 }
 
-func loadPhase(client *http.Client, addr, kind string, n, batch int, seed int64) error {
+func loadPhase(client *http.Client, addr, kind string, n, batch, workers int, seed int64) error {
 	data, err := dataset.Generate(dataset.Kind(kind), n, seed)
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	for lo := 0; lo < len(data); lo += batch {
+	if workers < 1 {
+		workers = 1
+	}
+	postBatch := func(lo int) error {
 		hi := min(lo+batch, len(data))
 		items := make([]wireItem, hi-lo)
 		for i, r := range data[lo:hi] {
@@ -107,10 +112,51 @@ func loadPhase(client *http.Client, addr, kind string, n, batch int, seed int64)
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("insert batch [%d:%d]: HTTP %d", lo, hi, resp.StatusCode)
 		}
+		return nil
+	}
+
+	start := time.Now()
+	if workers == 1 {
+		for lo := 0; lo < len(data); lo += batch {
+			if err := postBatch(lo); err != nil {
+				return err
+			}
+		}
+	} else {
+		// Concurrent inserters: batches fan out over a worker pool, so the
+		// server sees `workers` simultaneous write streams. The first error
+		// is reported after all in-flight batches drain.
+		work := make(chan int, workers)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for lo := range work {
+					if err := postBatch(lo); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for lo := 0; lo < len(data); lo += batch {
+			work <- lo
+		}
+		close(work)
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("load:   %d objects (%s) in %s — %.0f inserts/s (batch %d)\n",
-		n, kind, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), batch)
+	fmt.Printf("load:   %d objects (%s) in %s — %.0f inserts/s (batch %d, %d workers)\n",
+		n, kind, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), batch, workers)
 	return nil
 }
 

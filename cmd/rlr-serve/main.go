@@ -6,6 +6,14 @@
 //
 //	rlr-serve -addr :8080 -snapshot tree.gob -snapshot-every 30s
 //	rlr-serve -addr :8080 -policy policy.json -snapshot tree.gob
+//	rlr-serve -addr :8080 -shards 4
+//
+// With -shards N (N > 1) the server fronts a shard.ShardedTree — N
+// independent trees behind a Z-order spatial router with per-shard
+// locks, so concurrent inserters stop serializing on one write lock.
+// /stats then carries a per-shard breakdown, and snapshots use the
+// sharded container format (a -shards server cannot restore a
+// single-tree snapshot file, or vice versa).
 //
 // On startup the server restores the snapshot file when it exists, so a
 // restart resumes with the indexed data intact; on SIGINT/SIGTERM it
@@ -30,6 +38,7 @@ import (
 	"github.com/rlr-tree/rlrtree/internal/cliutil"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 	"github.com/rlr-tree/rlrtree/internal/server"
+	"github.com/rlr-tree/rlrtree/internal/shard"
 )
 
 func main() {
@@ -39,6 +48,7 @@ func main() {
 		indexKind   = flag.String("index", "rtree", "heuristic index when no policy: rtree, rstar, rrstar")
 		maxE        = flag.Int("max-entries", 50, "node capacity M")
 		minE        = flag.Int("min-entries", 20, "minimum node fill m")
+		shards      = flag.Int("shards", 1, "independent index shards (>1 enables the Z-order sharded tree)")
 		snapPath    = flag.String("snapshot", "", "snapshot file (restore on start, write on shutdown)")
 		snapEvery   = flag.Duration("snapshot-every", 0, "background snapshot interval (0 disables)")
 		reqTimeout  = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout")
@@ -59,25 +69,51 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	tree, err := rtree.NewChecked(opts)
-	if err != nil {
-		logger.Fatal(err)
-	}
-	if *snapPath != "" {
-		restored, err := server.LoadSnapshot(*snapPath, opts)
-		switch {
-		case err == nil:
-			tree = restored
-			logger.Printf("restored %d objects from %s (height %d)", tree.Len(), *snapPath, tree.Height())
-		case errors.Is(err, os.ErrNotExist):
-			logger.Printf("no snapshot at %s, starting empty", *snapPath)
-		default:
+	var index server.Index
+	if *shards > 1 {
+		sopts := shard.Options{Shards: *shards, Tree: opts}
+		var st *shard.ShardedTree
+		if *snapPath != "" {
+			restored, err := server.LoadShardedSnapshot(*snapPath, sopts)
+			switch {
+			case err == nil:
+				st = restored
+				logger.Printf("restored %d objects from %s (%d shards)", st.Len(), *snapPath, st.NumShards())
+			case errors.Is(err, os.ErrNotExist):
+				logger.Printf("no snapshot at %s, starting empty", *snapPath)
+			default:
+				logger.Fatal(err)
+			}
+		}
+		if st == nil {
+			if st, err = shard.New(sopts); err != nil {
+				logger.Fatal(err)
+			}
+		}
+		name = fmt.Sprintf("%s[%d shards]", name, st.NumShards())
+		index = st
+	} else {
+		tree, err := rtree.NewChecked(opts)
+		if err != nil {
 			logger.Fatal(err)
 		}
+		if *snapPath != "" {
+			restored, err := server.LoadSnapshot(*snapPath, opts)
+			switch {
+			case err == nil:
+				tree = restored
+				logger.Printf("restored %d objects from %s (height %d)", tree.Len(), *snapPath, tree.Height())
+			case errors.Is(err, os.ErrNotExist):
+				logger.Printf("no snapshot at %s, starting empty", *snapPath)
+			default:
+				logger.Fatal(err)
+			}
+		}
+		index = rtree.NewConcurrent(tree)
 	}
 
 	srv, err := server.New(server.Config{
-		Tree:           rtree.NewConcurrent(tree),
+		Index:          index,
 		IndexName:      name,
 		SnapshotPath:   *snapPath,
 		SnapshotEvery:  *snapEvery,
@@ -115,7 +151,7 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("serving %s index on %s (%d objects)", name, *addr, tree.Len())
+	logger.Printf("serving %s index on %s (%d objects)", name, *addr, index.Len())
 
 	select {
 	case err := <-errCh:

@@ -1,6 +1,7 @@
 package rtree
 
 import (
+	"io"
 	"sync"
 
 	"github.com/rlr-tree/rlrtree/internal/geom"
@@ -119,6 +120,27 @@ func (c *ConcurrentTree) Snapshot() *Tree {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.tree.Clone()
+}
+
+// Stats computes the tree's structural statistics under the read lock.
+func (c *ConcurrentTree) Stats() TreeStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.Stats()
+}
+
+// Validate runs the full invariant checker under the read lock.
+func (c *ConcurrentTree) Validate() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.Validate()
+}
+
+// EncodeSnapshot clones the tree under the read lock and gob-encodes the
+// clone outside it, so serialization I/O never blocks writers. It is the
+// serving layer's snapshot hook, shared with shard.ShardedTree.
+func (c *ConcurrentTree) EncodeSnapshot(w io.Writer) error {
+	return c.Snapshot().Encode(w)
 }
 
 // Update applies fn to the underlying tree under the write lock, for

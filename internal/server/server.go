@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime/debug"
@@ -40,6 +41,32 @@ import (
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 )
 
+// Index is the serving-side contract of a concurrent spatial index:
+// everything the handlers need, nothing more. Both *rtree.ConcurrentTree
+// (one tree, one RWMutex) and *shard.ShardedTree (N trees behind a
+// Z-order router, per-shard locks) satisfy it, so the whole HTTP layer
+// is shard-agnostic — the RLR-Tree property that queries are classic
+// R-Tree algorithms extends one level up: the serving code cannot tell
+// how the index is partitioned.
+type Index interface {
+	InsertBatch(rects []geom.Rect, data []any)
+	Delete(r geom.Rect, data any) bool
+	SearchEach(q geom.Rect, fn func(geom.Rect, any)) rtree.QueryStats
+	KNNAppend(p geom.Point, k int, dst []rtree.Neighbor) ([]rtree.Neighbor, rtree.QueryStats)
+	Len() int
+	Stats() rtree.TreeStats
+	// EncodeSnapshot serializes a consistent copy of the index without
+	// blocking writers for the duration of the encoding I/O.
+	EncodeSnapshot(w io.Writer) error
+}
+
+// ShardStatser is optionally implemented by sharded indexes; when the
+// served Index provides it, /stats (and the expvar mirror) carry a
+// per-shard breakdown.
+type ShardStatser interface {
+	ShardStats() []rtree.TreeStats
+}
+
 // Defaults for the zero values of Config.
 const (
 	DefaultRequestTimeout = 10 * time.Second
@@ -47,12 +74,16 @@ const (
 	DefaultMaxResults     = 100_000
 )
 
-// Config configures a Server. Tree is the only required field.
+// Config configures a Server. Exactly one of Tree and Index is
+// required (Index wins when both are set).
 type Config struct {
-	// Tree is the served index. Build it empty (cliutil.BuildIndex), by
-	// bulk loading, or by restoring a snapshot (LoadSnapshot), then wrap
-	// it with rtree.NewConcurrent.
+	// Tree is the served single-tree index. Build it empty
+	// (cliutil.BuildIndex), by bulk loading, or by restoring a snapshot
+	// (LoadSnapshot), then wrap it with rtree.NewConcurrent.
 	Tree *rtree.ConcurrentTree
+	// Index is the served index when it is not a single ConcurrentTree —
+	// a shard.ShardedTree, or any other Index implementation.
+	Index Index
 	// IndexName labels the index in /stats output ("rtree", "RLR-Tree"...).
 	IndexName string
 	// SnapshotPath is where snapshots are written; empty disables
@@ -77,7 +108,7 @@ type Config struct {
 // and Close to stop them and write the final snapshot.
 type Server struct {
 	cfg     Config
-	tree    *rtree.ConcurrentTree
+	index   Index
 	metrics metrics
 	started time.Time
 
@@ -92,8 +123,11 @@ type Server struct {
 // New validates cfg and returns a Server. It does not start the
 // background snapshot loop; call Start for that.
 func New(cfg Config) (*Server, error) {
-	if cfg.Tree == nil {
-		return nil, errors.New("server: Config.Tree is required")
+	if cfg.Index == nil {
+		if cfg.Tree == nil {
+			return nil, errors.New("server: Config.Tree or Config.Index is required")
+		}
+		cfg.Index = cfg.Tree
 	}
 	if cfg.IndexName == "" {
 		cfg.IndexName = "rtree"
@@ -112,7 +146,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:        cfg,
-		tree:       cfg.Tree,
+		index:      cfg.Index,
 		started:    time.Now(),
 		stopSnap:   make(chan struct{}),
 		snapLoopWG: make(chan struct{}),
@@ -282,9 +316,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	// One write-lock acquisition for the whole batch.
-	s.tree.InsertBatch(rects, data)
-	resp := insertResponse{Inserted: len(items), Size: s.tree.Len()}
+	// One write-lock acquisition per shard for the whole batch.
+	s.index.InsertBatch(rects, data)
+	resp := insertResponse{Inserted: len(items), Size: s.index.Len()}
 	if assigned {
 		resp.IDs = ids
 	}
@@ -316,8 +350,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("delete needs id"))
 		return
 	}
-	ok := s.tree.Delete(rect, req.ID)
-	writeJSON(w, http.StatusOK, deleteResponse{Deleted: ok, Size: s.tree.Len()})
+	ok := s.index.Delete(rect, req.ID)
+	writeJSON(w, http.StatusOK, deleteResponse{Deleted: ok, Size: s.index.Len()})
 }
 
 type searchResponse struct {
@@ -390,7 +424,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// Stream matches straight into the pooled ID slice — no intermediate
 	// []any materialization; the cap keeps truncated responses cheap.
 	maxIDs := s.cfg.MaxResults
-	stats := s.tree.SearchEach(q, func(_ geom.Rect, d any) {
+	stats := s.index.SearchEach(q, func(_ geom.Rect, d any) {
 		if len(rs.ids) < maxIDs {
 			rs.ids = append(rs.ids, idString(d))
 		}
@@ -434,7 +468,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	rs := getRespScratch()
 	defer rs.release()
-	neighbors, stats := s.tree.KNNAppend(p, k, rs.knnBuf)
+	neighbors, stats := s.index.KNNAppend(p, k, rs.knnBuf)
 	rs.knnBuf = neighbors
 	s.metrics.endpoint("knn").addNodeAccesses(stats.NodesAccessed)
 	for _, nb := range neighbors {
@@ -451,11 +485,14 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 // statsResponse is the /stats payload; EndpointStats documents the
 // per-endpoint half.
 type statsResponse struct {
-	Index         string                   `json:"index"`
-	UptimeSeconds float64                  `json:"uptime_seconds"`
-	Tree          treeStatsPayload         `json:"tree"`
-	Endpoints     map[string]EndpointStats `json:"endpoints"`
-	Snapshots     snapshotStats            `json:"snapshots"`
+	Index         string           `json:"index"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Tree          treeStatsPayload `json:"tree"`
+	// Shards carries the per-shard breakdown when the served index is
+	// sharded (implements ShardStatser); absent for a single tree.
+	Shards    []treeStatsPayload       `json:"shards,omitempty"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Snapshots snapshotStats            `json:"snapshots"`
 	// PanicsRecovered counts handler panics converted to 500 responses
 	// by the recovery middleware.
 	PanicsRecovered int64 `json:"panics_recovered"`
@@ -480,23 +517,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.statsPayload())
 }
 
+func toTreeStatsPayload(ts rtree.TreeStats) treeStatsPayload {
+	return treeStatsPayload{
+		Size:        ts.Size,
+		Height:      ts.Height,
+		Nodes:       ts.Nodes,
+		Leaves:      ts.Leaves,
+		AvgFill:     ts.AvgFill,
+		MemoryBytes: ts.MemoryBytes,
+	}
+}
+
 func (s *Server) statsPayload() statsResponse {
-	var ts rtree.TreeStats
-	s.tree.View(func(t *rtree.Tree) { ts = t.Stats() })
 	resp := statsResponse{
-		Index:         s.cfg.IndexName,
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Tree: treeStatsPayload{
-			Size:        ts.Size,
-			Height:      ts.Height,
-			Nodes:       ts.Nodes,
-			Leaves:      ts.Leaves,
-			AvgFill:     ts.AvgFill,
-			MemoryBytes: ts.MemoryBytes,
-		},
+		Index:           s.cfg.IndexName,
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Tree:            toTreeStatsPayload(s.index.Stats()),
 		Endpoints:       s.metrics.snapshot(),
 		Snapshots:       snapshotStats{Path: s.cfg.SnapshotPath, Written: s.snapshots.Load()},
 		PanicsRecovered: s.metrics.panics.Value(),
+	}
+	if ss, ok := s.index.(ShardStatser); ok {
+		per := ss.ShardStats()
+		resp.Shards = make([]treeStatsPayload, len(per))
+		for i, st := range per {
+			resp.Shards[i] = toTreeStatsPayload(st)
+		}
 	}
 	if ns := s.lastSnap.Load(); ns != 0 {
 		resp.Snapshots.LastRFC = time.Unix(0, ns).UTC().Format(time.RFC3339)

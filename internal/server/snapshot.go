@@ -2,24 +2,27 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
 	"github.com/rlr-tree/rlrtree/internal/rtree"
+	"github.com/rlr-tree/rlrtree/internal/shard"
 )
 
-// SaveSnapshot writes the current tree to Config.SnapshotPath with the
-// gob encoding of rtree.(*Tree).Encode. The tree is cloned under the
-// read lock and encoded outside it, so disk I/O never blocks writers;
-// the file is written to a temp sibling and renamed into place, so a
-// crash mid-write leaves the previous snapshot intact.
+// SaveSnapshot writes the served index to Config.SnapshotPath through
+// Index.EncodeSnapshot (the single-tree gob format of rtree.(*Tree).Encode,
+// or the nested sharded format of shard.(*ShardedTree).EncodeSnapshot —
+// whichever matches the index being served). Both implementations clone
+// under their read locks and encode outside them, so disk I/O never
+// blocks writers; the file is written to a temp sibling and renamed into
+// place, so a crash mid-write leaves the previous snapshot intact.
 func (s *Server) SaveSnapshot() error {
 	if s.cfg.SnapshotPath == "" {
 		return fmt.Errorf("server: no snapshot path configured")
 	}
-	snap := s.tree.Snapshot()
-	if err := writeTreeAtomic(s.cfg.SnapshotPath, snap); err != nil {
+	if err := writeSnapshotAtomic(s.cfg.SnapshotPath, s.index.EncodeSnapshot); err != nil {
 		return err
 	}
 	s.snapshots.Add(1)
@@ -27,14 +30,14 @@ func (s *Server) SaveSnapshot() error {
 	return nil
 }
 
-func writeTreeAtomic(path string, t *rtree.Tree) error {
+func writeSnapshotAtomic(path string, encode func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("server: snapshot temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := t.Encode(tmp); err != nil {
+	if err := encode(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -69,6 +72,25 @@ func LoadSnapshot(path string, opts rtree.Options) (*rtree.Tree, error) {
 	return t, nil
 }
 
+// LoadShardedSnapshot restores a ShardedTree from a snapshot written by
+// a sharded server. The routing geometry (shard count, grid resolution,
+// world rect) comes from the snapshot itself; opts supplies the
+// per-shard insertion strategies for future writes, mirroring
+// LoadSnapshot. Returns os.ErrNotExist (wrapped) when no snapshot
+// exists yet.
+func LoadShardedSnapshot(path string, opts shard.Options) (*shard.ShardedTree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: open snapshot: %w", err)
+	}
+	defer f.Close()
+	st, err := shard.Decode(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("server: %s: %w", path, err)
+	}
+	return st, nil
+}
+
 // snapshotLoop writes periodic background snapshots until Close.
 func (s *Server) snapshotLoop() {
 	defer close(s.snapLoopWG)
@@ -82,7 +104,7 @@ func (s *Server) snapshotLoop() {
 			if err := s.SaveSnapshot(); err != nil {
 				s.cfg.Logf("background snapshot failed: %v", err)
 			} else {
-				s.cfg.Logf("background snapshot written (%d objects)", s.tree.Len())
+				s.cfg.Logf("background snapshot written (%d objects)", s.index.Len())
 			}
 		}
 	}

@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+func unitWorld() geom.Rect { return geom.NewRect(0, 0, 1, 1) }
+
+// BenchmarkConcurrentInsert measures write throughput under concurrent
+// inserters for 1 vs N shards — the lock-contention headline this
+// package exists for. RunParallel spawns GOMAXPROCS inserter
+// goroutines; with shards=1 they all serialize on one write lock, with
+// more shards they mostly hit different locks. On a single-core host
+// the parallel speedup cannot materialize (see BENCH_shard.json); what
+// still shows is the shorter lock hold/handoff chain.
+func BenchmarkConcurrentInsert(b *testing.B) {
+	data := dataset.MustGenerate(dataset.UNI, 1<<17, 9)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := New(Options{Shards: shards, Tree: rtree.Options{MaxEntries: 50, MinEntries: 20}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					s.Insert(data[int(i)%len(data)], i)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFanoutSearch prices the read side of sharding: a fan-out
+// range query pays one lock acquisition and one root descent per shard.
+func BenchmarkFanoutSearch(b *testing.B) {
+	data := dataset.MustGenerate(dataset.UNI, 100_000, 9)
+	queries := dataset.RangeQueries(1024, 0.0001, unitWorld(), 10)
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := New(Options{Shards: shards, Tree: rtree.Options{MaxEntries: 50, MinEntries: 20}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]any, len(data))
+			for i := range payload {
+				payload[i] = i
+			}
+			s.InsertBatch(data, payload)
+			var dst []any
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = dst[:0]
+				dst, _ = s.SearchAppend(queries[i%len(queries)], dst)
+			}
+		})
+	}
+}

@@ -1,0 +1,303 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// The differential suite is the correctness contract of this package: a
+// ShardedTree must be observationally equivalent to one rtree.Tree fed
+// the identical operation sequence — for range, point and KNN queries,
+// across data distributions and interleaved deletes. The single tree is
+// the oracle (its own correctness is pinned by internal/rtree's tests
+// and fuzzers); sharding must be invisible.
+
+// testTreeOpts gives small node capacities so a few thousand objects
+// already build multi-level trees with splits and condense activity.
+func testTreeOpts() rtree.Options { return rtree.Options{MaxEntries: 16, MinEntries: 6} }
+
+func newTestSharded(t *testing.T, shards int) *ShardedTree {
+	t.Helper()
+	s, err := New(Options{Shards: shards, Tree: testTreeOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// diffPair applies the same operations to the oracle tree and the
+// sharded tree, tracking the live set for KNN tie verification.
+type diffPair struct {
+	single  *rtree.Tree
+	sharded *ShardedTree
+	live    map[int]geom.Rect
+}
+
+func newDiffPair(t *testing.T, shards int) *diffPair {
+	return &diffPair{
+		single:  rtree.New(testTreeOpts()),
+		sharded: newTestSharded(t, shards),
+		live:    make(map[int]geom.Rect),
+	}
+}
+
+func (d *diffPair) insert(r geom.Rect, id int) {
+	d.single.Insert(r, id)
+	d.sharded.Insert(r, id)
+	d.live[id] = r
+}
+
+func (d *diffPair) delete(t *testing.T, id int) {
+	t.Helper()
+	r := d.live[id]
+	if !d.single.Delete(r, id) {
+		t.Fatalf("oracle lost live object %d", id)
+	}
+	if !d.sharded.Delete(r, id) {
+		t.Fatalf("sharded tree lost live object %d (%v routes to shard %d)",
+			id, r, d.sharded.Router().Shard(r))
+	}
+	delete(d.live, id)
+}
+
+// sortedIDs canonicalizes a Search result set for comparison.
+func sortedIDs(t *testing.T, res []any) []int {
+	t.Helper()
+	out := make([]int, len(res))
+	for i, v := range res {
+		id, ok := v.(int)
+		if !ok {
+			t.Fatalf("payload %v is %T, want int", v, v)
+		}
+		out[i] = id
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertRangeEqual compares the two indexes' answers to one range query
+// element for element after canonical sort.
+func (d *diffPair) assertRangeEqual(t *testing.T, q geom.Rect) {
+	t.Helper()
+	wantRes, wantStats := d.single.Search(q)
+	gotRes, gotStats := d.sharded.Search(q)
+	want, got := sortedIDs(t, wantRes), sortedIDs(t, gotRes)
+	if !equalInts(want, got) {
+		t.Fatalf("range %v: sharded returned %d ids, oracle %d\n got %v\nwant %v",
+			q, len(got), len(want), got, want)
+	}
+	if gotStats.Results != wantStats.Results {
+		t.Fatalf("range %v: Results %d, oracle %d", q, gotStats.Results, wantStats.Results)
+	}
+}
+
+// assertPointEqual compares point containment and a degenerate
+// point-rectangle range query.
+func (d *diffPair) assertPointEqual(t *testing.T, p geom.Point) {
+	t.Helper()
+	want, _ := d.single.ContainsPoint(p)
+	got, _ := d.sharded.ContainsPoint(p)
+	if want != got {
+		t.Fatalf("ContainsPoint(%v): sharded %v, oracle %v", p, got, want)
+	}
+	d.assertRangeEqual(t, geom.PointRect(p))
+}
+
+// assertKNNEqual compares KNN answers. Both sides return neighbors in
+// ascending distance order; the distance sequences must match exactly
+// (both sides compute the same geom.MinDistSq on the same rectangles).
+// IDs must match as sets at every distance below the k-th; at the k-th
+// distance itself, a tie straddling the cutoff may legitimately resolve
+// to different members, so tied IDs are only required to be live objects
+// at exactly that distance.
+func (d *diffPair) assertKNNEqual(t *testing.T, p geom.Point, k int) {
+	t.Helper()
+	want, _ := d.single.KNN(p, k)
+	got, _ := d.sharded.KNN(p, k)
+	if len(got) != len(want) {
+		t.Fatalf("KNN(%v, %d): sharded returned %d, oracle %d", p, k, len(got), len(want))
+	}
+	if len(want) == 0 {
+		return
+	}
+	for i := range want {
+		if got[i].DistSq != want[i].DistSq {
+			t.Fatalf("KNN(%v, %d)[%d]: dist %g, oracle %g", p, k, i, got[i].DistSq, want[i].DistSq)
+		}
+	}
+	boundary := want[len(want)-1].DistSq
+	wantIDs, gotIDs := map[int]bool{}, map[int]bool{}
+	for i := range want {
+		if want[i].DistSq < boundary {
+			wantIDs[want[i].Data.(int)] = true
+			gotIDs[got[i].Data.(int)] = true
+		}
+	}
+	for id := range wantIDs {
+		if !gotIDs[id] {
+			t.Fatalf("KNN(%v, %d): oracle neighbor %d missing from sharded result", p, k, id)
+		}
+	}
+	// Boundary-tied members: each must be a distinct live object whose
+	// true distance is exactly the boundary distance.
+	seen := map[int]bool{}
+	for i := range got {
+		if got[i].DistSq != boundary {
+			continue
+		}
+		id := got[i].Data.(int)
+		if seen[id] {
+			t.Fatalf("KNN(%v, %d): duplicate neighbor %d", p, k, id)
+		}
+		seen[id] = true
+		r, ok := d.live[id]
+		if !ok {
+			t.Fatalf("KNN(%v, %d): neighbor %d is not live", p, k, id)
+		}
+		if r.MinDistSq(p) != boundary {
+			t.Fatalf("KNN(%v, %d): neighbor %d at dist %g, object is at %g",
+				p, k, id, boundary, r.MinDistSq(p))
+		}
+	}
+}
+
+// checkpoint runs the full query battery at the current state.
+func (d *diffPair) checkpoint(t *testing.T, seed int64) {
+	t.Helper()
+	if got, want := d.sharded.Len(), d.single.Len(); got != want {
+		t.Fatalf("Len: sharded %d, oracle %d", got, want)
+	}
+	world := geom.NewRect(0, 0, 1, 1)
+	rng := rand.New(rand.NewSource(seed))
+	for _, frac := range []float64{0.0001, 0.001, 0.02} {
+		for _, q := range dataset.RangeQueries(8, frac, world, seed+int64(frac*1e6)) {
+			d.assertRangeEqual(t, q)
+		}
+	}
+	// A window straddling everything, and one outside the data space.
+	d.assertRangeEqual(t, geom.NewRect(-1, -1, 2, 2))
+	d.assertRangeEqual(t, geom.NewRect(5, 5, 6, 6))
+	// Point queries: random misses plus guaranteed hits on live objects.
+	for i := 0; i < 10; i++ {
+		d.assertPointEqual(t, geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	liveIDs := make([]int, 0, len(d.live))
+	for id := range d.live {
+		liveIDs = append(liveIDs, id)
+	}
+	sort.Ints(liveIDs)
+	step := 1
+	if len(liveIDs) > 50 { // sample deterministically on big live sets
+		step = len(liveIDs) / 50
+	}
+	for i := 0; i < len(liveIDs); i += step {
+		d.assertPointEqual(t, d.live[liveIDs[i]].Center())
+	}
+	// KNN at several k, including k beyond the live count.
+	for i := 0; i < 8; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		for _, k := range []int{1, 10, 100, d.single.Len() + 5} {
+			d.assertKNNEqual(t, p, k)
+		}
+	}
+}
+
+// TestShardedMatchesSingle is the headline differential test: randomized
+// workloads over three-plus distributions (uniform, skewed, clustered
+// points, Gaussian) with interleaved deletes, checked against the
+// single-tree oracle at multiple checkpoints, with the invariant checker
+// run on every shard at the end.
+func TestShardedMatchesSingle(t *testing.T) {
+	cases := []struct {
+		kind   dataset.Kind
+		shards int
+	}{
+		{dataset.UNI, 4},
+		{dataset.SKE, 2},
+		{dataset.CHI, 7}, // clustered points, shard count not a power of two
+		{dataset.GAU, 3},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("%s-%dshards", c.kind, c.shards), func(t *testing.T) {
+			const n = 2500
+			data := dataset.MustGenerate(c.kind, n, 42)
+			d := newDiffPair(t, c.shards)
+			rng := rand.New(rand.NewSource(99))
+
+			var liveIDs []int
+			next := 0
+			for next < n {
+				// Insert a small run, then maybe delete from the live set.
+				run := 1 + rng.Intn(8)
+				for j := 0; j < run && next < n; j++ {
+					d.insert(data[next], next)
+					liveIDs = append(liveIDs, next)
+					next++
+				}
+				for len(liveIDs) > 50 && rng.Float64() < 0.35 {
+					i := rng.Intn(len(liveIDs))
+					d.delete(t, liveIDs[i])
+					liveIDs[i] = liveIDs[len(liveIDs)-1]
+					liveIDs = liveIDs[:len(liveIDs)-1]
+				}
+				switch next {
+				case n / 3, 2 * n / 3:
+					d.checkpoint(t, int64(next))
+				}
+			}
+			d.checkpoint(t, int64(n))
+
+			if err := d.single.Validate(); err != nil {
+				t.Fatalf("oracle invalid: %v", err)
+			}
+			if err := d.sharded.Validate(); err != nil {
+				t.Fatalf("sharded invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestShardedBatchInsertMatchesSingle checks the batched (parallel,
+// grouped-by-shard) insert path against the oracle too — it takes a
+// different code path from Insert.
+func TestShardedBatchInsertMatchesSingle(t *testing.T) {
+	const n = 3000
+	data := dataset.MustGenerate(dataset.GAU, n, 7)
+	d := newDiffPair(t, 5)
+	rects := make([]geom.Rect, 0, 512)
+	payload := make([]any, 0, 512)
+	for next := 0; next < n; {
+		rects, payload = rects[:0], payload[:0]
+		for j := 0; j < 512 && next < n; j++ {
+			rects = append(rects, data[next])
+			payload = append(payload, next)
+			d.single.Insert(data[next], next)
+			d.live[next] = data[next]
+			next++
+		}
+		d.sharded.InsertBatch(rects, payload)
+	}
+	d.checkpoint(t, 1)
+	if err := d.sharded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// knnIndex is the query surface shared by all three index layers; the
+// table tests below run the same edge cases through each and require
+// identical answers.
+type knnIndex interface {
+	Insert(r geom.Rect, data any)
+	KNN(p geom.Point, k int) ([]rtree.Neighbor, rtree.QueryStats)
+	Len() int
+}
+
+// TestKNNEdgeCases runs the KNN edge-case table through Tree,
+// ConcurrentTree and ShardedTree built from identical insert sequences:
+// k=0, k greater than the object count, duplicate points (distance
+// ties), and a dataset clustered inside a single router cell (every
+// object in one shard). Results must agree layer for layer, and the
+// QueryStats accounting must stay sane (Results matches the returned
+// length, nodes are accessed iff the index is non-empty and k > 0).
+func TestKNNEdgeCases(t *testing.T) {
+	type testCase struct {
+		name    string
+		objects []geom.Rect // payload is the index in this slice
+		queries []geom.Point
+		ks      []int
+	}
+	dup := geom.PointRect(geom.Pt(0.25, 0.25))
+	cases := []testCase{
+		{
+			name:    "empty",
+			objects: nil,
+			queries: []geom.Point{geom.Pt(0.5, 0.5)},
+			ks:      []int{0, 1, 10},
+		},
+		{
+			name: "k-zero-and-k-beyond-count",
+			objects: []geom.Rect{
+				geom.Square(0.1, 0.1, 0.02), geom.Square(0.9, 0.9, 0.02),
+				geom.Square(0.5, 0.2, 0.02), geom.Square(0.3, 0.8, 0.02),
+			},
+			queries: []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(-1, -1)},
+			ks:      []int{0, -3, 3, 4, 5, 1000},
+		},
+		{
+			name:    "duplicate-points",
+			objects: []geom.Rect{dup, dup, dup, dup, dup, geom.PointRect(geom.Pt(0.7, 0.7))},
+			queries: []geom.Point{geom.Pt(0.25, 0.25), geom.Pt(0, 0), geom.Pt(0.7, 0.7)},
+			ks:      []int{1, 3, 5, 6, 10},
+		},
+		{
+			name: "all-in-one-shard", // cluster inside one 1/64-wide router cell
+			objects: []geom.Rect{
+				geom.Square(0.001, 0.001, 0.0005), geom.Square(0.002, 0.002, 0.0005),
+				geom.Square(0.003, 0.003, 0.0005), geom.Square(0.004, 0.004, 0.0005),
+				geom.Square(0.005, 0.005, 0.0005),
+			},
+			queries: []geom.Point{geom.Pt(0.003, 0.003), geom.Pt(1, 1)},
+			ks:      []int{1, 2, 5, 9},
+		},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			single := rtree.New(testTreeOpts())
+			conc := rtree.NewConcurrent(rtree.New(testTreeOpts()))
+			sharded := newTestSharded(t, 4)
+			indexes := map[string]knnIndex{"tree": single, "concurrent": conc, "sharded": sharded}
+			for _, ix := range indexes {
+				for i, r := range c.objects {
+					ix.Insert(r, i)
+				}
+			}
+			if c.name == "all-in-one-shard" {
+				populated := 0
+				for _, st := range sharded.ShardStats() {
+					if st.Size > 0 {
+						populated++
+					}
+				}
+				if populated != 1 {
+					t.Fatalf("cluster spread over %d shards, want 1", populated)
+				}
+			}
+
+			for _, p := range c.queries {
+				for _, k := range c.ks {
+					want, wantStats := single.KNN(p, k)
+					for name, ix := range indexes {
+						got, gotStats := ix.KNN(p, k)
+						label := fmt.Sprintf("%s: KNN(%v, %d)", name, p, k)
+						assertSameNeighbors(t, label, got, want, c.objects, p)
+						if gotStats.Results != len(got) {
+							t.Fatalf("%s: stats.Results %d, returned %d", label, gotStats.Results, len(got))
+						}
+						if k <= 0 || len(c.objects) == 0 {
+							if gotStats.NodesAccessed != 0 {
+								t.Fatalf("%s: %d nodes accessed on a no-op query", label, gotStats.NodesAccessed)
+							}
+							continue
+						}
+						if gotStats.NodesAccessed < 1 {
+							t.Fatalf("%s: no nodes accessed", label)
+						}
+						// Fan-out visits at most shard-count times the
+						// single tree's nodes (each shard is no deeper
+						// than the whole) — a coarse accounting sanity
+						// bound, not a performance claim.
+						if name == "sharded" && gotStats.NodesAccessed > wantStats.NodesAccessed*sharded.NumShards()+sharded.NumShards() {
+							t.Fatalf("%s: %d nodes accessed, oracle %d over %d shards",
+								label, gotStats.NodesAccessed, wantStats.NodesAccessed, sharded.NumShards())
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// assertSameNeighbors requires equivalent answers: same length, the
+// same ascending distance sequence, and — after canonical (dist, id)
+// sort — identical ids at every distance strictly below the k-th.
+// Duplicate points make ties pervasive here; at the boundary distance a
+// tie straddling the cutoff may resolve to different members, so tied
+// boundary ids are only required to be distinct objects whose true
+// distance (recomputed from the object table) is exactly the boundary.
+func assertSameNeighbors(t *testing.T, label string, got, want []rtree.Neighbor, objects []geom.Rect, p geom.Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d neighbors, want %d", label, len(got), len(want))
+	}
+	if len(want) == 0 {
+		return
+	}
+	for i := range want {
+		if got[i].DistSq != want[i].DistSq {
+			t.Fatalf("%s: neighbor %d at dist %g, want %g", label, i, got[i].DistSq, want[i].DistSq)
+		}
+		if i > 0 && got[i].DistSq < got[i-1].DistSq {
+			t.Fatalf("%s: neighbors out of order at %d", label, i)
+		}
+	}
+	boundary := want[len(want)-1].DistSq
+	type pair struct {
+		d  float64
+		id int
+	}
+	canon := func(ns []rtree.Neighbor) []pair {
+		out := make([]pair, 0, len(ns))
+		for _, n := range ns {
+			if n.DistSq < boundary {
+				out = append(out, pair{n.DistSq, n.Data.(int)})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].d != out[j].d {
+				return out[i].d < out[j].d
+			}
+			return out[i].id < out[j].id
+		})
+		return out
+	}
+	cg, cw := canon(got), canon(want)
+	if len(cg) != len(cw) {
+		t.Fatalf("%s: %d sub-boundary neighbors, want %d", label, len(cg), len(cw))
+	}
+	for i := range cw {
+		if cg[i] != cw[i] {
+			t.Fatalf("%s: canonical neighbor %d = %+v, want %+v", label, i, cg[i], cw[i])
+		}
+	}
+	seen := map[int]bool{}
+	for _, n := range got {
+		if n.DistSq != boundary {
+			continue
+		}
+		id := n.Data.(int)
+		if seen[id] {
+			t.Fatalf("%s: duplicate neighbor %d", label, id)
+		}
+		seen[id] = true
+		if d := objects[id].MinDistSq(p); d != boundary {
+			t.Fatalf("%s: boundary neighbor %d actually at dist %g, not %g", label, id, d, boundary)
+		}
+	}
+}

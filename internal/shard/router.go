@@ -1,0 +1,60 @@
+// Package shard layers space partitioning on top of internal/rtree: a
+// ShardedTree routes every object to one of N independent ConcurrentTree
+// shards by the Z-order cell of its center point, so concurrent writers
+// contend on per-shard locks instead of the single RWMutex of one
+// ConcurrentTree. Queries fan out to every shard and merge; because each
+// object lives in exactly one shard and the per-shard query algorithms
+// are the unmodified classic R-Tree kernels, the merged answers are
+// provably identical to a single tree's — the property the differential
+// suite in this package pins down. This mirrors the discipline of
+// learned spatial partitioning systems: the partitioner may be arbitrary
+// (here a space-filling curve, elsewhere a learned model) as long as the
+// query layer is answer-preserving.
+package shard
+
+import (
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/sfc"
+)
+
+// DefaultGridBits is the default router resolution: 2^6 = 64 cells per
+// side, 4096 cells — far more cells than any plausible shard count, so
+// the round-robin assignment of Z-ordered cells to shards stays balanced
+// even under heavily clustered data.
+const DefaultGridBits = 6
+
+// Router maps rectangles to shard indexes. It quantizes the rectangle's
+// center point onto a 2^GridBits × 2^GridBits grid over World, orders
+// the cells along the Z-order (Morton) curve, and assigns cells to
+// shards round-robin along the curve. Points on or outside the World
+// boundary clamp into the outermost cells (sfc.Quantize), so routing is
+// total: every rectangle — zero-area, boundary-straddling, or entirely
+// outside the grid — routes to exactly one shard, deterministically.
+//
+// Routing only decides where an object is stored; queries visit every
+// shard, so a poorly balanced router costs throughput, never answers.
+type Router struct {
+	world    geom.Rect
+	gridBits uint
+	shards   int
+}
+
+// NewRouter returns a router over the given world for n shards. gridBits
+// must be in [1, sfc.Order]; n must be >= 1.
+func NewRouter(world geom.Rect, gridBits, n int) Router {
+	return Router{world: world, gridBits: uint(gridBits), shards: n}
+}
+
+// Shards returns the shard count n; Shard returns values in [0, n).
+func (rt Router) Shards() int { return rt.shards }
+
+// Shard returns the shard index for an object with bounding rectangle r.
+func (rt Router) Shard(r geom.Rect) int {
+	if rt.shards <= 1 {
+		return 0
+	}
+	x, y := sfc.Quantize(r.Center(), rt.world)
+	shift := sfc.Order - rt.gridBits
+	z := sfc.ZOrderXY2D(x>>shift, y>>shift)
+	return int(z % uint64(rt.shards))
+}

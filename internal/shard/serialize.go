@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// wireSharded is the gob wire form of a ShardedTree: the routing
+// parameters plus each shard's own rtree gob encoding, kept as opaque
+// byte blocks so the per-shard format stays exactly the single-tree
+// snapshot format (a 1-shard snapshot and a plain tree snapshot differ
+// only by this envelope).
+type wireSharded struct {
+	Version  int
+	GridBits int
+	World    geom.Rect
+	Shards   [][]byte
+}
+
+const wireVersion = 1
+
+// EncodeSnapshot writes the sharded tree to w. Each shard is cloned
+// under its own read lock and encoded outside it, so encoding never
+// blocks writers for longer than one clone; shards are captured one at a
+// time (see the consistency note on ShardedTree). Payload values must be
+// gob-encodable, with non-basic concrete types registered by the caller,
+// as for rtree.(*Tree).Encode.
+func (s *ShardedTree) EncodeSnapshot(w io.Writer) error {
+	wt := wireSharded{
+		Version:  wireVersion,
+		GridBits: s.opts.GridBits,
+		World:    s.opts.World,
+		Shards:   make([][]byte, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		var buf bytes.Buffer
+		if err := sh.Snapshot().Encode(&buf); err != nil {
+			return fmt.Errorf("shard: encode shard %d: %w", i, err)
+		}
+		wt.Shards[i] = buf.Bytes()
+	}
+	if err := gob.NewEncoder(w).Encode(wt); err != nil {
+		return fmt.Errorf("shard: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a sharded tree previously written by EncodeSnapshot. The
+// shard count, grid resolution and world frame come from the snapshot —
+// they determine where every stored object lives, so restoring with a
+// different routing configuration would break Delete. opts.Tree supplies
+// the insertion strategies for future writes, exactly like rtree.Decode;
+// its Shards/GridBits/World fields are ignored. Every restored shard is
+// validated (rtree.Decode runs the invariant checker).
+func Decode(r io.Reader, opts Options) (*ShardedTree, error) {
+	var wt wireSharded
+	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("shard: decode: %w", err)
+	}
+	if wt.Version != wireVersion {
+		return nil, fmt.Errorf("shard: unsupported wire version %d", wt.Version)
+	}
+	if len(wt.Shards) < 1 {
+		return nil, fmt.Errorf("shard: snapshot holds no shards")
+	}
+	opts.Shards = len(wt.Shards)
+	opts.GridBits = wt.GridBits
+	opts.World = wt.World
+	s, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, blob := range wt.Shards {
+		t, err := rtree.Decode(bytes.NewReader(blob), opts.Tree)
+		if err != nil {
+			return nil, fmt.Errorf("shard: decode shard %d: %w", i, err)
+		}
+		s.shards[i] = rtree.NewConcurrent(t)
+	}
+	return s, nil
+}

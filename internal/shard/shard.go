@@ -1,0 +1,324 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+	"github.com/rlr-tree/rlrtree/internal/sfc"
+)
+
+// Options configures a ShardedTree.
+type Options struct {
+	// Shards is the number of independent shards (default 1). Each shard
+	// is a ConcurrentTree with its own readers-writer lock.
+	Shards int
+	// GridBits is the router grid resolution in bits per dimension
+	// (default DefaultGridBits). Must be in [1, sfc.Order].
+	GridBits int
+	// World is the router frame (default the unit square). Objects whose
+	// centers fall outside clamp into the boundary cells; they are stored
+	// and queried correctly, only their shard placement degrades.
+	World geom.Rect
+	// Tree configures each shard's underlying R-Tree (capacities and
+	// insertion strategies). Every shard uses the same options.
+	Tree rtree.Options
+}
+
+// ShardedTree is a space-partitioned index over N ConcurrentTree shards.
+// Mutations route to one shard by the Z-order cell of the object's
+// center, so writers to different shards proceed in parallel; queries
+// fan out to all shards and merge. All methods are safe for concurrent
+// use.
+//
+// Consistency: each individual operation is atomic within its shard, but
+// a fan-out query acquires the per-shard read locks one at a time, so it
+// observes each shard at a slightly different instant. A query
+// concurrent with a write may or may not see that write — the same
+// guarantee a single ConcurrentTree gives — but never a torn shard.
+type ShardedTree struct {
+	shards []*rtree.ConcurrentTree
+	router Router
+	opts   Options
+}
+
+// New returns an empty sharded tree, or an error if the options are
+// invalid (the per-shard tree options are validated by rtree).
+func New(opts Options) (*ShardedTree, error) {
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("shard: Shards must be >= 1, got %d", opts.Shards)
+	}
+	if opts.GridBits == 0 {
+		opts.GridBits = DefaultGridBits
+	}
+	if opts.GridBits < 1 || opts.GridBits > sfc.Order {
+		return nil, fmt.Errorf("shard: GridBits must be in [1, %d], got %d", sfc.Order, opts.GridBits)
+	}
+	if opts.World == (geom.Rect{}) {
+		opts.World = geom.NewRect(0, 0, 1, 1)
+	}
+	if !opts.World.Valid() || opts.World.Area() == 0 {
+		return nil, fmt.Errorf("shard: World must be a valid non-degenerate rect, got %v", opts.World)
+	}
+	shards := make([]*rtree.ConcurrentTree, opts.Shards)
+	for i := range shards {
+		t, err := rtree.NewChecked(opts.Tree)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = rtree.NewConcurrent(t)
+	}
+	return &ShardedTree{
+		shards: shards,
+		router: NewRouter(opts.World, opts.GridBits, opts.Shards),
+		opts:   opts,
+	}, nil
+}
+
+// NumShards returns the shard count.
+func (s *ShardedTree) NumShards() int { return len(s.shards) }
+
+// Router returns the routing function, for inspection and tests.
+func (s *ShardedTree) Router() Router { return s.router }
+
+// Shard returns shard i's ConcurrentTree for direct read-side use
+// (per-shard validation, stats). Mutating it directly is safe but
+// bypasses routing — objects inserted that way will still be found by
+// queries, yet Delete through the ShardedTree will miss them.
+func (s *ShardedTree) Shard(i int) *rtree.ConcurrentTree { return s.shards[i] }
+
+// Insert routes the object to its shard and inserts it under that
+// shard's write lock.
+func (s *ShardedTree) Insert(r geom.Rect, data any) {
+	s.shards[s.router.Shard(r)].Insert(r, data)
+}
+
+// InsertBatch partitions the batch by shard and inserts each group under
+// a single acquisition of its shard's write lock, the groups in
+// parallel. rects and data must have equal length.
+func (s *ShardedTree) InsertBatch(rects []geom.Rect, data []any) {
+	if len(rects) != len(data) {
+		panic("shard: InsertBatch length mismatch")
+	}
+	if len(s.shards) == 1 {
+		s.shards[0].InsertBatch(rects, data)
+		return
+	}
+	groupRects := make([][]geom.Rect, len(s.shards))
+	groupData := make([][]any, len(s.shards))
+	for i, r := range rects {
+		si := s.router.Shard(r)
+		groupRects[si] = append(groupRects[si], r)
+		groupData[si] = append(groupData[si], data[i])
+	}
+	var wg sync.WaitGroup
+	for si := range s.shards {
+		if len(groupRects[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			s.shards[si].InsertBatch(groupRects[si], groupData[si])
+		}(si)
+	}
+	wg.Wait()
+}
+
+// Delete routes by the rectangle's center — the same function Insert
+// used, so an object is always deleted from the shard that stores it —
+// and removes it under that shard's write lock.
+func (s *ShardedTree) Delete(r geom.Rect, data any) bool {
+	return s.shards[s.router.Shard(r)].Delete(r, data)
+}
+
+// Search runs the range query on every shard and concatenates the
+// results. Order across shards is by shard index, within a shard the
+// tree's traversal order — callers needing a canonical order must sort,
+// exactly as with a single tree (whose order is also unspecified).
+func (s *ShardedTree) Search(q geom.Rect) ([]any, rtree.QueryStats) {
+	return s.SearchAppend(q, nil)
+}
+
+// SearchAppend appends all matches to dst; with a caller-reused dst the
+// per-shard queries allocate nothing.
+func (s *ShardedTree) SearchAppend(q geom.Rect, dst []any) ([]any, rtree.QueryStats) {
+	var stats rtree.QueryStats
+	for _, sh := range s.shards {
+		var st rtree.QueryStats
+		dst, st = sh.SearchAppend(q, dst)
+		stats.NodesAccessed += st.NodesAccessed
+		stats.LeavesAccessed += st.LeavesAccessed
+		stats.Results += st.Results
+	}
+	return dst, stats
+}
+
+// SearchCount counts matches across all shards.
+func (s *ShardedTree) SearchCount(q geom.Rect) rtree.QueryStats {
+	var stats rtree.QueryStats
+	for _, sh := range s.shards {
+		st := sh.SearchCount(q)
+		stats.NodesAccessed += st.NodesAccessed
+		stats.LeavesAccessed += st.LeavesAccessed
+		stats.Results += st.Results
+	}
+	return stats
+}
+
+// SearchEach streams matches shard by shard. fn must not call back into
+// the sharded tree (a shard's read lock is held) and must not block.
+func (s *ShardedTree) SearchEach(q geom.Rect, fn func(geom.Rect, any)) rtree.QueryStats {
+	var stats rtree.QueryStats
+	for _, sh := range s.shards {
+		st := sh.SearchEach(q, fn)
+		stats.NodesAccessed += st.NodesAccessed
+		stats.LeavesAccessed += st.LeavesAccessed
+		stats.Results += st.Results
+	}
+	return stats
+}
+
+// ContainsPoint reports whether any shard stores an object containing p.
+// Shards are probed in order and the scan stops at the first hit.
+func (s *ShardedTree) ContainsPoint(p geom.Point) (bool, rtree.QueryStats) {
+	var stats rtree.QueryStats
+	for _, sh := range s.shards {
+		ok, st := sh.ContainsPoint(p)
+		stats.NodesAccessed += st.NodesAccessed
+		stats.LeavesAccessed += st.LeavesAccessed
+		stats.Results += st.Results
+		if ok {
+			return true, stats
+		}
+	}
+	return false, stats
+}
+
+// KNN returns the k objects nearest to p across all shards, in ascending
+// distance order. The merge is exact even for objects straddling shard
+// boundaries: center-point routing stores every object in exactly one
+// shard, each shard's branch-and-bound KNN returns that shard's true
+// top-k by MINDIST to the full object rectangle (routing never truncates
+// geometry), and any object among the global top-k is necessarily among
+// its own shard's top-k — so the union of per-shard top-k lists contains
+// the global answer, and sorting the union by distance recovers it.
+func (s *ShardedTree) KNN(p geom.Point, k int) ([]rtree.Neighbor, rtree.QueryStats) {
+	return s.KNNAppend(p, k, nil)
+}
+
+// KNNAppend appends the merged k nearest neighbors to dst in ascending
+// distance order. Ties at equal distance keep shard-index order (stable
+// sort), so results are deterministic for a fixed shard layout.
+func (s *ShardedTree) KNNAppend(p geom.Point, k int, dst []rtree.Neighbor) ([]rtree.Neighbor, rtree.QueryStats) {
+	var stats rtree.QueryStats
+	if k <= 0 {
+		return dst, stats
+	}
+	start := len(dst)
+	for _, sh := range s.shards {
+		var st rtree.QueryStats
+		dst, st = sh.KNNAppend(p, k, dst)
+		stats.NodesAccessed += st.NodesAccessed
+		stats.LeavesAccessed += st.LeavesAccessed
+	}
+	merged := dst[start:]
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].DistSq < merged[j].DistSq })
+	if len(merged) > k {
+		dst = dst[:start+k]
+	}
+	stats.Results = len(dst) - start
+	return dst, stats
+}
+
+// Len returns the total object count. Each shard is read under its own
+// lock; concurrent writers may make the sum momentarily stale, never
+// torn.
+func (s *ShardedTree) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Stats aggregates structural statistics across shards: counts and areas
+// sum, Height is the maximum shard height, AvgFill is weighted by each
+// shard's node count.
+func (s *ShardedTree) Stats() rtree.TreeStats {
+	var agg rtree.TreeStats
+	var fillWeighted float64
+	for _, st := range s.ShardStats() {
+		agg.Size += st.Size
+		if st.Height > agg.Height {
+			agg.Height = st.Height
+		}
+		agg.Nodes += st.Nodes
+		agg.Leaves += st.Leaves
+		fillWeighted += st.AvgFill * float64(st.Nodes)
+		agg.TotalArea += st.TotalArea
+		agg.TotalOvlp += st.TotalOvlp
+		agg.MemoryBytes += st.MemoryBytes
+	}
+	if agg.Nodes > 0 {
+		agg.AvgFill = fillWeighted / float64(agg.Nodes)
+	}
+	return agg
+}
+
+// ShardStats returns each shard's structural statistics, indexed by
+// shard number.
+func (s *ShardedTree) ShardStats() []rtree.TreeStats {
+	out := make([]rtree.TreeStats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.View(func(t *rtree.Tree) { out[i] = t.Stats() })
+	}
+	return out
+}
+
+// Validate checks every shard's full R-Tree invariant set and, on top,
+// the routing invariant: every stored object lives in the shard its
+// rectangle routes to (otherwise Delete would miss it). Used pervasively
+// by the property and differential tests.
+func (s *ShardedTree) Validate() error {
+	for i, sh := range s.shards {
+		var err error
+		sh.View(func(t *rtree.Tree) {
+			if err = t.Validate(); err != nil {
+				err = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			err = s.validateRouting(i, t)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateRouting walks shard i's leaves and checks each object routes
+// back to shard i. Called under the shard's read lock (inside View).
+func (s *ShardedTree) validateRouting(i int, t *rtree.Tree) error {
+	var walk func(n *rtree.Node) error
+	walk = func(n *rtree.Node) error {
+		for _, e := range n.Entries() {
+			if n.IsLeaf() {
+				if got := s.router.Shard(e.Rect); got != i {
+					return fmt.Errorf("shard %d: object %v (%v) routes to shard %d", i, e.Data, e.Rect, got)
+				}
+				continue
+			}
+			if err := walk(e.Child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.Root())
+}

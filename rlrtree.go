@@ -41,6 +41,7 @@ import (
 	"github.com/rlr-tree/rlrtree/internal/geom"
 	"github.com/rlr-tree/rlrtree/internal/pager"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
+	"github.com/rlr-tree/rlrtree/internal/shard"
 )
 
 // Geometry types.
@@ -167,6 +168,20 @@ func NewConcurrentTree(t *Tree) *ConcurrentTree { return rtree.NewConcurrent(t) 
 // TreeStats summarizes a tree's structure (size, height, node counts,
 // fill, memory footprint); see (*Tree).Stats.
 type TreeStats = rtree.TreeStats
+
+// ShardedTree partitions objects across N independent ConcurrentTrees
+// by a Z-order spatial router, giving writers per-shard locks while
+// queries fan out and merge exactly. It answers the same Search / KNN /
+// Delete calls as a single tree with identical results.
+type ShardedTree = shard.ShardedTree
+
+// ShardOptions configures NewShardedTree: shard count, router grid
+// resolution, world rectangle, and the per-shard tree Options.
+type ShardOptions = shard.Options
+
+// NewShardedTree returns an empty sharded tree. The zero ShardOptions
+// selects one shard over the unit square with default tree options.
+func NewShardedTree(opts ShardOptions) (*ShardedTree, error) { return shard.New(opts) }
 
 // Item is one object for bulk loading: a bounding rectangle plus payload.
 type Item = rtree.Item
