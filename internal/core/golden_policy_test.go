@@ -1,0 +1,54 @@
+package core
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden policy digest pins the trained ChooseSubtree artifact of the
+// pointer-based tree representation (commit 2efcbb1, before the arena
+// refactor): training is deterministic for a fixed seed and worker count, so
+// the gob encoding of the resulting policy must stay bit-identical across
+// internal representation changes. A mismatch means the refactor perturbed
+// the insertion/choose/split decision sequence (and with it every reward).
+//
+// Regenerate with: go test ./internal/core -run TestGoldenChoosePolicyDigest -update-policy-golden
+
+var updatePolicyGolden = flag.Bool("update-policy-golden", false, "rewrite the golden policy digest")
+
+const goldenPolicyPath = "testdata/choose_policy_digest.txt"
+
+func TestGoldenChoosePolicyDigest(t *testing.T) {
+	data := gaussianData(rand.New(rand.NewSource(907)), 900)
+	cfg := tinyConfig()
+	cfg.Workers = 2
+	pol, _, err := TrainChoosePolicy(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%x\n", sha256.Sum256(gobBytes(t, pol)))
+
+	if *updatePolicyGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPolicyPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPolicyPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden policy digest rewritten: %s", got)
+		return
+	}
+	want, err := os.ReadFile(goldenPolicyPath)
+	if err != nil {
+		t.Fatalf("golden policy digest missing (run with -update-policy-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trained policy gob digest %s != golden %s — training no longer bit-identical to the pointer-based build",
+			got, want)
+	}
+}

@@ -64,7 +64,7 @@ func chooseState(n *rtree.Node, r geom.Rect, k, maxEntries int, padded bool) cho
 			idx:       i,
 			dArea:     er.Enlargement(r),
 			dPeri:     er.PerimeterIncrease(r),
-			occupancy: float64(entries[i].Child.NumEntries()) / float64(maxEntries),
+			occupancy: float64(n.ChildAt(i).NumEntries()) / float64(maxEntries),
 		})
 	}
 	if cc.Contained >= 0 {

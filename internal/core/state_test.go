@@ -136,9 +136,8 @@ func TestChooseStateOccupancyFeature(t *testing.T) {
 	if cc.Contained >= 0 {
 		t.Skip("contained")
 	}
-	entries := root.Entries()
 	for i, child := range cc.Children {
-		want := float64(entries[child].Child.NumEntries()) / float64(tr.MaxEntries())
+		want := float64(root.ChildAt(child).NumEntries()) / float64(tr.MaxEntries())
 		if got := cc.State[4*i+3]; got != want {
 			t.Fatalf("occupancy of candidate %d = %v, want %v", i, got, want)
 		}

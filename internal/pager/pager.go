@@ -20,11 +20,15 @@ import (
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 )
 
-// BufferPool is an LRU page cache keyed by tree node identity.
+// BufferPool is an LRU page cache keyed by NodeID — the tree's stable node
+// identifier. Unlike raw *Node identity (which the pool used before the
+// arena refactor), NodeIDs survive arena growth and CloneWithInto syncs:
+// a pool warmed against one tree keeps its state meaningful against a
+// clone, because the clone preserves every NodeID.
 type BufferPool struct {
 	capacity int
 	lru      *list.List // front = most recently used
-	pages    map[*rtree.Node]*list.Element
+	pages    map[rtree.NodeID]*list.Element
 	hits     int64
 	misses   int64
 }
@@ -37,15 +41,15 @@ func NewBufferPool(capacity int) *BufferPool {
 	return &BufferPool{
 		capacity: capacity,
 		lru:      list.New(),
-		pages:    map[*rtree.Node]*list.Element{},
+		pages:    map[rtree.NodeID]*list.Element{},
 	}
 }
 
-// Access touches the page of node n, returning true on a cache hit and
-// false on a page fault (the page is then loaded, evicting the least
-// recently used page if the pool is full).
-func (p *BufferPool) Access(n *rtree.Node) bool {
-	if el, ok := p.pages[n]; ok {
+// Access touches the page of the node with the given id, returning true on
+// a cache hit and false on a page fault (the page is then loaded, evicting
+// the least recently used page if the pool is full).
+func (p *BufferPool) Access(id rtree.NodeID) bool {
+	if el, ok := p.pages[id]; ok {
 		p.lru.MoveToFront(el)
 		p.hits++
 		return true
@@ -54,9 +58,9 @@ func (p *BufferPool) Access(n *rtree.Node) bool {
 	if p.lru.Len() >= p.capacity {
 		oldest := p.lru.Back()
 		p.lru.Remove(oldest)
-		delete(p.pages, oldest.Value.(*rtree.Node))
+		delete(p.pages, oldest.Value.(rtree.NodeID))
 	}
-	p.pages[n] = p.lru.PushFront(n)
+	p.pages[id] = p.lru.PushFront(id)
 	return false
 }
 
@@ -96,7 +100,7 @@ func RangeSearch(t *rtree.Tree, pool *BufferPool, q geom.Rect) IOStats {
 	var walk func(n *rtree.Node)
 	walk = func(n *rtree.Node) {
 		s.Accesses++
-		if !pool.Access(n) {
+		if !pool.Access(n.ID()) {
 			s.Faults++
 		}
 		entries := n.Entries()
@@ -110,13 +114,11 @@ func RangeSearch(t *rtree.Tree, pool *BufferPool, q geom.Rect) IOStats {
 		}
 		for i := range entries {
 			if q.Intersects(entries[i].Rect) {
-				walk(entries[i].Child)
+				walk(n.ChildAt(i))
 			}
 		}
 	}
-	if t.Len() > 0 || t.Root() != nil {
-		walk(t.Root())
-	}
+	walk(t.Root())
 	return s
 }
 
@@ -128,11 +130,11 @@ func Warm(t *rtree.Tree, pool *BufferPool) {
 	for len(queue) > 0 && pool.Len() < pool.Capacity() {
 		n := queue[0]
 		queue = queue[1:]
-		pool.Access(n)
+		pool.Access(n.ID())
 		if !n.IsLeaf() {
 			entries := n.Entries()
 			for i := range entries {
-				queue = append(queue, entries[i].Child)
+				queue = append(queue, n.ChildAt(i))
 			}
 		}
 	}

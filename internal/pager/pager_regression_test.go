@@ -1,0 +1,126 @@
+package pager
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// refLRU is an independent, straightforward LRU simulation over NodeIDs.
+// The regression tests below replay the exact node-access sequence of the
+// query kernels through it and demand that BufferPool reports identical
+// hit/miss counts — so the pool's accounting is pinned to be a pure
+// function of the traversal, which in turn is pinned byte-for-byte to the
+// pre-refactor build by the rtree package's golden workload digests.
+type refLRU struct {
+	capacity     int
+	order        []rtree.NodeID // front = most recently used
+	hits, misses int64
+}
+
+func (l *refLRU) access(id rtree.NodeID) bool {
+	for i, have := range l.order {
+		if have == id {
+			copy(l.order[1:i+1], l.order[:i])
+			l.order[0] = id
+			l.hits++
+			return true
+		}
+	}
+	l.misses++
+	if len(l.order) >= l.capacity {
+		l.order = l.order[:l.capacity-1]
+	}
+	l.order = append([]rtree.NodeID{id}, l.order...)
+	return false
+}
+
+func replayQueries(n int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]geom.Rect, n)
+	for i := range qs {
+		qs[i] = geom.Square(rng.Float64(), rng.Float64(), 0.02+rng.Float64()*0.04)
+	}
+	return qs
+}
+
+// TestReplayCountsMatchReferenceLRU replays a deterministic workload and
+// checks the pool's hit/miss totals against the independent simulation fed
+// the same access sequence (collected via the same walk the pool replays).
+func TestReplayCountsMatchReferenceLRU(t *testing.T) {
+	tr, _ := buildTree(t, 4000)
+	queries := replayQueries(150, 99)
+
+	for _, capacity := range []int{2, 16, 64, tr.NodeCount() + 1} {
+		pool := NewBufferPool(capacity)
+		ref := &refLRU{capacity: capacity}
+		var refFaults int
+		for _, q := range queries {
+			var walk func(n *rtree.Node)
+			walk = func(n *rtree.Node) {
+				if !ref.access(n.ID()) {
+					refFaults++
+				}
+				if n.IsLeaf() {
+					return
+				}
+				for i, e := range n.Entries() {
+					if q.Intersects(e.Rect) {
+						walk(n.ChildAt(i))
+					}
+				}
+			}
+			walk(tr.Root())
+		}
+		io := ReplayRange(tr, pool, queries)
+		if pool.Hits() != ref.hits || pool.Misses() != ref.misses {
+			t.Fatalf("capacity %d: pool hits/misses %d/%d != reference %d/%d",
+				capacity, pool.Hits(), pool.Misses(), ref.hits, ref.misses)
+		}
+		if io.Faults != refFaults {
+			t.Fatalf("capacity %d: faults %d != reference %d", capacity, io.Faults, refFaults)
+		}
+	}
+}
+
+// TestPoolKeysSurviveCloneSync is the regression the NodeID keying exists
+// for: a pool warmed against a tree keeps producing the identical hit/miss
+// sequence after the tree is swapped for a CloneWithInto copy mid-workload.
+// Before the arena refactor the pool keyed pages by *rtree.Node, so every
+// clone sync invalidated the entire pool (all pages re-faulted); NodeIDs
+// are preserved by cloning, so the switch must be invisible.
+func TestPoolKeysSurviveCloneSync(t *testing.T) {
+	tr, _ := buildTree(t, 4000)
+	queries := replayQueries(200, 7)
+	const capacity = 48
+
+	// Oracle: the whole workload against the original tree with one pool.
+	oracle := NewBufferPool(capacity)
+	oracleA := ReplayRange(tr, oracle, queries[:100])
+	oracleB := ReplayRange(tr, oracle, queries[100:])
+
+	// Same workload, same pool, but the second half runs against a clone
+	// synced from the original between the halves.
+	pool := NewBufferPool(capacity)
+	gotA := ReplayRange(tr, pool, queries[:100])
+
+	clone := rtree.New(rtree.Options{MaxEntries: tr.MaxEntries(), MinEntries: tr.MinEntries()})
+	clone = tr.CloneWithInto(clone, tr.Chooser(), tr.Splitter())
+	if err := clone.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	gotB := ReplayRange(clone, pool, queries[100:])
+
+	if gotA != oracleA {
+		t.Fatalf("first half diverged: %+v vs %+v", gotA, oracleA)
+	}
+	if gotB != oracleB {
+		t.Fatalf("second half diverged after clone sync: %+v vs %+v — clone did not preserve NodeIDs", gotB, oracleB)
+	}
+	if pool.Hits() != oracle.Hits() || pool.Misses() != oracle.Misses() {
+		t.Fatalf("pool counters diverged: %d/%d vs %d/%d",
+			pool.Hits(), pool.Misses(), oracle.Hits(), oracle.Misses())
+	}
+}

@@ -21,7 +21,7 @@ func buildTree(t *testing.T, n int) (*rtree.Tree, []geom.Rect) {
 
 func TestBufferPoolLRUBehaviour(t *testing.T) {
 	p := NewBufferPool(2)
-	a, b, c := &rtree.Node{}, &rtree.Node{}, &rtree.Node{}
+	a, b, c := rtree.NodeID(1), rtree.NodeID(2), rtree.NodeID(3)
 	if p.Access(a) || p.Access(b) {
 		t.Fatalf("cold accesses must miss")
 	}

@@ -1,0 +1,50 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// TestQueryKernelsZeroAlloc is the allocation-regression gate for the
+// pooled query kernels: once the destination slices have capacity and the
+// scratch pool is warm, the append/count/each kernels must not allocate at
+// all. CI runs this test on every push, so a change that reintroduces
+// per-query allocation (for example by detaching node entry headers from
+// the arena slab) fails the build instead of silently regressing.
+func TestQueryKernelsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector defeats sync.Pool caching; alloc counts are not meaningful")
+	}
+	rng := rand.New(rand.NewSource(5))
+	tr := New(Options{MaxEntries: 16, MinEntries: 6})
+	for i := 0; i < 4000; i++ {
+		tr.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.004), i)
+	}
+	q := geom.NewRect(0.2, 0.2, 0.45, 0.45)
+	p := geom.Pt(0.5, 0.5)
+
+	objs := make([]any, 0, tr.Len())
+	nbrs := make([]Neighbor, 0, 64)
+	// Warm the scratch pool and grow dst to its final capacity before
+	// measuring.
+	objs, _ = tr.SearchAppend(q, objs[:0])
+	nbrs, _ = tr.KNNAppend(p, 25, nbrs[:0])
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"SearchAppend", func() { objs, _ = tr.SearchAppend(q, objs[:0]) }},
+		{"SearchCount", func() { _ = tr.SearchCount(q) }},
+		{"SearchEach", func() { tr.SearchEach(q, func(geom.Rect, any) {}) }},
+		{"KNNAppend", func() { nbrs, _ = tr.KNNAppend(p, 25, nbrs[:0]) }},
+		{"ContainsPoint", func() { _, _ = tr.ContainsPoint(p) }},
+	}
+	for _, c := range checks {
+		if avg := testing.AllocsPerRun(200, c.fn); avg != 0 {
+			t.Errorf("%s allocates %.2f times per query, want 0", c.name, avg)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package rtree
+
+// This file implements the tree's storage substrate: an index-based node
+// arena. All nodes of a tree live in one contiguous slice (t.nodes) and are
+// referred to by NodeID — an index into that slice — instead of pointers.
+// Every node's entries live in a fixed-stride slot of one shared Entry slab
+// (t.slab), so an entire tree is a handful of contiguous allocations no
+// matter how many nodes it has.
+//
+// Invariants (checked by Validate):
+//
+//   - Slot 0 of the arena is permanently reserved so that the NodeID zero
+//     value means "no node" and a zero-value Entry is safe to use in leaves.
+//   - For every allocated slot i, nodes[i].id == i and nodes[i].tree points
+//     back at the owning tree; for free slots both are zeroed and the id is
+//     on the free list exactly once.
+//   - nodes[i].entries always aliases slab[i*stride : i*stride+len : i*stride+stride],
+//     where stride = MaxEntries+1 (capacity for the transient overflow state).
+//     The three-index slice caps growth at the slot boundary, so an append
+//     that would cross into a neighboring slot reallocates off-slab and is
+//     caught by Validate instead of silently corrupting the neighbor.
+//
+// Because IDs are indices, relocating the backing arrays (growth) or copying
+// them wholesale (clone) never invalidates references between nodes — only
+// raw *Node pointers go stale, and internal mutation code re-resolves them
+// after any call that may allocate. The free list is LIFO, which makes
+// NodeIDs a deterministic function of the insert/delete sequence: a given
+// workload always produces the same IDs (see DESIGN.md §9).
+
+// NodeID identifies a node within its owning tree's arena. The zero value
+// (NoNode) means "no node"; valid IDs start at 1. IDs are stable for the
+// lifetime of the node — growth and cloning preserve them — and are reused
+// (LIFO) after the node is freed.
+type NodeID int32
+
+// NoNode is the zero NodeID, used for "no child" in leaf entries and "no
+// parent" on the root.
+const NoNode NodeID = 0
+
+// node returns the node with the given id. The id must be allocated; this is
+// the internal fast path with no validity check.
+func (t *Tree) node(id NodeID) *Node { return &t.nodes[id] }
+
+// RootID returns the NodeID of the root node.
+func (t *Tree) RootID() NodeID { return t.root }
+
+// NodeByID returns the node with the given id, or nil if the id is out of
+// range or not currently allocated. External layers that key state by NodeID
+// (e.g. the pager's buffer pool) use this to resolve IDs defensively.
+func (t *Tree) NodeByID(id NodeID) *Node {
+	if id <= NoNode || int(id) >= len(t.nodes) || t.nodes[id].id != id {
+		return nil
+	}
+	return &t.nodes[id]
+}
+
+// alloc carves a node out of the arena, reusing the most recently freed slot
+// when one exists. The returned node is empty with the requested leaf flag.
+// Any *Node held across this call may be stale — re-resolve via t.node.
+func (t *Tree) alloc(leaf bool) NodeID {
+	var id NodeID
+	if k := len(t.free); k > 0 {
+		id = t.free[k-1]
+		t.free = t.free[:k-1]
+	} else {
+		id = NodeID(len(t.nodes))
+		t.nodes = append(t.nodes, Node{})
+		t.growSlab()
+	}
+	n := &t.nodes[id]
+	base := int(id) * t.stride
+	n.tree, n.id, n.parent, n.leaf = t, id, NoNode, leaf
+	n.entries = t.slab[base : base : base+t.stride]
+	return id
+}
+
+// growSlab extends the slab to cover every arena slot, relocating it (with
+// doubling, so growth is amortized O(1)) when capacity runs out. Relocation
+// rebases every node's entries header onto the new backing array.
+func (t *Tree) growSlab() {
+	need := len(t.nodes) * t.stride
+	if need <= cap(t.slab) {
+		t.slab = t.slab[:need]
+		return
+	}
+	ns := make([]Entry, need, 2*need)
+	copy(ns, t.slab)
+	t.slab = ns
+	t.rebase()
+}
+
+// rebase repoints every allocated node's entries header at the current slab.
+// Called after the slab is relocated or wholesale-replaced (clone).
+func (t *Tree) rebase() {
+	for i := 1; i < len(t.nodes); i++ {
+		n := &t.nodes[i]
+		if n.id == NoNode {
+			continue
+		}
+		base := i * t.stride
+		n.entries = t.slab[base : base+len(n.entries) : base+t.stride]
+	}
+}
+
+// freeNode returns a node's slot to the free list, clearing its slab slot so
+// freed payloads do not leak through retained references. The caller must
+// have detached the node from its parent; any entries it still held are gone
+// (copy them out first if they must survive, e.g. condenseTree's orphans).
+func (t *Tree) freeNode(id NodeID) {
+	n := &t.nodes[id]
+	base := int(id) * t.stride
+	clear(t.slab[base : base+t.stride])
+	n.tree = nil
+	n.id, n.parent = NoNode, NoNode
+	n.leaf = false
+	n.entries = nil
+	t.free = append(t.free, id)
+}
+
+// setEntries replaces a node's entries with es, copying into the node's slab
+// slot and clearing the vacated tail. The copy is position-preserving
+// memmove, so es may alias the node's own slot (a splitter returning
+// sub-slices of n.entries); it must NOT alias a *different* node's slot that
+// was already overwritten — write order matters (see splitNode).
+func (t *Tree) setEntries(id NodeID, es []Entry) {
+	n := &t.nodes[id]
+	base := int(id) * t.stride
+	slot := t.slab[base : base+t.stride]
+	k := copy(slot, es)
+	clear(slot[k:])
+	n.entries = t.slab[base : base+k : base+t.stride]
+}
+
+// reparentChildren points the parent field of every child of n back at n.
+// No-op for leaves.
+func (t *Tree) reparentChildren(id NodeID) {
+	n := &t.nodes[id]
+	if n.leaf {
+		return
+	}
+	for i := range n.entries {
+		t.nodes[n.entries[i].Child].parent = id
+	}
+}

@@ -37,20 +37,22 @@ func BulkLoadSTR(opts Options, items []Item) (*Tree, error) {
 			return nil, fmt.Errorf("rtree: bulk-load item %d has invalid rect %v", i, it.Rect)
 		}
 	}
+	// Free the placeholder root so the packed nodes start at slot 1.
+	t.freeNode(t.root)
 
 	entries := make([]Entry, len(items))
 	for i, it := range items {
 		entries[i] = Entry{Rect: it.Rect, Data: it.Data}
 	}
 
-	level := packLevel(entries, t.opts.MaxEntries, t.opts.MinEntries, true)
+	level := packLevel(t, entries, true)
 	height := 1
 	for len(level) > 1 {
 		parentEntries := make([]Entry, len(level))
-		for i, n := range level {
-			parentEntries[i] = Entry{Rect: n.MBR(), Child: n}
+		for i, id := range level {
+			parentEntries[i] = Entry{Rect: t.node(id).MBR(), Child: id}
 		}
-		level = packLevel(parentEntries, t.opts.MaxEntries, t.opts.MinEntries, false)
+		level = packLevel(t, parentEntries, false)
 		height++
 	}
 	t.root = level[0]
@@ -59,14 +61,15 @@ func BulkLoadSTR(opts Options, items []Item) (*Tree, error) {
 	return t, nil
 }
 
-// packLevel groups entries into nodes of up to maxE entries using STR
+// packLevel groups entries into nodes of up to MaxEntries entries using STR
 // tiling: sort by center x, cut into vertical slices of ~sqrt(S) runs,
 // sort each slice by center y, and chunk. The final chunk of each slice is
 // rebalanced with its predecessor so every node meets the minimum fill.
-func packLevel(entries []Entry, maxE, minE int, leaf bool) []*Node {
+func packLevel(t *Tree, entries []Entry, leaf bool) []NodeID {
+	maxE, minE := t.opts.MaxEntries, t.opts.MinEntries
 	n := len(entries)
 	if n <= maxE {
-		return []*Node{newPackedNode(entries, leaf)}
+		return []NodeID{t.allocPacked(entries, leaf)}
 	}
 
 	sorted := make([]Entry, n)
@@ -79,7 +82,7 @@ func packLevel(entries []Entry, maxE, minE int, leaf bool) []*Node {
 	sliceCount := int(math.Ceil(math.Sqrt(float64(nodeCount))))
 	perSlice := (n + sliceCount - 1) / sliceCount
 
-	var nodes []*Node
+	var nodes []NodeID
 	for s := 0; s < n; s += perSlice {
 		e := s + perSlice
 		if e > n {
@@ -89,33 +92,34 @@ func packLevel(entries []Entry, maxE, minE int, leaf bool) []*Node {
 		sort.SliceStable(slice, func(i, j int) bool {
 			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
 		})
-		nodes = append(nodes, chunkSlice(slice, maxE, minE, leaf)...)
+		nodes = append(nodes, chunkSlice(t, slice, leaf)...)
 	}
 	// Defensive rebalance: slice arithmetic guarantees the minimum fill
 	// for all practical (maxE, minE) pairs, but if a degenerate final node
 	// slipped through, steal entries from its predecessor.
-	if last := nodes[len(nodes)-1]; len(nodes) >= 2 && len(last.entries) < minE {
-		prev := nodes[len(nodes)-2]
-		need := minE - len(last.entries)
-		cut := len(prev.entries) - need
-		merged := make([]Entry, 0, need+len(last.entries))
-		merged = append(merged, prev.entries[cut:]...)
-		merged = append(merged, last.entries...)
-		prev.entries = prev.entries[:cut]
-		last.entries = merged
-		if !leaf {
-			for i := range last.entries {
-				last.entries[i].Child.parent = last
-			}
+	if len(nodes) >= 2 {
+		lastID, prevID := nodes[len(nodes)-1], nodes[len(nodes)-2]
+		last, prev := t.node(lastID), t.node(prevID)
+		if len(last.entries) < minE {
+			need := minE - len(last.entries)
+			cut := len(prev.entries) - need
+			merged := make([]Entry, 0, need+len(last.entries))
+			merged = append(merged, prev.entries[cut:]...)
+			merged = append(merged, last.entries...)
+			t.setEntries(prevID, prev.entries[:cut])
+			t.setEntries(lastID, merged)
+			t.reparentChildren(lastID)
 		}
 	}
 	return nodes
 }
 
-// chunkSlice cuts one y-sorted slice into nodes of maxE entries, borrowing
-// from the previous chunk when the tail would violate the minimum fill.
-func chunkSlice(slice []Entry, maxE, minE int, leaf bool) []*Node {
-	var nodes []*Node
+// chunkSlice cuts one ordered run of entries into nodes of MaxEntries
+// entries, borrowing from the previous chunk when the tail would violate
+// the minimum fill.
+func chunkSlice(t *Tree, slice []Entry, leaf bool) []NodeID {
+	maxE, minE := t.opts.MaxEntries, t.opts.MinEntries
+	var nodes []NodeID
 	for s := 0; s < len(slice); {
 		e := s + maxE
 		if e > len(slice) {
@@ -125,18 +129,18 @@ func chunkSlice(slice []Entry, maxE, minE int, leaf bool) []*Node {
 			// Shrink this chunk so the remainder reaches the minimum fill.
 			e = len(slice) - minE
 		}
-		nodes = append(nodes, newPackedNode(slice[s:e], leaf))
+		nodes = append(nodes, t.allocPacked(slice[s:e], leaf))
 		s = e
 	}
 	return nodes
 }
 
-func newPackedNode(entries []Entry, leaf bool) *Node {
-	node := &Node{leaf: leaf, entries: append([]Entry(nil), entries...)}
-	if !leaf {
-		for i := range node.entries {
-			node.entries[i].Child.parent = node
-		}
-	}
-	return node
+// allocPacked carves a new node out of the arena and fills it with the given
+// entries (which must not alias the tree's slab — bulk loading builds them
+// in caller-owned slices).
+func (t *Tree) allocPacked(entries []Entry, leaf bool) NodeID {
+	id := t.alloc(leaf)
+	t.setEntries(id, entries)
+	t.reparentChildren(id)
+	return id
 }

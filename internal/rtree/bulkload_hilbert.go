@@ -48,14 +48,17 @@ func BulkLoadHilbert(opts Options, items []Item) (*Tree, error) {
 		entries[i] = Entry{Rect: k.item.Rect, Data: k.item.Data}
 	}
 
-	level := chunkSlice(entries, t.opts.MaxEntries, t.opts.MinEntries, true)
+	// Free the placeholder root so the packed nodes start at slot 1.
+	t.freeNode(t.root)
+
+	level := chunkSlice(t, entries, true)
 	height := 1
 	for len(level) > 1 {
 		parentEntries := make([]Entry, len(level))
-		for i, n := range level {
-			parentEntries[i] = Entry{Rect: n.MBR(), Child: n}
+		for i, id := range level {
+			parentEntries[i] = Entry{Rect: t.node(id).MBR(), Child: id}
 		}
-		level = chunkSlice(parentEntries, t.opts.MaxEntries, t.opts.MinEntries, false)
+		level = chunkSlice(t, parentEntries, false)
 		height++
 	}
 	t.root = level[0]

@@ -44,7 +44,7 @@ func (RStarChooser) Name() string { return "rstar" }
 
 // Choose implements SubtreeChooser.
 func (RStarChooser) Choose(_ *Tree, n *Node, r geom.Rect) int {
-	if len(n.entries) > 0 && n.entries[0].Child != nil && n.entries[0].Child.leaf {
+	if len(n.entries) > 0 && !n.leaf && n.child(0).leaf {
 		return chooseMinOverlapEnlargement(n, r)
 	}
 	return (GuttmanChooser{}).Choose(nil, n, r)

@@ -2,7 +2,8 @@ package rtree
 
 // Clone returns a deep structural copy of the tree: every node and entry is
 // copied, data payloads are shared. The clone keeps the original's options
-// and strategies.
+// and strategies, and — because the arena is copied slot for slot — every
+// NodeID of the original identifies the same logical node in the clone.
 //
 // Cloning is what the RLR-Tree paper calls "synchronizing" the reference
 // tree with the RLR-Tree: during training, every p insertions the reference
@@ -16,25 +17,18 @@ func (t *Tree) Clone() *Tree {
 // strategies for future insertions. This builds the reference tree (same
 // structure, different ChooseSubtree or Split rule) of the training loops.
 func (t *Tree) CloneWith(chooser SubtreeChooser, splitter Splitter) *Tree {
-	opts := t.opts
-	opts.Chooser = chooser
-	opts.Splitter = splitter
-	nt := &Tree{
-		root:   cloneNode(t.root, nil),
-		opts:   opts,
-		height: t.height,
-		size:   t.size,
-	}
+	nt := &Tree{}
+	t.copyInto(nt)
+	nt.opts.Chooser = chooser
+	nt.opts.Splitter = splitter
 	return nt
 }
 
-// CloneWithInto is CloneWith recycling dst's node storage: dst's structure
-// is overwritten with a deep copy of t's and dst is returned. A nil dst
-// falls back to a fresh CloneWith. The training loops call this once per
-// group to re-synchronize the reference tree; ping-ponging two trees
-// through it makes the per-group sync allocation-free in steady state,
-// because every node (and its entry slice, once grown to capacity) of the
-// discarded previous clone is reused.
+// CloneWithInto is CloneWith recycling dst's storage: dst's structure is
+// overwritten with a copy of t's and dst is returned. A nil dst falls back
+// to a fresh CloneWith. With the arena representation this is three slice
+// copies (nodes, entry slab, free list) plus a linear header-rebase pass —
+// no per-node work, no allocation once dst's arrays have grown to size.
 //
 // dst must not be t itself, and the copy reads only t: cloning is safe
 // concurrently with other readers of t (queries, other clones).
@@ -42,96 +36,64 @@ func (t *Tree) CloneWithInto(dst *Tree, chooser SubtreeChooser, splitter Splitte
 	if dst == nil {
 		return t.CloneWith(chooser, splitter)
 	}
-	opts := t.opts
-	opts.Chooser = chooser
-	opts.Splitter = splitter
-
-	// Harvest dst's nodes into a free list, reusing the pooled query
-	// scratch's node stack for the traversal and a second scratch's stack
-	// as the list itself, so the harvest allocates nothing once the pool
-	// and the caller's trees reach steady state.
-	sc, fl := getScratch(), getScratch()
-	stack, free := sc.stack, fl.stack
-	if dst.root != nil {
-		stack = append(stack, dst.root)
-	}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if !n.leaf {
-			for i := range n.entries {
-				stack = append(stack, n.entries[i].Child)
-			}
-		}
-		free = append(free, n)
-	}
-
-	dst.root = cloneNodeReuse(t.root, nil, &free)
-	dst.opts = opts
-	dst.height = t.height
-	dst.size = t.size
-	dst.splits = 0
-	dst.chooses = 0
-
-	sc.stack = stack
-	fl.stack = free
-	sc.release()
-	fl.release()
+	t.copyInto(dst)
+	dst.opts.Chooser = chooser
+	dst.opts.Splitter = splitter
 	return dst
 }
 
 // SyncFrom resets the receiver's structure to a deep copy of src's,
 // preserving the receiver's strategies. Construction statistics are reset.
 func (t *Tree) SyncFrom(src *Tree) {
-	t.root = cloneNode(src.root, nil)
-	t.height = src.height
-	t.size = src.size
-	t.splits = 0
-	t.chooses = 0
+	chooser, splitter := t.opts.Chooser, t.opts.Splitter
+	src.copyInto(t)
+	t.opts.Chooser = chooser
+	t.opts.Splitter = splitter
 }
 
-// cloneNodeReuse is cloneNode drawing nodes from a free list. Recycled
-// entry slices are kept when their capacity suffices, so a steady-state
-// clone performs no allocation at all.
-func cloneNodeReuse(n *Node, parent *Node, free *[]*Node) *Node {
-	var cp *Node
-	if fl := *free; len(fl) > 0 {
-		cp = fl[len(fl)-1]
-		*free = fl[:len(fl)-1]
-	} else {
-		cp = &Node{}
-	}
-	cp.parent = parent
-	cp.leaf = n.leaf
-	if cap(cp.entries) < len(n.entries) {
-		cp.entries = make([]Entry, len(n.entries))
-	} else {
-		// Clear the tail beyond the copied prefix so recycled slots do
-		// not pin nodes or payloads of the previous clone.
-		tail := cp.entries[len(n.entries):cap(cp.entries)]
-		clear(tail)
-		cp.entries = cp.entries[:len(n.entries)]
-	}
-	copy(cp.entries, n.entries)
-	if !n.leaf {
-		for i := range cp.entries {
-			cp.entries[i].Child = cloneNodeReuse(cp.entries[i].Child, cp, free)
-		}
-	}
-	return cp
-}
+// copyInto overwrites dst with a deep copy of t: arena, slab and free list
+// are copied wholesale (payloads shared), NodeIDs preserved exactly, and
+// construction statistics reset. dst's existing backing arrays are reused
+// when large enough.
+func (t *Tree) copyInto(dst *Tree) {
+	dst.opts = t.opts
+	dst.stride = t.stride
+	dst.root = t.root
+	dst.height = t.height
+	dst.size = t.size
+	dst.splits = 0
+	dst.chooses = 0
 
-func cloneNode(n *Node, parent *Node) *Node {
-	cp := &Node{
-		parent:  parent,
-		leaf:    n.leaf,
-		entries: make([]Entry, len(n.entries)),
+	if cap(dst.nodes) < len(t.nodes) {
+		dst.nodes = make([]Node, len(t.nodes))
+	} else {
+		dst.nodes = dst.nodes[:len(t.nodes)]
 	}
-	copy(cp.entries, n.entries)
-	if !n.leaf {
-		for i := range cp.entries {
-			cp.entries[i].Child = cloneNode(cp.entries[i].Child, cp)
+	copy(dst.nodes, t.nodes)
+
+	if cap(dst.slab) < len(t.slab) {
+		dst.slab = make([]Entry, len(t.slab))
+	} else {
+		// Clear the recycled tail beyond the copied prefix so a shrinking
+		// sync does not pin payloads of the previous clone.
+		clear(dst.slab[min(len(t.slab), len(dst.slab)):cap(dst.slab)])
+		dst.slab = dst.slab[:len(t.slab)]
+	}
+	copy(dst.slab, t.slab)
+
+	dst.free = append(dst.free[:0], t.free...)
+
+	// Rebase: every copied node still carries t's tree pointer and entry
+	// headers aliasing t's slab; repoint both at dst.
+	for i := 1; i < len(dst.nodes); i++ {
+		n := &dst.nodes[i]
+		if n.id == NoNode {
+			n.tree = nil
+			n.entries = nil
+			continue
 		}
+		n.tree = dst
+		base := i * dst.stride
+		n.entries = dst.slab[base : base+len(n.entries) : base+dst.stride]
 	}
-	return cp
 }

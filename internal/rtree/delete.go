@@ -9,24 +9,40 @@ import (
 // reports whether it was found. Underfull nodes on the deletion path are
 // dissolved and their entries reinserted at their original level, following
 // Guttman's CondenseTree, so the tree keeps its fill and balance invariants
-// across arbitrary update workloads.
+// across arbitrary update workloads. Dissolved nodes return their arena
+// slots to the free list for reuse by later insertions.
 func (t *Tree) Delete(r geom.Rect, data any) bool {
-	leaf, idx := t.findLeaf(t.root, r, data)
+	leaf, idx := t.findLeaf(t.Root(), r, data)
 	if leaf == nil {
 		return false
 	}
-	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.removeEntryAt(leaf, idx)
 	t.size--
 	t.condenseTree(leaf)
 
 	// Shrink the root: an internal root with a single child is replaced by
-	// that child.
-	for !t.root.leaf && len(t.root.entries) == 1 {
-		t.root = t.root.entries[0].Child
-		t.root.parent = nil
+	// that child, and the old root's slot is freed.
+	for {
+		root := t.node(t.root)
+		if root.leaf || len(root.entries) != 1 {
+			break
+		}
+		child := root.entries[0].Child
+		t.freeNode(t.root)
+		t.root = child
+		t.node(child).parent = NoNode
 		t.height--
 	}
 	return true
+}
+
+// removeEntryAt deletes entry idx from n in place, preserving order and
+// clearing the vacated slab slot so freed payloads are not retained.
+func (t *Tree) removeEntryAt(n *Node, idx int) {
+	k := len(n.entries)
+	copy(n.entries[idx:], n.entries[idx+1:])
+	n.entries[k-1] = Entry{}
+	n.entries = n.entries[:k-1]
 }
 
 // findLeaf locates the leaf holding an entry equal to (r, data) and the
@@ -42,7 +58,7 @@ func (t *Tree) findLeaf(n *Node, r geom.Rect, data any) (*Node, int) {
 	}
 	for i := range n.entries {
 		if n.entries[i].Rect.Contains(r) {
-			if leaf, idx := t.findLeaf(n.entries[i].Child, r, data); leaf != nil {
+			if leaf, idx := t.findLeaf(n.child(i), r, data); leaf != nil {
 				return leaf, idx
 			}
 		}
@@ -50,9 +66,10 @@ func (t *Tree) findLeaf(n *Node, r geom.Rect, data any) (*Node, int) {
 	return nil, 0
 }
 
-// condenseTree walks from n to the root, removing nodes that fell below the
-// minimum fill and collecting their entries for reinsertion at the level
-// they came from.
+// condenseTree walks from n to the root, dissolving nodes that fell below
+// the minimum fill and collecting their entries for reinsertion at the
+// level they came from. Orphaned entries are copied out of the slab before
+// the node's slot is freed — reinsertion may reuse the slot immediately.
 func (t *Tree) condenseTree(n *Node) {
 	type orphan struct {
 		entries []Entry
@@ -64,14 +81,16 @@ func (t *Tree) condenseTree(n *Node) {
 	if !n.leaf {
 		level = t.levelOf(n)
 	}
-	for n.parent != nil {
-		p := n.parent
+	for n.parent != NoNode {
+		p := &t.nodes[n.parent]
 		if len(n.entries) < t.opts.MinEntries {
-			idx := p.indexOfChild(n)
-			p.entries = append(p.entries[:idx], p.entries[idx+1:]...)
-			orphans = append(orphans, orphan{entries: n.entries, level: level})
+			t.removeEntryAt(p, p.indexOfChild(n.id))
+			es := make([]Entry, len(n.entries))
+			copy(es, n.entries)
+			orphans = append(orphans, orphan{entries: es, level: level})
+			t.freeNode(n.id)
 		} else {
-			p.entries[p.indexOfChild(n)].Rect = n.MBR()
+			p.entries[p.indexOfChild(n.id)].Rect = n.MBR()
 		}
 		n = p
 		level++
@@ -87,12 +106,11 @@ func (t *Tree) condenseTree(n *Node) {
 	}
 }
 
-// levelOf returns the level of n (leaves are level 1) by walking to the
-// root.
+// levelOf returns the level of n (leaves are level 1) by walking down to a
+// leaf: every subtree has uniform depth.
 func (t *Tree) levelOf(n *Node) int {
-	// Descend from n to a leaf: every subtree has uniform depth.
 	level := 1
-	for w := n; !w.leaf; w = w.entries[0].Child {
+	for w := n; !w.leaf; w = w.child(0) {
 		level++
 	}
 	return level

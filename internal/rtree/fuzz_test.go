@@ -14,6 +14,21 @@ func FuzzTreeWorkload(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
 	f.Add([]byte{255, 254, 0, 0, 0, 1, 1, 1, 128, 64, 32, 16})
 	f.Add([]byte{7})
+	// Delete-heavy seed: grow the tree, then alternate deletes with sparse
+	// re-inserts so arena slots are freed and recycled many times over —
+	// the free-list reuse path that pointer-based nodes never exercised.
+	heavy := make([]byte, 0, 3*180)
+	for i := 0; i < 60; i++ {
+		heavy = append(heavy, byte(4*(i%16)+1), byte((i*37)%256), byte((i*91)%256))
+	}
+	for i := 0; i < 120; i++ {
+		if i%3 == 0 { // one insert per two deletes
+			heavy = append(heavy, byte(4*(i%16)+2), byte((i*29)%256), byte((i*43)%256))
+		} else { // op%4 == 0 selects delete below
+			heavy = append(heavy, 4, byte(i%256), byte((i*7)%256))
+		}
+	}
+	f.Add(heavy)
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) > 4096 {
 			t.Skip()

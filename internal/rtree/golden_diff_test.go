@@ -1,0 +1,179 @@
+package rtree
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// The golden workload digests below were produced by the pointer-based node
+// representation (commit 2efcbb1, before the arena refactor) and pin the
+// externally observable behaviour of the tree — construction statistics,
+// every query's result sequence and its QueryStats — on the paper's four
+// data distributions with interleaved deletes. The arena-backed tree must
+// reproduce them bit for bit: a digest mismatch means the refactor changed
+// insertion, deletion or traversal order somewhere.
+//
+// Regenerate with: go test ./internal/rtree -run TestGoldenWorkloadDigests -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+const goldenDigestPath = "testdata/workload_digests.json"
+
+func hashRect(h hash.Hash, r geom.Rect) {
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(r.MinX))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.MinY))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(r.MaxX))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(r.MaxY))
+	h.Write(buf[:])
+}
+
+func hashInt(h hash.Hash, v int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+	h.Write(buf[:])
+}
+
+func hashFloat(h hash.Hash, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	h.Write(buf[:])
+}
+
+func hashStats(h hash.Hash, s QueryStats) {
+	hashInt(h, s.NodesAccessed)
+	hashInt(h, s.LeavesAccessed)
+	hashInt(h, s.Results)
+}
+
+// workloadDigest replays a deterministic build+delete+query workload for one
+// dataset kind and returns the sha256 of everything observable.
+func workloadDigest(kind dataset.Kind) string {
+	const n = 4000
+	items := dataset.MustGenerate(kind, n, 7)
+	h := sha256.New()
+
+	tr := New(Options{MaxEntries: 16, MinEntries: 6})
+	for i, r := range items {
+		tr.Insert(r, i)
+		// Interleave deletes: every 7th insertion removes an earlier object.
+		if i%7 == 3 && i > 20 {
+			victim := (i * 13) % i
+			if tr.Delete(items[victim], victim) {
+				tr.Insert(items[victim], victim) // keep the live set stable
+			}
+		}
+	}
+	hashInt(h, tr.Len())
+	hashInt(h, tr.Height())
+	hashInt(h, tr.Splits())
+	hashInt(h, tr.ChooseCalls())
+	hashInt(h, tr.NodeCount())
+
+	// A second pass of hard deletes (no reinsertion) exercises condense-tree.
+	for i := 0; i < n; i += 9 {
+		if tr.Delete(items[i], i) {
+			hashInt(h, 1)
+		} else {
+			hashInt(h, 0)
+		}
+	}
+	hashInt(h, tr.Len())
+	hashInt(h, tr.Height())
+
+	// Range queries: result emission order and stats.
+	for qi := 0; qi < 64; qi++ {
+		cx := float64((qi*37)%97) / 97
+		cy := float64((qi*61)%89) / 89
+		q := geom.Square(cx, cy, 0.05+float64(qi%5)*0.03)
+		res, st := tr.Search(q)
+		hashStats(h, st)
+		for _, v := range res {
+			hashInt(h, v.(int))
+		}
+		cst := tr.SearchCount(q)
+		hashStats(h, cst)
+	}
+
+	// Point queries.
+	for qi := 0; qi < 64; qi++ {
+		p := geom.Pt(float64((qi*29)%83)/83, float64((qi*43)%79)/79)
+		found, st := tr.ContainsPoint(p)
+		if found {
+			hashInt(h, 1)
+		} else {
+			hashInt(h, 0)
+		}
+		hashStats(h, st)
+	}
+
+	// KNN (DFS branch-and-bound) and best-first: order, payloads, distances.
+	for qi := 0; qi < 32; qi++ {
+		p := geom.Pt(float64((qi*53)%71)/71, float64((qi*17)%67)/67)
+		k := 1 + qi%25
+		nb, st := tr.KNN(p, k)
+		hashStats(h, st)
+		for _, b := range nb {
+			hashInt(h, b.Data.(int))
+			hashFloat(h, b.DistSq)
+			hashRect(h, b.Rect)
+		}
+		bf, bst := tr.KNNBestFirst(p, k)
+		hashStats(h, bst)
+		for _, b := range bf {
+			hashInt(h, b.Data.(int))
+			hashFloat(h, b.DistSq)
+		}
+	}
+
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func TestGoldenWorkloadDigests(t *testing.T) {
+	kinds := []dataset.Kind{dataset.UNI, dataset.SKE, dataset.CHI, dataset.GAU}
+	got := map[string]string{}
+	for _, kind := range kinds {
+		got[string(kind)] = workloadDigest(kind)
+	}
+
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenDigestPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDigestPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden digests rewritten: %v", got)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenDigestPath)
+	if err != nil {
+		t.Fatalf("golden digest file missing (run with -update-golden to create): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("golden digest file corrupt: %v", err)
+	}
+	for _, kind := range kinds {
+		if got[string(kind)] != want[string(kind)] {
+			t.Errorf("%s: workload digest %s != golden %s — observable behaviour diverged from the pointer-based build",
+				kind, got[string(kind)], want[string(kind)])
+		}
+	}
+}

@@ -35,18 +35,21 @@ func (t *Tree) Insert(r geom.Rect, data any) {
 // nil when reinsertion is disabled.
 func (t *Tree) insertAtLevel(e Entry, level int, reins map[int]bool) {
 	n := t.chooseNodeAtLevel(e.Rect, level)
+	id := n.id
+	// The append stays inside the node's slab slot: len <= MaxEntries here
+	// and the slot's capacity is MaxEntries+1 (the three-index slice caps it).
 	n.entries = append(n.entries, e)
-	if e.Child != nil {
-		e.Child.parent = n
+	if e.Child != NoNode {
+		t.nodes[e.Child].parent = id
 	}
 	t.adjustMBRsUp(n)
-	t.overflowTreatment(n, level, reins)
+	t.overflowTreatment(id, level, reins)
 }
 
 // chooseNodeAtLevel descends from the root, invoking the ChooseSubtree
 // strategy once per level, and returns the node at the requested level.
 func (t *Tree) chooseNodeAtLevel(r geom.Rect, level int) *Node {
-	n := t.root
+	n := t.node(t.root)
 	for lvl := t.height; lvl > level; lvl-- {
 		t.chooses++
 		i := t.opts.Chooser.Choose(t, n, r)
@@ -54,7 +57,7 @@ func (t *Tree) chooseNodeAtLevel(r geom.Rect, level int) *Node {
 			panic(fmt.Sprintf("rtree: chooser %q returned out-of-range child index %d (node has %d entries)",
 				t.opts.Chooser.Name(), i, len(n.entries)))
 		}
-		n = n.entries[i].Child
+		n = n.child(i)
 	}
 	return n
 }
@@ -74,30 +77,32 @@ func (t *Tree) WouldSplit(r geom.Rect) bool {
 // incremental so that it is also correct after entry removals, which can
 // shrink MBRs.
 func (t *Tree) adjustMBRsUp(n *Node) {
-	for w := n; w.parent != nil; w = w.parent {
-		p := w.parent
-		p.entries[p.indexOfChild(w)].Rect = w.MBR()
+	for w := n; w.parent != NoNode; {
+		p := &t.nodes[w.parent]
+		p.entries[p.indexOfChild(w.id)].Rect = w.MBR()
+		w = p
 	}
 }
 
-// indexOfChild returns the index of the entry of n referring to child. It
-// panics if child is not among n's entries, which would indicate a corrupt
-// parent pointer.
-func (n *Node) indexOfChild(child *Node) int {
+// indexOfChild returns the index of the entry of n referring to the child
+// with the given id. It panics if the id is not among n's entries, which
+// would indicate a corrupt parent index.
+func (n *Node) indexOfChild(id NodeID) int {
 	for i := range n.entries {
-		if n.entries[i].Child == child {
+		if n.entries[i].Child == id {
 			return i
 		}
 	}
 	panic("rtree: node is not a child of its recorded parent")
 }
 
-// overflowTreatment resolves overflow of n (at the given level) and
-// propagates splits toward the root.
-func (t *Tree) overflowTreatment(n *Node, level int, reins map[int]bool) {
-	cur, lvl := n, level
-	for cur != nil && len(cur.entries) > t.opts.MaxEntries {
-		if t.opts.ForcedReinsert && cur.parent != nil && reins != nil && !reins[lvl] {
+// overflowTreatment resolves overflow of the node with the given id (at the
+// given level) and propagates splits toward the root. It walks by NodeID:
+// splits allocate, which may relocate the arena and stale any *Node.
+func (t *Tree) overflowTreatment(id NodeID, level int, reins map[int]bool) {
+	cur, lvl := id, level
+	for cur != NoNode && len(t.node(cur).entries) > t.opts.MaxEntries {
+		if t.opts.ForcedReinsert && t.node(cur).parent != NoNode && reins != nil && !reins[lvl] {
 			// R*-Tree: the first overflow at each level during one
 			// insertion is treated by reinsertion rather than a split.
 			reins[lvl] = true
@@ -105,19 +110,20 @@ func (t *Tree) overflowTreatment(n *Node, level int, reins map[int]bool) {
 			return
 		}
 		t.splitNode(cur)
-		cur = cur.parent
+		cur = t.node(cur).parent
 		lvl++
 	}
-	if cur != nil {
-		t.adjustMBRsUp(cur)
+	if cur != NoNode {
+		t.adjustMBRsUp(t.node(cur))
 	}
 }
 
-// splitNode splits the overflowing node n with the tree's Splitter. The
-// first group replaces n's entries; the second group becomes a new sibling
-// registered in n's parent (creating a new root when n is the root). It
-// returns the new sibling.
-func (t *Tree) splitNode(n *Node) *Node {
+// splitNode splits the overflowing node with the tree's Splitter. The first
+// group replaces the node's entries; the second group becomes a new sibling
+// registered in the node's parent (creating a new root when the node is the
+// root). It returns the new sibling's id.
+func (t *Tree) splitNode(id NodeID) NodeID {
+	n := t.node(id)
 	total := len(n.entries)
 	g1, g2 := t.opts.Splitter.Split(t, n)
 	if len(g1)+len(g2) != total || len(g1) < t.opts.MinEntries || len(g2) < t.opts.MinEntries {
@@ -126,45 +132,43 @@ func (t *Tree) splitNode(n *Node) *Node {
 	}
 	t.splits++
 
-	n.entries = g1
-	sib := &Node{leaf: n.leaf, entries: g2}
-	for i := range n.entries {
-		if n.entries[i].Child != nil {
-			n.entries[i].Child.parent = n
-		}
-	}
-	for i := range sib.entries {
-		if sib.entries[i].Child != nil {
-			sib.entries[i].Child.parent = sib
-		}
-	}
+	sib := t.alloc(n.leaf) // may relocate the arena; n is stale now
+	// Materialize the sibling before shrinking the split node: g1/g2 may
+	// alias the split node's own slab slot, which setEntries(id, g1) below
+	// partially clears.
+	t.setEntries(sib, g2)
+	t.reparentChildren(sib)
+	t.setEntries(id, g1)
+	t.reparentChildren(id)
+	n = t.node(id)
 
-	if n.parent == nil {
-		root := &Node{
-			leaf: false,
-			entries: []Entry{
-				{Rect: n.MBR(), Child: n},
-				{Rect: sib.MBR(), Child: sib},
-			},
-		}
-		n.parent = root
-		sib.parent = root
-		t.root = root
+	if n.parent == NoNode {
+		rid := t.alloc(false) // may relocate; re-resolve below
+		n = t.node(id)
+		sn := t.node(sib)
+		rn := t.node(rid)
+		rn.entries = append(rn.entries,
+			Entry{Rect: n.MBR(), Child: id},
+			Entry{Rect: sn.MBR(), Child: sib},
+		)
+		n.parent, sn.parent = rid, rid
+		t.root = rid
 		t.height++
 		return sib
 	}
-	p := n.parent
-	p.entries[p.indexOfChild(n)].Rect = n.MBR()
-	p.entries = append(p.entries, Entry{Rect: sib.MBR(), Child: sib})
-	sib.parent = p
+	p := t.node(n.parent)
+	p.entries[p.indexOfChild(id)].Rect = n.MBR()
+	p.entries = append(p.entries, Entry{Rect: t.node(sib).MBR(), Child: sib})
+	t.node(sib).parent = n.parent
 	return sib
 }
 
 // forcedReinsert implements the R*-Tree overflow treatment: remove the
-// ReinsertFraction of n's entries whose centers are farthest from the
-// center of n's MBR, shrink the ancestors' MBRs, and reinsert the removed
+// ReinsertFraction of the node's entries whose centers are farthest from the
+// center of its MBR, shrink the ancestors' MBRs, and reinsert the removed
 // entries closest-first ("close reinsert") at the same level.
-func (t *Tree) forcedReinsert(n *Node, level int, reins map[int]bool) {
+func (t *Tree) forcedReinsert(id NodeID, level int, reins map[int]bool) {
+	n := t.node(id)
 	c := n.MBR().Center()
 	k := int(t.opts.ReinsertFraction * float64(len(n.entries)))
 	if k < 1 {
@@ -189,10 +193,12 @@ func (t *Tree) forcedReinsert(n *Node, level int, reins map[int]bool) {
 		kept = append(kept, de.e)
 	}
 	removed := ds[len(ds)-k:]
-	n.entries = kept
-	t.adjustMBRsUp(n)
+	t.setEntries(id, kept)
+	t.adjustMBRsUp(t.node(id))
 
-	// Close reinsert: nearest removed entries first.
+	// Close reinsert: nearest removed entries first. The entries were
+	// copied into ds above, so reinsertion-driven arena growth cannot
+	// invalidate them.
 	for _, de := range removed {
 		t.insertAtLevel(de.e, level, reins)
 	}

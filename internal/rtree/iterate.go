@@ -25,7 +25,7 @@ type NearestIter struct {
 func (t *Tree) NewNearestIter(p geom.Point) *NearestIter {
 	it := &NearestIter{tree: t, point: p}
 	if t.size > 0 {
-		it.pq.push(bfItem{node: t.root, dist: t.root.MBR().MinDistSq(p)})
+		it.pq.push(bfItem{node: t.root, dist: t.Root().MBR().MinDistSq(p)})
 	}
 	return it
 }
@@ -35,21 +35,22 @@ func (t *Tree) NewNearestIter(p geom.Point) *NearestIter {
 func (it *NearestIter) Next() (Neighbor, bool) {
 	for len(it.pq) > 0 {
 		item := it.pq.pop()
-		if item.node == nil {
+		if item.node == NoNode {
 			it.stats.Results++
 			return Neighbor{Rect: item.rect, Data: item.data, DistSq: item.dist}, true
 		}
+		n := it.tree.node(item.node)
 		it.stats.NodesAccessed++
-		if item.node.leaf {
+		if n.leaf {
 			it.stats.LeavesAccessed++
-			for i := range item.node.entries {
-				e := &item.node.entries[i]
+			for i := range n.entries {
+				e := &n.entries[i]
 				it.pq.push(bfItem{rect: e.Rect, data: e.Data, dist: e.Rect.MinDistSq(it.point)})
 			}
 			continue
 		}
-		for i := range item.node.entries {
-			e := &item.node.entries[i]
+		for i := range n.entries {
+			e := &n.entries[i]
 			it.pq.push(bfItem{node: e.Child, dist: e.Rect.MinDistSq(it.point)})
 		}
 	}
@@ -81,7 +82,7 @@ func JoinIntersects(a, b *Tree, fn func(JoinPair)) (statsA, statsB QueryStats) {
 	if a.size == 0 || b.size == 0 {
 		return statsA, statsB
 	}
-	joinNodes(a.root, b.root, fn, &statsA, &statsB)
+	joinNodes(a.Root(), b.Root(), fn, &statsA, &statsB)
 	return statsA, statsB
 }
 
@@ -112,20 +113,20 @@ func joinNodes(na, nb *Node, fn func(JoinPair), sa, sb *QueryStats) {
 		// Descend only in b.
 		for j := range nb.entries {
 			if na.MBR().Intersects(nb.entries[j].Rect) {
-				joinLeafNode(na, nb.entries[j].Child, fn, sa, sb)
+				joinLeafNode(na, nb.child(j), fn, sa, sb)
 			}
 		}
 	case nb.leaf:
 		for i := range na.entries {
 			if na.entries[i].Rect.Intersects(nb.MBR()) {
-				joinNodeLeaf(na.entries[i].Child, nb, fn, sa, sb)
+				joinNodeLeaf(na.child(i), nb, fn, sa, sb)
 			}
 		}
 	default:
 		for i := range na.entries {
 			for j := range nb.entries {
 				if na.entries[i].Rect.Intersects(nb.entries[j].Rect) {
-					joinNodes(na.entries[i].Child, nb.entries[j].Child, fn, sa, sb)
+					joinNodes(na.child(i), nb.child(j), fn, sa, sb)
 				}
 			}
 		}
@@ -153,7 +154,7 @@ func joinLeafNode(leaf *Node, nb *Node, fn func(JoinPair), sa, sb *QueryStats) {
 	}
 	for j := range nb.entries {
 		if leaf.MBR().Intersects(nb.entries[j].Rect) {
-			joinLeafNode(leaf, nb.entries[j].Child, fn, sa, sb)
+			joinLeafNode(leaf, nb.child(j), fn, sa, sb)
 		}
 	}
 }
@@ -178,7 +179,7 @@ func joinNodeLeaf(na *Node, leaf *Node, fn func(JoinPair), sa, sb *QueryStats) {
 	}
 	for i := range na.entries {
 		if na.entries[i].Rect.Intersects(leaf.MBR()) {
-			joinNodeLeaf(na.entries[i].Child, leaf, fn, sa, sb)
+			joinNodeLeaf(na.child(i), leaf, fn, sa, sb)
 		}
 	}
 }

@@ -69,7 +69,7 @@ func (t *Tree) KNNAppend(p geom.Point, k int, dst []Neighbor) ([]Neighbor, Query
 // visits. On return sc.best holds the (at most k) nearest neighbors as a
 // max-heap.
 func (t *Tree) knnSearch(p geom.Point, k int, sc *queryScratch, stats *QueryStats) {
-	node := t.root
+	node := t.node(t.root)
 	for {
 		stats.NodesAccessed++
 		if node.leaf {
@@ -112,7 +112,7 @@ func (t *Tree) knnSearch(p geom.Point, k int, sc *queryScratch, stats *QueryStat
 					f.cur = f.hi
 					continue
 				}
-				node = b.child
+				node = t.node(b.child)
 				descend = true
 				break
 			}

@@ -24,26 +24,27 @@ func (t *Tree) KNNBestFirst(p geom.Point, k int) ([]Neighbor, QueryStats) {
 
 	sc := getScratch()
 	pq := &sc.bf
-	pq.push(bfItem{node: t.root, dist: t.root.MBR().MinDistSq(p)})
+	pq.push(bfItem{node: t.root, dist: t.Root().MBR().MinDistSq(p)})
 
 	out := make([]Neighbor, 0, k)
 	for len(*pq) > 0 && len(out) < k {
 		it := pq.pop()
-		if it.node == nil {
+		if it.node == NoNode {
 			out = append(out, Neighbor{Rect: it.rect, Data: it.data, DistSq: it.dist})
 			continue
 		}
+		n := t.node(it.node)
 		stats.NodesAccessed++
-		if it.node.leaf {
+		if n.leaf {
 			stats.LeavesAccessed++
-			for i := range it.node.entries {
-				e := &it.node.entries[i]
+			for i := range n.entries {
+				e := &n.entries[i]
 				pq.push(bfItem{rect: e.Rect, data: e.Data, dist: e.Rect.MinDistSq(p)})
 			}
 			continue
 		}
-		for i := range it.node.entries {
-			e := &it.node.entries[i]
+		for i := range n.entries {
+			e := &n.entries[i]
 			pq.push(bfItem{node: e.Child, dist: e.Rect.MinDistSq(p)})
 		}
 	}

@@ -46,7 +46,7 @@ func (t *Tree) SearchAppend(q geom.Rect, dst []any) ([]any, QueryStats) {
 	sc := getScratch()
 	stack := append(sc.stack, t.root)
 	for len(stack) > 0 {
-		n := stack[len(stack)-1]
+		n := &t.nodes[stack[len(stack)-1]]
 		stack = stack[:len(stack)-1]
 		stats.NodesAccessed++
 		if n.leaf {
@@ -79,7 +79,7 @@ func (t *Tree) SearchCount(q geom.Rect) QueryStats {
 	sc := getScratch()
 	stack := append(sc.stack, t.root)
 	for len(stack) > 0 {
-		n := stack[len(stack)-1]
+		n := &t.nodes[stack[len(stack)-1]]
 		stack = stack[:len(stack)-1]
 		stats.NodesAccessed++
 		if n.leaf {
@@ -110,7 +110,7 @@ func (t *Tree) SearchEach(q geom.Rect, fn func(geom.Rect, any)) QueryStats {
 	sc := getScratch()
 	stack := append(sc.stack, t.root)
 	for len(stack) > 0 {
-		n := stack[len(stack)-1]
+		n := &t.nodes[stack[len(stack)-1]]
 		stack = stack[:len(stack)-1]
 		stats.NodesAccessed++
 		if n.leaf {
@@ -143,7 +143,7 @@ func (t *Tree) ContainsPoint(p geom.Point) (bool, QueryStats) {
 	sc := getScratch()
 	stack := append(sc.stack, t.root)
 	for len(stack) > 0 && !found {
-		n := stack[len(stack)-1]
+		n := &t.nodes[stack[len(stack)-1]]
 		stack = stack[:len(stack)-1]
 		stats.NodesAccessed++
 		if n.leaf {

@@ -38,7 +38,7 @@ func refSearchNode(n *Node, q geom.Rect, stats *QueryStats, emit func(Entry)) {
 	}
 	for i := range n.entries {
 		if q.Intersects(n.entries[i].Rect) {
-			refSearchNode(n.entries[i].Child, q, stats, emit)
+			refSearchNode(n.child(i), q, stats, emit)
 		}
 	}
 }
@@ -48,7 +48,7 @@ func refSearch(t *Tree, q geom.Rect) ([]any, QueryStats) {
 		out   []any
 		stats QueryStats
 	)
-	refSearchNode(t.root, q, &stats, func(e Entry) {
+	refSearchNode(t.Root(), q, &stats, func(e Entry) {
 		out = append(out, e.Data)
 	})
 	stats.Results = len(out)
@@ -57,7 +57,7 @@ func refSearch(t *Tree, q geom.Rect) ([]any, QueryStats) {
 
 func refSearchCount(t *Tree, q geom.Rect) QueryStats {
 	var stats QueryStats
-	refSearchNode(t.root, q, &stats, func(Entry) {
+	refSearchNode(t.Root(), q, &stats, func(Entry) {
 		stats.Results++
 	})
 	return stats
@@ -76,7 +76,7 @@ func refContainsPointNode(n *Node, p geom.Point, stats *QueryStats) bool {
 	}
 	for i := range n.entries {
 		if n.entries[i].Rect.ContainsPoint(p) {
-			if refContainsPointNode(n.entries[i].Child, p, stats) {
+			if refContainsPointNode(n.child(i), p, stats) {
 				return true
 			}
 		}
@@ -86,7 +86,7 @@ func refContainsPointNode(n *Node, p geom.Point, stats *QueryStats) bool {
 
 func refContainsPoint(t *Tree, p geom.Point) (bool, QueryStats) {
 	var stats QueryStats
-	found := refContainsPointNode(t.root, p, &stats)
+	found := refContainsPointNode(t.Root(), p, &stats)
 	if found {
 		stats.Results = 1
 	}
@@ -136,7 +136,7 @@ func refKNNNode(n *Node, p geom.Point, k int, best *refKnnHeap, stats *QueryStat
 	}
 	branches := make([]branch, len(n.entries))
 	for i := range n.entries {
-		branches[i] = branch{child: n.entries[i].Child, dist: n.entries[i].Rect.MinDistSq(p)}
+		branches[i] = branch{child: n.child(i), dist: n.entries[i].Rect.MinDistSq(p)}
 	}
 	sort.SliceStable(branches, func(i, j int) bool { return branches[i].dist < branches[j].dist })
 	for _, b := range branches {
@@ -153,7 +153,7 @@ func refKNN(t *Tree, p geom.Point, k int) ([]Neighbor, QueryStats) {
 		return nil, stats
 	}
 	best := &refKnnHeap{}
-	refKNNNode(t.root, p, k, best, &stats)
+	refKNNNode(t.Root(), p, k, best, &stats)
 	out := make([]Neighbor, len(*best))
 	copy(out, *best)
 	sort.Slice(out, func(i, j int) bool { return out[i].DistSq < out[j].DistSq })
@@ -169,7 +169,7 @@ func (h refBfHeap) Less(i, j int) bool {
 	if h[i].dist != h[j].dist {
 		return h[i].dist < h[j].dist
 	}
-	return h[i].node == nil && h[j].node != nil
+	return h[i].node == NoNode && h[j].node != NoNode
 }
 func (h refBfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *refBfHeap) Push(x any)   { *h = append(*h, x.(bfItem)) }
@@ -187,25 +187,26 @@ func refKNNBestFirst(t *Tree, p geom.Point, k int) ([]Neighbor, QueryStats) {
 		return nil, stats
 	}
 	pq := &refBfHeap{}
-	heap.Push(pq, bfItem{node: t.root, dist: t.root.MBR().MinDistSq(p)})
+	heap.Push(pq, bfItem{node: t.root, dist: t.Root().MBR().MinDistSq(p)})
 	out := make([]Neighbor, 0, k)
 	for pq.Len() > 0 && len(out) < k {
 		it := heap.Pop(pq).(bfItem)
-		if it.node == nil {
+		if it.node == NoNode {
 			out = append(out, Neighbor{Rect: it.rect, Data: it.data, DistSq: it.dist})
 			continue
 		}
+		n := t.node(it.node)
 		stats.NodesAccessed++
-		if it.node.leaf {
+		if n.leaf {
 			stats.LeavesAccessed++
-			for i := range it.node.entries {
-				e := &it.node.entries[i]
+			for i := range n.entries {
+				e := &n.entries[i]
 				heap.Push(pq, bfItem{rect: e.Rect, data: e.Data, dist: e.Rect.MinDistSq(p)})
 			}
 			continue
 		}
-		for i := range it.node.entries {
-			e := &it.node.entries[i]
+		for i := range n.entries {
+			e := &n.entries[i]
 			heap.Push(pq, bfItem{node: e.Child, dist: e.Rect.MinDistSq(p)})
 		}
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rtree
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package rtree
+
+// raceEnabled reports whether the race detector is active. The detector
+// defeats sync.Pool caching (and instruments allocations), so allocation-
+// count assertions are skipped under -race.
+const raceEnabled = true

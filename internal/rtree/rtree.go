@@ -14,6 +14,12 @@
 // RLR-Tree paper relies on, since replacing the two heuristics with learned
 // policies must leave query processing untouched.
 //
+// Storage is an index-based arena (see arena.go): all nodes live in one
+// slice owned by the tree and reference each other by NodeID, and all
+// entries live in one shared slab. A tree is therefore a handful of
+// contiguous allocations, clones are near-memcpy, and NodeIDs are stable
+// identifiers that survive cloning — unlike node addresses.
+//
 // Trees are not safe for concurrent mutation. Concurrent read-only queries
 // are safe because queries never modify the tree; per-query statistics are
 // returned to the caller rather than accumulated on the tree.
@@ -32,23 +38,33 @@ const (
 	DefaultMinEntries = 20
 )
 
-// Entry is one slot of a node: either a child pointer with the child's MBR
+// Entry is one slot of a node: either a child reference with the child's MBR
 // (internal nodes) or a data object with its MBR (leaf nodes).
 type Entry struct {
 	Rect  geom.Rect
-	Child *Node // non-nil in internal nodes, nil in leaves
-	Data  any   // payload in leaves, nil in internal nodes
+	Child NodeID // child node in internal nodes, NoNode in leaves
+	Data  any    // payload in leaves, nil in internal nodes
 }
 
 // Node is an R-Tree node. Nodes are exported (with read-only accessors) so
 // that external strategies — in particular the learned policies in
 // internal/core — can featurize them; the tree's structure must only be
 // mutated through Tree methods.
+//
+// A *Node is a pointer into its tree's arena: it is invalidated by any
+// mutation of the tree (which may relocate the arena) and must not be
+// retained across mutations. NodeIDs are the stable handle.
 type Node struct {
-	parent  *Node
+	tree    *Tree
+	id      NodeID
+	parent  NodeID
 	leaf    bool
 	entries []Entry
 }
+
+// ID returns the node's stable identifier within its tree. IDs survive
+// arena growth and cloning; they are reused only after the node is deleted.
+func (n *Node) ID() NodeID { return n.id }
 
 // IsLeaf reports whether n is a leaf node.
 func (n *Node) IsLeaf() bool { return n.leaf }
@@ -61,7 +77,26 @@ func (n *Node) Entries() []Entry { return n.entries }
 func (n *Node) NumEntries() int { return len(n.entries) }
 
 // Parent returns the parent node, or nil for the root.
-func (n *Node) Parent() *Node { return n.parent }
+func (n *Node) Parent() *Node {
+	if n.parent == NoNode {
+		return nil
+	}
+	return &n.tree.nodes[n.parent]
+}
+
+// ChildAt returns the child node referenced by entry i, or nil when n is a
+// leaf. It panics if i is out of range.
+func (n *Node) ChildAt(i int) *Node {
+	id := n.entries[i].Child
+	if id == NoNode {
+		return nil
+	}
+	return &n.tree.nodes[id]
+}
+
+// child is the internal fast path of ChildAt: no NoNode check, valid only
+// for internal nodes.
+func (n *Node) child(i int) *Node { return &n.tree.nodes[n.entries[i].Child] }
 
 // MBR returns the minimum bounding rectangle of all entries in n. It is
 // computed on demand; for non-root nodes it equals the entry rect stored in
@@ -157,9 +192,17 @@ func (o *Options) validate() error {
 	return nil
 }
 
-// Tree is an R-Tree over 2-D rectangles.
+// Tree is an R-Tree over 2-D rectangles, stored as an index-based arena:
+// nodes lives in one slice indexed by NodeID (slot 0 reserved), and all
+// node entries live in one fixed-stride slab (stride = MaxEntries+1,
+// accommodating the transient overflow state during insertion).
 type Tree struct {
-	root    *Node
+	nodes  []Node   // node arena; index == NodeID, slot 0 reserved
+	slab   []Entry  // entry storage: slot i is slab[i*stride : (i+1)*stride]
+	free   []NodeID // freed slots, reused LIFO
+	stride int      // slab slot width: MaxEntries+1
+	root   NodeID
+
 	opts    Options
 	height  int // number of levels; 1 for a single leaf root
 	size    int // number of stored objects
@@ -184,11 +227,15 @@ func NewChecked(opts Options) (*Tree, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return &Tree{
-		root:   &Node{leaf: true},
+	t := &Tree{
 		opts:   opts,
 		height: 1,
-	}, nil
+		stride: opts.MaxEntries + 1,
+	}
+	t.nodes = make([]Node, 1, 8) // slot 0 reserved: NoNode
+	t.slab = make([]Entry, t.stride, 8*t.stride)
+	t.root = t.alloc(true)
+	return t, nil
 }
 
 // Len returns the number of objects stored in the tree.
@@ -199,7 +246,7 @@ func (t *Tree) Len() int { return t.size }
 func (t *Tree) Height() int { return t.height }
 
 // Root returns the root node for read-only traversal.
-func (t *Tree) Root() *Node { return t.root }
+func (t *Tree) Root() *Node { return &t.nodes[t.root] }
 
 // MaxEntries returns the node capacity M.
 func (t *Tree) MaxEntries() int { return t.opts.MaxEntries }

@@ -558,13 +558,13 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	}
 	root.entries[0].Rect = saved
 
-	// Corrupt a parent pointer.
-	child := root.entries[0].Child
-	child.parent = nil
+	// Corrupt a parent index.
+	child := root.child(0)
+	child.parent = NoNode
 	if err := tr.Validate(); err == nil {
-		t.Fatalf("Validate missed corrupted parent pointer")
+		t.Fatalf("Validate missed corrupted parent index")
 	}
-	child.parent = root
+	child.parent = root.id
 
 	// Corrupt the size.
 	tr.size++
@@ -593,7 +593,7 @@ func TestNodeAccessorsAndMBR(t *testing.T) {
 		if !mbr.Contains(e.Rect) {
 			t.Fatalf("root MBR does not contain entry rect")
 		}
-		if e.Child.Parent() != root {
+		if tr.NodeByID(e.Child).Parent() != root {
 			t.Fatalf("child parent accessor wrong")
 		}
 	}

@@ -27,7 +27,7 @@ import (
 // knnBranch is one child subtree of an internal node together with its
 // MINDIST from the query point.
 type knnBranch struct {
-	child *Node
+	child NodeID
 	dist  float64
 }
 
@@ -44,7 +44,7 @@ type knnFrame struct {
 // queries a pooled scratch reaches the high-water capacity of the workload
 // and stops allocating entirely.
 type queryScratch struct {
-	stack    []*Node     // window/point search traversal stack
+	stack    []NodeID    // window/point search traversal stack
 	branches []knnBranch // KNN DFS branch arena, stacked per frame
 	frames   []knnFrame  // KNN DFS suspended internal nodes
 	best     knnHeap     // KNN result max-heap (the k best so far)
@@ -60,11 +60,10 @@ func getScratch() *queryScratch {
 }
 
 // release clears every pointer the previous query parked in the backing
-// arrays — node pointers and user payloads must not be kept alive by an
-// idle pool entry — and returns s to the pool.
+// arrays — user payloads must not be kept alive by an idle pool entry — and
+// returns s to the pool. The stack and branch arenas hold plain NodeIDs
+// (no pointers) and need no clearing.
 func (s *queryScratch) release() {
-	clear(s.stack[:cap(s.stack)])
-	clear(s.branches[:cap(s.branches)])
 	clear(s.best[:cap(s.best)])
 	clear(s.bf[:cap(s.bf)])
 	s.stack = s.stack[:0]
@@ -156,9 +155,10 @@ func (h *knnHeap) drainAscending(out []Neighbor) {
 
 // --- bfHeap: min-heap for best-first (Hjaltason–Samet) KNN ---------------
 
-// bfItem is either an unexpanded node (node != nil) or a candidate object.
+// bfItem is either an unexpanded node (node != NoNode) or a candidate
+// object.
 type bfItem struct {
-	node *Node
+	node NodeID
 	rect geom.Rect
 	data any
 	dist float64
@@ -173,7 +173,7 @@ func bfLess(a, b bfItem) bool {
 	if a.dist != b.dist {
 		return a.dist < b.dist
 	}
-	return a.node == nil && b.node != nil
+	return a.node == NoNode && b.node != NoNode
 }
 
 // push appends it and sifts up.

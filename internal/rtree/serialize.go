@@ -8,7 +8,8 @@ import (
 	"github.com/rlr-tree/rlrtree/internal/geom"
 )
 
-// wireNode is the gob wire form of a node subtree.
+// wireNode is the recursive wire form of version-1 snapshots (one gob
+// struct per node). It is kept only for the legacy decode path.
 type wireNode struct {
 	Leaf     bool
 	Rects    []geom.Rect
@@ -16,17 +17,38 @@ type wireNode struct {
 	Children []wireNode // subtrees, internal nodes only
 }
 
-// wireTree is the gob wire form of a tree.
+// wireTree is the gob container for every snapshot version. gob matches
+// fields by name and omits zero-valued fields from the stream, so a single
+// struct serves both: version-1 streams populate Root, version-2 streams
+// populate the flat preorder arrays and leave Root empty.
+//
+// Version 2 encodes the node arena directly as flat arrays in DFS preorder:
+// Leaf[k] and Count[k] describe the k-th node in preorder, Rects holds
+// every node's entry rectangles concatenated in that node order, Data holds
+// the leaf payloads (leaf entries, in order), and Kids holds the child
+// references of internal entries as preorder position + 1 — which is
+// exactly the NodeID the decoder assigns, since it allocates nodes in
+// preorder into a fresh arena. Preorder is a canonical form: encoding a
+// decoded tree reproduces the identical byte stream regardless of the IDs
+// the source tree had, which makes snapshots stable across
+// encode→decode→encode (and across migration from version 1).
 type wireTree struct {
 	Version    int
 	MaxEntries int
 	MinEntries int
 	Height     int
 	Size       int
-	Root       wireNode
+
+	Root wireNode // version 1 only
+
+	Leaf  []bool      // v2: per preorder node
+	Count []int32     // v2: entries per preorder node
+	Rects []geom.Rect // v2: entry rects, concatenated per node
+	Kids  []int32     // v2: internal entries' child = preorder position + 1
+	Data  []any       // v2: leaf entries' payloads
 }
 
-const wireVersion = 1
+const wireVersion = 2
 
 // Encode writes the tree's structure and payloads to w with encoding/gob.
 // Payload values stored in the tree must be gob-encodable; concrete types
@@ -34,57 +56,173 @@ const wireVersion = 1
 // gob.Register by the caller. Strategies are not serialized — they are
 // code, not data — so Decode takes fresh Options.
 func (t *Tree) Encode(w io.Writer) error {
+	nodeCount := t.NodeCount()
 	wt := wireTree{
 		Version:    wireVersion,
 		MaxEntries: t.opts.MaxEntries,
 		MinEntries: t.opts.MinEntries,
 		Height:     t.height,
 		Size:       t.size,
-		Root:       toWire(t.root),
+		Leaf:       make([]bool, 0, nodeCount),
+		Count:      make([]int32, 0, nodeCount),
 	}
+
+	// Pass 1: assign canonical preorder positions (1-based, matching the
+	// NodeIDs the decoder will allocate).
+	pos := make([]int32, len(t.nodes))
+	order := make([]NodeID, 0, nodeCount)
+	var assign func(id NodeID)
+	assign = func(id NodeID) {
+		pos[id] = int32(len(order) + 1)
+		order = append(order, id)
+		n := &t.nodes[id]
+		if !n.leaf {
+			for i := range n.entries {
+				assign(n.entries[i].Child)
+			}
+		}
+	}
+	assign(t.root)
+
+	// Pass 2: emit the flat arrays in preorder.
+	for _, id := range order {
+		n := &t.nodes[id]
+		wt.Leaf = append(wt.Leaf, n.leaf)
+		wt.Count = append(wt.Count, int32(len(n.entries)))
+		for i := range n.entries {
+			e := &n.entries[i]
+			wt.Rects = append(wt.Rects, e.Rect)
+			if n.leaf {
+				wt.Data = append(wt.Data, e.Data)
+			} else {
+				wt.Kids = append(wt.Kids, pos[e.Child])
+			}
+		}
+	}
+
 	if err := gob.NewEncoder(w).Encode(wt); err != nil {
 		return fmt.Errorf("rtree: encode: %w", err)
 	}
 	return nil
 }
 
-func toWire(n *Node) wireNode {
-	wn := wireNode{Leaf: n.leaf, Rects: make([]geom.Rect, len(n.entries))}
-	if n.leaf {
-		wn.Data = make([]any, len(n.entries))
-		for i, e := range n.entries {
-			wn.Rects[i] = e.Rect
-			wn.Data[i] = e.Data
-		}
-		return wn
-	}
-	wn.Children = make([]wireNode, len(n.entries))
-	for i, e := range n.entries {
-		wn.Rects[i] = e.Rect
-		wn.Children[i] = toWire(e.Child)
-	}
-	return wn
-}
-
-// Decode reads a tree previously written by Encode. The given options
-// supply the strategies for future insertions; their capacity bounds must
-// match the encoded tree's (they determine structural invariants). The
-// decoded tree is validated before being returned.
+// Decode reads a tree previously written by Encode — the current arena
+// format (version 2) or the legacy recursive format (version 1). The given
+// options supply the strategies for future insertions; their capacity
+// bounds must match the encoded tree's (they determine structural
+// invariants). The decoded tree is validated before being returned.
 func Decode(r io.Reader, opts Options) (*Tree, error) {
 	var wt wireTree
 	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
 		return nil, fmt.Errorf("rtree: decode: %w", err)
 	}
-	if wt.Version != wireVersion {
+	switch wt.Version {
+	case 1:
+		return decodeV1(wt, opts)
+	case 2:
+		return decodeV2(wt, opts)
+	default:
 		return nil, fmt.Errorf("rtree: unsupported wire version %d", wt.Version)
 	}
+}
+
+// decodeV2 rebuilds the arena from the flat preorder arrays. Nodes are
+// allocated in preorder into a fresh tree, so the k-th preorder node gets
+// NodeID k+1 and the Kids values are usable as NodeIDs directly.
+func decodeV2(wt wireTree, opts Options) (*Tree, error) {
 	opts.MaxEntries = wt.MaxEntries
 	opts.MinEntries = wt.MinEntries
 	t, err := NewChecked(opts)
 	if err != nil {
 		return nil, err
 	}
-	root, err := fromWire(wt.Root, nil)
+	nn := len(wt.Leaf)
+	if nn == 0 {
+		return nil, fmt.Errorf("rtree: decode: snapshot has no nodes")
+	}
+	if len(wt.Count) != nn {
+		return nil, fmt.Errorf("rtree: decode: %d node counts for %d nodes", len(wt.Count), nn)
+	}
+
+	// The fresh tree's placeholder root goes back on the free list, so the
+	// preorder allocation below yields ids 1..nn.
+	t.freeNode(t.root)
+	for k := 0; k < nn; k++ {
+		t.alloc(wt.Leaf[k])
+	}
+	t.root = 1
+
+	rectOff, kidOff, dataOff := 0, 0, 0
+	for k := 0; k < nn; k++ {
+		id := NodeID(k + 1)
+		cnt := int(wt.Count[k])
+		if cnt < 0 || cnt > t.opts.MaxEntries {
+			return nil, fmt.Errorf("rtree: decode: node %d has %d entries (max %d)", k, cnt, t.opts.MaxEntries)
+		}
+		if rectOff+cnt > len(wt.Rects) {
+			return nil, fmt.Errorf("rtree: decode: rect array exhausted at node %d", k)
+		}
+		n := t.node(id)
+		base := int(id) * t.stride
+		slot := t.slab[base : base+cnt]
+		for i := 0; i < cnt; i++ {
+			slot[i].Rect = wt.Rects[rectOff]
+			rectOff++
+			if wt.Leaf[k] {
+				if dataOff >= len(wt.Data) {
+					return nil, fmt.Errorf("rtree: decode: payload array exhausted at node %d", k)
+				}
+				slot[i].Data = wt.Data[dataOff]
+				dataOff++
+			} else {
+				if kidOff >= len(wt.Kids) {
+					return nil, fmt.Errorf("rtree: decode: child array exhausted at node %d", k)
+				}
+				kid := NodeID(wt.Kids[kidOff])
+				kidOff++
+				if kid <= NoNode || int(kid) > nn {
+					return nil, fmt.Errorf("rtree: decode: node %d references out-of-range child %d", k, kid)
+				}
+				slot[i].Child = kid
+				t.nodes[kid].parent = id
+			}
+		}
+		n.entries = t.slab[base : base+cnt : base+t.stride]
+	}
+	if rectOff != len(wt.Rects) || kidOff != len(wt.Kids) || dataOff != len(wt.Data) {
+		return nil, fmt.Errorf("rtree: decode: trailing wire data (%d rects, %d kids, %d payloads unread)",
+			len(wt.Rects)-rectOff, len(wt.Kids)-kidOff, len(wt.Data)-dataOff)
+	}
+
+	t.height = wt.Height
+	t.size = wt.Size
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("rtree: decoded tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+// decodeV1 migrates a legacy recursive snapshot into the arena. Nodes are
+// allocated in DFS preorder — the same canonical order Encode emits — so a
+// migrated tree re-encodes to the same bytes as any other tree of identical
+// structure.
+func decodeV1(wt wireTree, opts Options) (*Tree, error) {
+	opts.MaxEntries = wt.MaxEntries
+	opts.MinEntries = wt.MinEntries
+	// A version-1 stream always carries a non-empty Root (an empty tree is
+	// a leaf root with zero entries, Leaf == true). An internal root with
+	// no rects means the gob stream was a different container that happens
+	// to share the Version field — most likely a sharded snapshot decoded
+	// through the single-tree path.
+	if !wt.Root.Leaf && len(wt.Root.Rects) == 0 {
+		return nil, fmt.Errorf("rtree: decode: stream is not a single-tree snapshot (empty internal root; a sharded snapshot must be restored with its sharded decoder)")
+	}
+	t, err := NewChecked(opts)
+	if err != nil {
+		return nil, err
+	}
+	t.freeNode(t.root)
+	root, err := t.fromWireV1(wt.Root, NoNode)
 	if err != nil {
 		return nil, err
 	}
@@ -97,26 +235,35 @@ func Decode(r io.Reader, opts Options) (*Tree, error) {
 	return t, nil
 }
 
-func fromWire(wn wireNode, parent *Node) (*Node, error) {
-	n := &Node{parent: parent, leaf: wn.Leaf, entries: make([]Entry, len(wn.Rects))}
+func (t *Tree) fromWireV1(wn wireNode, parent NodeID) (NodeID, error) {
+	if len(wn.Rects) > t.opts.MaxEntries {
+		return NoNode, fmt.Errorf("rtree: wire node has %d entries (max %d)", len(wn.Rects), t.opts.MaxEntries)
+	}
+	id := t.alloc(wn.Leaf)
+	t.node(id).parent = parent
 	if wn.Leaf {
 		if len(wn.Data) != len(wn.Rects) {
-			return nil, fmt.Errorf("rtree: leaf wire node has %d payloads for %d rects", len(wn.Data), len(wn.Rects))
+			return NoNode, fmt.Errorf("rtree: leaf wire node has %d payloads for %d rects", len(wn.Data), len(wn.Rects))
 		}
+		es := make([]Entry, len(wn.Rects))
 		for i := range wn.Rects {
-			n.entries[i] = Entry{Rect: wn.Rects[i], Data: wn.Data[i]}
+			es[i] = Entry{Rect: wn.Rects[i], Data: wn.Data[i]}
 		}
-		return n, nil
+		t.setEntries(id, es)
+		return id, nil
 	}
 	if len(wn.Children) != len(wn.Rects) {
-		return nil, fmt.Errorf("rtree: wire node has %d children for %d rects", len(wn.Children), len(wn.Rects))
+		return NoNode, fmt.Errorf("rtree: wire node has %d children for %d rects", len(wn.Children), len(wn.Rects))
 	}
 	for i := range wn.Rects {
-		child, err := fromWire(wn.Children[i], n)
+		child, err := t.fromWireV1(wn.Children[i], id)
 		if err != nil {
-			return nil, err
+			return NoNode, err
 		}
-		n.entries[i] = Entry{Rect: wn.Rects[i], Child: child}
+		// Re-resolve after the recursive allocation and append within the
+		// node's slab slot.
+		n := t.node(id)
+		n.entries = append(n.entries, Entry{Rect: wn.Rects[i], Child: child})
 	}
-	return n, nil
+	return id, nil
 }

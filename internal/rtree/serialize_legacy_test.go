@@ -1,0 +1,126 @@
+package rtree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// testdata/snapshot_v1.gob was written by the wire-version-1 encoder of the
+// pointer-based tree (commit 2efcbb1, before the arena refactor) from the
+// deterministic fixture tree below. It pins the legacy decode path: current
+// builds must keep loading v1 snapshots byte-for-byte as that build wrote
+// them. Do NOT regenerate it with a post-v1 encoder.
+const legacySnapshotPath = "testdata/snapshot_v1.gob"
+
+func legacyFixtureTree() *Tree {
+	items := dataset.MustGenerate(dataset.UNI, 500, 11)
+	tr := New(Options{MaxEntries: 8, MinEntries: 3})
+	for i, r := range items {
+		tr.Insert(r, i)
+	}
+	// A few deletes so the fixture isn't a pure append-only shape.
+	for i := 0; i < 500; i += 41 {
+		tr.Delete(items[i], i)
+	}
+	return tr
+}
+
+// treeObservation summarizes everything a consumer can see through queries;
+// two trees with equal observations are interchangeable for callers.
+func treeObservation(t *testing.T, tr *Tree) []any {
+	t.Helper()
+	obs := []any{tr.Len(), tr.Height()}
+	for qi := 0; qi < 32; qi++ {
+		q := geom.Square(float64(qi*31%47)/47, float64(qi*17%43)/43, 0.08)
+		res, st := tr.Search(q)
+		obs = append(obs, st)
+		for _, v := range res {
+			obs = append(obs, v.(int))
+		}
+		nb, _ := tr.KNN(geom.Pt(q.MinX, q.MinY), 5)
+		for _, b := range nb {
+			obs = append(obs, b.Data.(int), b.DistSq)
+		}
+	}
+	return obs
+}
+
+// TestSnapshotLegacyV1Decode proves old-format snapshots still load and
+// decode to a tree observationally identical to a fresh build of the same
+// workload (construction is deterministic, so the fresh build reproduces the
+// exact structure the fixture was encoded from).
+func TestSnapshotLegacyV1Decode(t *testing.T) {
+	gob.Register(int(0))
+	if *updateGolden {
+		if _, err := os.Stat(legacySnapshotPath); err == nil {
+			t.Skip("legacy v1 fixture already exists; refusing to overwrite with the current encoder")
+		}
+		var buf bytes.Buffer
+		if err := legacyFixtureTree().Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(legacySnapshotPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("legacy snapshot fixture written (%d bytes)", buf.Len())
+		return
+	}
+
+	blob, err := os.ReadFile(legacySnapshotPath)
+	if err != nil {
+		t.Fatalf("legacy snapshot fixture missing: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(blob), Options{})
+	if err != nil {
+		t.Fatalf("decoding v1 snapshot: %v", err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded legacy tree invalid: %v", err)
+	}
+	want := legacyFixtureTree()
+	gotObs, wantObs := treeObservation(t, got), treeObservation(t, want)
+	if len(gotObs) != len(wantObs) {
+		t.Fatalf("observation length %d != %d", len(gotObs), len(wantObs))
+	}
+	for i := range gotObs {
+		if gotObs[i] != wantObs[i] {
+			t.Fatalf("observation[%d]: decoded %v != fresh %v", i, gotObs[i], wantObs[i])
+		}
+	}
+}
+
+// TestSnapshotReencodeByteStable proves the encode→decode→encode fixpoint:
+// a decoded snapshot (including one migrated from the legacy format)
+// re-encodes to identical bytes every time, so snapshot files are
+// content-addressable and safe to diff/dedup.
+func TestSnapshotReencodeByteStable(t *testing.T) {
+	gob.Register(int(0))
+	blob, err := os.ReadFile(legacySnapshotPath)
+	if err != nil {
+		t.Fatalf("legacy snapshot fixture missing: %v", err)
+	}
+	migrated, err := Decode(bytes.NewReader(blob), Options{})
+	if err != nil {
+		t.Fatalf("decoding v1 snapshot: %v", err)
+	}
+	var first bytes.Buffer
+	if err := migrated.Encode(&first); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(bytes.NewReader(first.Bytes()), Options{})
+	if err != nil {
+		t.Fatalf("decoding migrated snapshot: %v", err)
+	}
+	var second bytes.Buffer
+	if err := back.Encode(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("re-encode not byte-stable: %d vs %d bytes", first.Len(), second.Len())
+	}
+}

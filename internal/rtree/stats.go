@@ -35,10 +35,10 @@ func (t *Tree) Stats() TreeStats {
 			for j := i + 1; j < len(n.entries); j++ {
 				s.TotalOvlp += n.entries[i].Rect.OverlapArea(n.entries[j].Rect)
 			}
-			walk(n.entries[i].Child)
+			walk(n.child(i))
 		}
 	}
-	walk(t.root)
+	walk(t.Root())
 	if s.Nodes > 0 {
 		s.AvgFill = fillSum / float64(s.Nodes)
 	}
@@ -46,39 +46,25 @@ func (t *Tree) Stats() TreeStats {
 	return s
 }
 
-// NodeCount returns the total number of nodes in the tree.
+// NodeCount returns the total number of nodes in the tree. With the arena
+// representation this is bookkeeping, not a walk: allocated slots are the
+// arena minus the reserved slot and the free list.
 func (t *Tree) NodeCount() int {
-	var count func(n *Node) int
-	count = func(n *Node) int {
-		c := 1
-		if !n.leaf {
-			for i := range n.entries {
-				c += count(n.entries[i].Child)
-			}
-		}
-		return c
-	}
-	return count(t.root)
+	return len(t.nodes) - 1 - len(t.free)
 }
 
-// MemoryBytes estimates the in-memory footprint of the tree structure:
-// node headers plus the backing arrays of their entry slices (at their
-// capacities). Payload objects referenced from leaf entries are not
-// included. This statistic reproduces the paper's Table 4 (index size).
+// MemoryBytes estimates the in-memory footprint of the tree structure: the
+// arena's backing arrays at their capacities — node headers, the shared
+// entry slab, and the free list. Payload objects referenced from leaf
+// entries are not included. This statistic reproduces the paper's Table 4
+// (index size).
 func (t *Tree) MemoryBytes() int64 {
 	nodeHeader := int64(unsafe.Sizeof(Node{}))
 	entrySize := int64(unsafe.Sizeof(Entry{}))
-	var walk func(n *Node) int64
-	walk = func(n *Node) int64 {
-		b := nodeHeader + entrySize*int64(cap(n.entries))
-		if !n.leaf {
-			for i := range n.entries {
-				b += walk(n.entries[i].Child)
-			}
-		}
-		return b
-	}
-	return walk(t.root)
+	idSize := int64(unsafe.Sizeof(NodeID(0)))
+	return nodeHeader*int64(cap(t.nodes)) +
+		entrySize*int64(cap(t.slab)) +
+		idSize*int64(cap(t.free))
 }
 
 // Bounds returns the MBR of the whole tree, or false when it is empty.
@@ -86,5 +72,5 @@ func (t *Tree) Bounds() (geom.Rect, bool) {
 	if t.size == 0 {
 		return geom.Rect{}, false
 	}
-	return t.root.MBR(), true
+	return t.Root().MBR(), true
 }

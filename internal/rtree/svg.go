@@ -88,12 +88,12 @@ func (t *Tree) WriteSVG(w io.Writer, opts SVGOptions) error {
 		}
 		for i := range n.entries {
 			emit(n.entries[i].Rect, color, 1.2, "none")
-			walk(n.entries[i].Child, level+1)
+			walk(n.child(i), level+1)
 		}
 	}
 	// The root's own MBR frames the drawing.
 	emit(world, levelColors[0], 2, "none")
-	walk(t.root, 1)
+	walk(t.Root(), 1)
 
 	fmt.Fprintln(bw, `</svg>`)
 	return bw.Flush()

@@ -1,0 +1,92 @@
+package rtree
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+const goldenSVGPath = "testdata/tree_small.svg"
+
+// goldenSVGTree builds a small fixed tree whose structure is fully
+// deterministic: three leaf clusters that force two splits under the
+// quadratic splitter, giving a two-level tree with visible internal MBRs.
+func goldenSVGTree() *Tree {
+	tr := New(Options{MaxEntries: 4, MinEntries: 2})
+	rects := []geom.Rect{
+		geom.Square(0.10, 0.10, 0.06), geom.Square(0.16, 0.14, 0.06),
+		geom.Square(0.12, 0.22, 0.06), geom.Square(0.84, 0.12, 0.06),
+		geom.Square(0.90, 0.18, 0.06), geom.Square(0.88, 0.26, 0.06),
+		geom.Square(0.50, 0.82, 0.06), geom.Square(0.56, 0.88, 0.06),
+		geom.Square(0.44, 0.90, 0.06), geom.Square(0.50, 0.70, 0.06),
+		geom.Square(0.30, 0.50, 0.06), geom.Square(0.70, 0.50, 0.06),
+	}
+	for i, r := range rects {
+		tr.Insert(r, i)
+	}
+	return tr
+}
+
+// TestWriteSVGGolden pins the exact SVG output for a small fixed tree, so
+// representation refactors cannot silently change the visualizer (element
+// order follows the node traversal, which must stay deterministic).
+//
+// Regenerate with: go test ./internal/rtree -run TestWriteSVGGolden -update-golden
+func TestWriteSVGGolden(t *testing.T) {
+	tr := goldenSVGTree()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("fixture tree invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteSVG(&buf, SVGOptions{Width: 400, IncludeObjects: true}); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	got := buf.String()
+
+	if *updateGolden {
+		if err := os.WriteFile(goldenSVGPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden SVG rewritten (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenSVGPath)
+	if err != nil {
+		t.Fatalf("golden SVG missing (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		// Show the first diverging line to make failures debuggable.
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("SVG output diverged at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("SVG output diverged in length: got %d lines, want %d", len(gl), len(wl))
+	}
+}
+
+// TestWriteSVGOptions exercises the option paths (level cap, no objects,
+// default width) against the same fixture without golden comparison.
+func TestWriteSVGOptions(t *testing.T) {
+	tr := goldenSVGTree()
+	var buf bytes.Buffer
+	if err := tr.WriteSVG(&buf, SVGOptions{MaxLevel: 1}); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	if !strings.HasPrefix(buf.String(), `<svg xmlns=`) || !strings.HasSuffix(strings.TrimSpace(buf.String()), `</svg>`) {
+		t.Fatalf("not a standalone SVG document")
+	}
+	// An empty tree renders the unit frame without error.
+	empty := New(Options{MaxEntries: 4, MinEntries: 2})
+	buf.Reset()
+	if err := empty.WriteSVG(&buf, SVGOptions{}); err != nil {
+		t.Fatalf("WriteSVG on empty tree: %v", err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Fatalf("empty-tree SVG truncated")
+	}
+}

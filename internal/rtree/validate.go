@@ -4,35 +4,54 @@ import (
 	"fmt"
 )
 
-// Validate checks every structural invariant of the R-Tree and returns the
-// first violation found, or nil when the tree is sound:
+// Validate checks every invariant of the R-Tree — the classic structural
+// ones and the arena-storage ones — and returns the first violation found,
+// or nil when the tree is sound.
+//
+// Structural invariants:
 //
 //   - the stored size matches the number of leaf entries;
 //   - all leaves are at the same depth and the stored height matches it;
 //   - every non-root node holds between MinEntries and MaxEntries entries,
 //     and the root holds at most MaxEntries (and at least 2 when internal);
 //   - each internal entry's rectangle equals the MBR of its child;
-//   - parent pointers are consistent;
-//   - leaf entries carry no child pointer and internal entries no payload.
+//   - parent indices are consistent;
+//   - leaf entries carry no child id and internal entries no payload.
+//
+// Arena invariants (see arena.go):
+//
+//   - slot 0 is reserved and empty; the root id is an allocated slot;
+//   - the slab covers exactly len(nodes)*stride entries;
+//   - every free-list id is in range, appears once, and its slot is cleared
+//     (id == NoNode, zeroed slab slot — freed payloads must not linger);
+//   - every allocated slot i has id == i, the owning tree's back-pointer,
+//     and an entries header aliasing its slab slot with capacity == stride;
+//   - allocated and free slots partition the arena: every node reachable
+//     from the root is allocated, every allocated slot is reachable, and
+//     the reachable count equals len(nodes) - 1 - len(free).
 //
 // Validate is used pervasively in tests and is cheap enough (O(n)) to call
 // after failure-injection scenarios.
 func (t *Tree) Validate() error {
-	if t.root == nil {
-		return fmt.Errorf("rtree: nil root")
+	if err := t.validateArena(); err != nil {
+		return err
 	}
-	if t.root.parent != nil {
-		return fmt.Errorf("rtree: root has a parent pointer")
+
+	root := t.node(t.root)
+	if root.parent != NoNode {
+		return fmt.Errorf("rtree: root has a parent index")
 	}
-	if !t.root.leaf && len(t.root.entries) < 2 {
-		return fmt.Errorf("rtree: internal root has %d entries, want >= 2", len(t.root.entries))
+	if !root.leaf && len(root.entries) < 2 {
+		return fmt.Errorf("rtree: internal root has %d entries, want >= 2", len(root.entries))
 	}
 
 	count := 0
 	depth := -1
+	reached := 0
 	var walk func(n *Node, level int) error
 	walk = func(n *Node, level int) error {
-		if n != t.root {
+		reached++
+		if n.id != t.root {
 			if len(n.entries) < t.opts.MinEntries {
 				return fmt.Errorf("rtree: node at level %d underfull: %d < %d", level, len(n.entries), t.opts.MinEntries)
 			}
@@ -47,8 +66,8 @@ func (t *Tree) Validate() error {
 				return fmt.Errorf("rtree: leaves at different depths (%d vs %d)", depth, level)
 			}
 			for i, e := range n.entries {
-				if e.Child != nil {
-					return fmt.Errorf("rtree: leaf entry %d has a child pointer", i)
+				if e.Child != NoNode {
+					return fmt.Errorf("rtree: leaf entry %d has a child id", i)
 				}
 				if !e.Rect.Valid() {
 					return fmt.Errorf("rtree: leaf entry %d has invalid rect %v", i, e.Rect)
@@ -58,35 +77,113 @@ func (t *Tree) Validate() error {
 			return nil
 		}
 		for i, e := range n.entries {
-			if e.Child == nil {
+			if e.Child == NoNode {
 				return fmt.Errorf("rtree: internal entry %d has no child", i)
 			}
 			if e.Data != nil {
 				return fmt.Errorf("rtree: internal entry %d carries a payload", i)
 			}
-			if e.Child.parent != n {
-				return fmt.Errorf("rtree: child's parent pointer does not match")
+			child := t.NodeByID(e.Child)
+			if child == nil {
+				return fmt.Errorf("rtree: internal entry %d references unallocated node %d", i, e.Child)
 			}
-			if got := e.Child.MBR(); got != e.Rect {
+			if child.parent != n.id {
+				return fmt.Errorf("rtree: child %d's parent index %d does not match node %d", e.Child, child.parent, n.id)
+			}
+			if got := child.MBR(); got != e.Rect {
 				return fmt.Errorf("rtree: entry rect %v != child MBR %v at level %d", e.Rect, got, level)
 			}
-			if err := walk(e.Child, level+1); err != nil {
+			if err := walk(child, level+1); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := walk(t.root, 1); err != nil {
+	if err := walk(root, 1); err != nil {
 		return err
 	}
 	if count != t.size {
 		return fmt.Errorf("rtree: stored size %d != leaf entry count %d", t.size, count)
 	}
-	if t.size > 0 || !t.root.leaf {
+	if t.size > 0 || !root.leaf {
 		wantHeight := depth
 		if t.height != wantHeight {
 			return fmt.Errorf("rtree: stored height %d != leaf depth %d", t.height, wantHeight)
 		}
+	}
+	if live := len(t.nodes) - 1 - len(t.free); reached != live {
+		return fmt.Errorf("rtree: %d nodes reachable from root but arena holds %d live slots (orphaned nodes)", reached, live)
+	}
+	return nil
+}
+
+// validateArena checks the storage-layer invariants that do not require a
+// tree walk: slot 0 reservation, slab sizing, free-list integrity, and
+// per-slot id/back-pointer/header agreement.
+func (t *Tree) validateArena() error {
+	if t.stride != t.opts.MaxEntries+1 {
+		return fmt.Errorf("rtree: stride %d != MaxEntries+1 = %d", t.stride, t.opts.MaxEntries+1)
+	}
+	if len(t.nodes) < 2 {
+		return fmt.Errorf("rtree: arena has %d slots, want >= 2 (reserved slot 0 plus the root)", len(t.nodes))
+	}
+	if z := &t.nodes[0]; z.id != NoNode || z.tree != nil || z.entries != nil {
+		return fmt.Errorf("rtree: reserved arena slot 0 is not empty")
+	}
+	if len(t.slab) != len(t.nodes)*t.stride {
+		return fmt.Errorf("rtree: slab covers %d entries, want %d (%d slots x stride %d)",
+			len(t.slab), len(t.nodes)*t.stride, len(t.nodes), t.stride)
+	}
+
+	onFree := make([]bool, len(t.nodes))
+	for _, id := range t.free {
+		if id <= NoNode || int(id) >= len(t.nodes) {
+			return fmt.Errorf("rtree: free list contains out-of-range id %d", id)
+		}
+		if onFree[id] {
+			return fmt.Errorf("rtree: free list contains id %d twice", id)
+		}
+		onFree[id] = true
+		n := &t.nodes[id]
+		if n.id != NoNode || n.tree != nil || n.entries != nil {
+			return fmt.Errorf("rtree: free-listed slot %d is not cleared", id)
+		}
+		base := int(id) * t.stride
+		for j, e := range t.slab[base : base+t.stride] {
+			if e != (Entry{}) {
+				return fmt.Errorf("rtree: free-listed slot %d retains entry data at offset %d", id, j)
+			}
+		}
+	}
+
+	for i := 1; i < len(t.nodes); i++ {
+		n := &t.nodes[i]
+		if n.id == NoNode {
+			if !onFree[i] {
+				return fmt.Errorf("rtree: dead arena slot %d is not on the free list", i)
+			}
+			continue
+		}
+		if int(n.id) != i {
+			return fmt.Errorf("rtree: arena slot %d stores id %d", i, n.id)
+		}
+		if onFree[i] {
+			return fmt.Errorf("rtree: allocated slot %d is also on the free list", i)
+		}
+		if n.tree != t {
+			return fmt.Errorf("rtree: node %d's tree back-pointer does not point at its owner", i)
+		}
+		if cap(n.entries) != t.stride {
+			return fmt.Errorf("rtree: node %d's entries capacity %d != stride %d (header detached from slab)",
+				i, cap(n.entries), t.stride)
+		}
+		if len(n.entries) > 0 && &n.entries[0] != &t.slab[i*t.stride] {
+			return fmt.Errorf("rtree: node %d's entries do not alias its slab slot", i)
+		}
+	}
+
+	if t.NodeByID(t.root) == nil {
+		return fmt.Errorf("rtree: root id %d is not an allocated node", t.root)
 	}
 	return nil
 }

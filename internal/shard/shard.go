@@ -307,14 +307,14 @@ func (s *ShardedTree) Validate() error {
 func (s *ShardedTree) validateRouting(i int, t *rtree.Tree) error {
 	var walk func(n *rtree.Node) error
 	walk = func(n *rtree.Node) error {
-		for _, e := range n.Entries() {
+		for j, e := range n.Entries() {
 			if n.IsLeaf() {
 				if got := s.router.Shard(e.Rect); got != i {
 					return fmt.Errorf("shard %d: object %v (%v) routes to shard %d", i, e.Data, e.Rect, got)
 				}
 				continue
 			}
-			if err := walk(e.Child); err != nil {
+			if err := walk(n.ChildAt(j)); err != nil {
 				return err
 			}
 		}

@@ -80,10 +80,18 @@ type (
 	// Entry and Node expose the tree structure to custom strategies.
 	Entry = rtree.Entry
 	Node  = rtree.Node
+	// NodeID identifies a node slot in a Tree's arena. IDs are stable
+	// across Clone/CloneWithInto/SyncFrom, which makes them usable as
+	// external cache keys (see internal/pager).
+	NodeID = rtree.NodeID
 	// SubtreeChooser and Splitter are the two strategy extension points.
 	SubtreeChooser = rtree.SubtreeChooser
 	Splitter       = rtree.Splitter
 )
+
+// NoNode is the zero NodeID: no node carries it, and leaf entries use it as
+// their Child value.
+const NoNode = rtree.NoNode
 
 // Heuristic strategies (the paper's baselines).
 type (
