@@ -7,6 +7,15 @@
 //	rlr-serve -addr :8080 -snapshot tree.gob -snapshot-every 30s
 //	rlr-serve -addr :8080 -policy policy.json -snapshot tree.gob
 //	rlr-serve -addr :8080 -shards 4
+//	rlr-serve -addr :8080 -snapshot tree.gob -wal-dir ./wal -wal-fsync always
+//
+// With -wal-dir every mutation is appended to a write-ahead log before
+// it is applied, so a crash (power loss, kill -9) loses at most the
+// writes the fsync policy had not yet made durable; on restart the
+// server replays the log past the restored snapshot's LSN. -wal-fsync
+// picks the durability/latency trade-off: "always" fsyncs every append,
+// "interval" batches fsyncs a few milliseconds apart (group commit),
+// "none" leaves flushing to the OS.
 //
 // With -shards N (N > 1) the server fronts a shard.ShardedTree — N
 // independent trees behind a Z-order spatial router with per-shard
@@ -39,6 +48,7 @@ import (
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 	"github.com/rlr-tree/rlrtree/internal/server"
 	"github.com/rlr-tree/rlrtree/internal/shard"
+	"github.com/rlr-tree/rlrtree/internal/wal"
 )
 
 func main() {
@@ -51,6 +61,9 @@ func main() {
 		shards      = flag.Int("shards", 1, "independent index shards (>1 enables the Z-order sharded tree)")
 		snapPath    = flag.String("snapshot", "", "snapshot file (restore on start, write on shutdown)")
 		snapEvery   = flag.Duration("snapshot-every", 0, "background snapshot interval (0 disables)")
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory (empty disables durability logging)")
+		walFsync    = flag.String("wal-fsync", "interval", "WAL fsync policy: always, interval, none")
+		walSegBytes = flag.Int64("wal-segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold in bytes")
 		reqTimeout  = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout")
 		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
 		maxResults  = flag.Int("max-results", server.DefaultMaxResults, "maximum ids per /search response")
@@ -69,15 +82,18 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	var index server.Index
+	var (
+		index   server.Index
+		snapLSN uint64 // WAL LSN the restored snapshot covers (0: replay all)
+	)
 	if *shards > 1 {
 		sopts := shard.Options{Shards: *shards, Tree: opts}
 		var st *shard.ShardedTree
 		if *snapPath != "" {
-			restored, err := server.LoadShardedSnapshot(*snapPath, sopts)
+			restored, lsn, err := server.LoadShardedSnapshotLSN(*snapPath, sopts)
 			switch {
 			case err == nil:
-				st = restored
+				st, snapLSN = restored, lsn
 				logger.Printf("restored %d objects from %s (%d shards)", st.Len(), *snapPath, st.NumShards())
 			case errors.Is(err, os.ErrNotExist):
 				logger.Printf("no snapshot at %s, starting empty", *snapPath)
@@ -98,10 +114,10 @@ func main() {
 			logger.Fatal(err)
 		}
 		if *snapPath != "" {
-			restored, err := server.LoadSnapshot(*snapPath, opts)
+			restored, lsn, err := server.LoadSnapshotLSN(*snapPath, opts)
 			switch {
 			case err == nil:
-				tree = restored
+				tree, snapLSN = restored, lsn
 				logger.Printf("restored %d objects from %s (height %d)", tree.Len(), *snapPath, tree.Height())
 			case errors.Is(err, os.ErrNotExist):
 				logger.Printf("no snapshot at %s, starting empty", *snapPath)
@@ -112,6 +128,36 @@ func main() {
 		index = rtree.NewConcurrent(tree)
 	}
 
+	// The WAL opens after the snapshot restore (its recovery needs the
+	// snapshot's LSN) and before the server exists: replay must finish
+	// before the first request is admitted.
+	var (
+		theWAL     *wal.WAL
+		autoIDSeed uint64
+	)
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		theWAL, err = wal.Open(wal.Options{
+			Dir:          *walDir,
+			SegmentBytes: *walSegBytes,
+			Sync:         policy,
+			Epoch:        uint32(*shards),
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		res, err := server.Recover(theWAL, snapLSN, index, logger.Printf)
+		if err != nil {
+			logger.Fatal(fmt.Errorf("wal recovery: %w", err))
+		}
+		autoIDSeed = res.MaxAutoID
+		logger.Printf("wal: replayed %d records (%d objects inserted or deleted, %d below snapshot LSN %d) from %s in %s; index holds %d objects",
+			res.Stats.Records, res.Stats.Items, res.Stats.Skipped, snapLSN, *walDir, res.Stats.Duration.Round(time.Microsecond), index.Len())
+	}
+
 	srv, err := server.New(server.Config{
 		Index:          index,
 		IndexName:      name,
@@ -120,6 +166,8 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBody,
 		MaxResults:     *maxResults,
+		WAL:            theWAL,
+		AutoIDSeed:     autoIDSeed,
 		Logf:           logger.Printf,
 	})
 	if err != nil {
@@ -166,6 +214,11 @@ func main() {
 	}
 	if err := srv.Close(); err != nil && *snapPath != "" {
 		logger.Fatal(err)
+	}
+	if theWAL != nil {
+		if err := theWAL.Close(); err != nil {
+			logger.Printf("wal close: %v", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "rlr-serve: bye")
 }

@@ -140,7 +140,17 @@ func (c *ConcurrentTree) Validate() error {
 // clone outside it, so serialization I/O never blocks writers. It is the
 // serving layer's snapshot hook, shared with shard.ShardedTree.
 func (c *ConcurrentTree) EncodeSnapshot(w io.Writer) error {
-	return c.Snapshot().Encode(w)
+	return c.PrepareSnapshot()(w)
+}
+
+// PrepareSnapshot splits EncodeSnapshot into its two phases: it clones
+// the tree under the read lock *now* and returns an encoder over the
+// private clone to run later. The serving layer uses the split to
+// capture the tree state and the WAL's last LSN at one consistent
+// instant (under its snapshot lock) while keeping the encoding I/O
+// outside every lock.
+func (c *ConcurrentTree) PrepareSnapshot() func(io.Writer) error {
+	return c.Snapshot().Encode
 }
 
 // Update applies fn to the underlying tree under the write lock, for

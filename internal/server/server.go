@@ -39,6 +39,7 @@ import (
 	"github.com/rlr-tree/rlrtree/internal/cliutil"
 	"github.com/rlr-tree/rlrtree/internal/geom"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
+	"github.com/rlr-tree/rlrtree/internal/wal"
 )
 
 // Index is the serving-side contract of a concurrent spatial index:
@@ -99,6 +100,15 @@ type Config struct {
 	// MaxResults caps the number of IDs one /search response returns
 	// (the response reports the true total count alongside).
 	MaxResults int
+	// WAL, when non-nil, makes every mutating endpoint append its
+	// operation to the write-ahead log before applying it (see wal.go).
+	// The caller opens the log, runs Recover, and closes it after
+	// Server.Close. Snapshots then embed the covered LSN and retire
+	// fully-covered segments.
+	WAL *wal.WAL
+	// AutoIDSeed starts the auto-assigned object ID counter past IDs
+	// already in use — Recover reports the right seed after a replay.
+	AutoIDSeed uint64
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -112,12 +122,19 @@ type Server struct {
 	metrics metrics
 	started time.Time
 
-	snapshots  atomic.Int64 // snapshots written
-	lastSnap   atomic.Int64 // unix nanos of the last snapshot
+	snapshots  atomic.Int64  // snapshots written
+	snapErrors atomic.Int64  // snapshot attempts that failed
+	lastSnap   atomic.Int64  // unix nanos of the last snapshot
+	snapLSN    atomic.Uint64 // WAL LSN covered by the last snapshot
 	autoID     atomic.Uint64
 	stopSnap   chan struct{}
 	snapLoopWG chan struct{} // closed when the background loop exits
 	closed     atomic.Bool
+
+	// walMu orders mutations against snapshot captures: mutations hold
+	// it shared around their append+apply pair, snapshot capture holds
+	// it exclusive (see wal.go for the consistency argument).
+	walMu sync.RWMutex
 }
 
 // New validates cfg and returns a Server. It does not start the
@@ -151,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 		stopSnap:   make(chan struct{}),
 		snapLoopWG: make(chan struct{}),
 	}
+	s.autoID.Store(cfg.AutoIDSeed)
 	s.metrics.init()
 	return s, nil
 }
@@ -316,8 +334,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	// One write-lock acquisition per shard for the whole batch.
-	s.index.InsertBatch(rects, data)
+	// WAL append first (when enabled), then one write-lock acquisition
+	// per shard for the whole batch.
+	if err := s.appendInsert(rects, data, ids, len(req.Items) == 0); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	resp := insertResponse{Inserted: len(items), Size: s.index.Len()}
 	if assigned {
 		resp.IDs = ids
@@ -350,7 +372,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("delete needs id"))
 		return
 	}
-	ok := s.index.Delete(rect, req.ID)
+	ok, err := s.appendDelete(rect, req.ID)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, deleteResponse{Deleted: ok, Size: s.index.Len()})
 }
 
@@ -493,6 +519,8 @@ type statsResponse struct {
 	Shards    []treeStatsPayload       `json:"shards,omitempty"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Snapshots snapshotStats            `json:"snapshots"`
+	// WAL carries the write-ahead log's counters when one is attached.
+	WAL *walStatsPayload `json:"wal,omitempty"`
 	// PanicsRecovered counts handler panics converted to 500 responses
 	// by the recovery middleware.
 	PanicsRecovered int64 `json:"panics_recovered"`
@@ -510,7 +538,12 @@ type treeStatsPayload struct {
 type snapshotStats struct {
 	Path    string `json:"path,omitempty"`
 	Written int64  `json:"written"`
+	// Errors counts failed snapshot attempts (background and explicit),
+	// so silent background failures show up in monitoring.
+	Errors  int64  `json:"errors"`
 	LastRFC string `json:"last,omitempty"`
+	// LSN is the WAL LSN the newest snapshot covers (WAL-enabled only).
+	LSN uint64 `json:"lsn,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -530,12 +563,25 @@ func toTreeStatsPayload(ts rtree.TreeStats) treeStatsPayload {
 
 func (s *Server) statsPayload() statsResponse {
 	resp := statsResponse{
-		Index:           s.cfg.IndexName,
-		UptimeSeconds:   time.Since(s.started).Seconds(),
-		Tree:            toTreeStatsPayload(s.index.Stats()),
-		Endpoints:       s.metrics.snapshot(),
-		Snapshots:       snapshotStats{Path: s.cfg.SnapshotPath, Written: s.snapshots.Load()},
+		Index:         s.cfg.IndexName,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Tree:          toTreeStatsPayload(s.index.Stats()),
+		Endpoints:     s.metrics.snapshot(),
+		Snapshots: snapshotStats{
+			Path:    s.cfg.SnapshotPath,
+			Written: s.snapshots.Load(),
+			Errors:  s.snapErrors.Load(),
+			LSN:     s.snapLSN.Load(),
+		},
 		PanicsRecovered: s.metrics.panics.Value(),
+	}
+	if s.cfg.WAL != nil {
+		resp.WAL = &walStatsPayload{
+			Dir:     s.cfg.WAL.Dir(),
+			Policy:  s.cfg.WAL.Policy().String(),
+			Epoch:   s.cfg.WAL.Epoch(),
+			Metrics: s.cfg.WAL.Metrics(),
+		}
 	}
 	if ss, ok := s.index.(ShardStatser); ok {
 		per := ss.ShardStats()

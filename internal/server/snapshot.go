@@ -9,6 +9,7 @@ import (
 
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 	"github.com/rlr-tree/rlrtree/internal/shard"
+	"github.com/rlr-tree/rlrtree/internal/wal"
 )
 
 // SaveSnapshot writes the served index to Config.SnapshotPath through
@@ -18,15 +19,61 @@ import (
 // under their read locks and encode outside them, so disk I/O never
 // blocks writers; the file is written to a temp sibling and renamed into
 // place, so a crash mid-write leaves the previous snapshot intact.
+//
+// With a WAL attached the snapshot is prefixed with the envelope of
+// wal.WriteSnapshotHeader carrying the last LSN the encoded state
+// covers; capture happens under the exclusive half of walMu so the LSN
+// and the clone correspond exactly (see internal/server/wal.go). A
+// successful snapshot advances the durable LSN and retires fully
+// covered log segments.
 func (s *Server) SaveSnapshot() error {
 	if s.cfg.SnapshotPath == "" {
 		return fmt.Errorf("server: no snapshot path configured")
 	}
-	if err := writeSnapshotAtomic(s.cfg.SnapshotPath, s.index.EncodeSnapshot); err != nil {
+	var (
+		lsn    uint64
+		encode func(io.Writer) error
+	)
+	if s.cfg.WAL == nil {
+		encode = s.index.EncodeSnapshot
+	} else {
+		s.walMu.Lock()
+		if p, ok := s.index.(SnapshotPreparer); ok {
+			// Cheap capture under the lock, expensive encode outside it.
+			lsn = s.cfg.WAL.LastLSN()
+			encode = p.PrepareSnapshot()
+			s.walMu.Unlock()
+		} else {
+			// The index cannot split capture from encode, so the whole
+			// write must run under the lock (mutations stall for the
+			// duration) — otherwise a write could land between the
+			// captured LSN and the encoded state.
+			defer s.walMu.Unlock()
+			lsn = s.cfg.WAL.LastLSN()
+			encode = s.index.EncodeSnapshot
+		}
+		inner := encode
+		encode = func(w io.Writer) error {
+			if err := wal.WriteSnapshotHeader(w, lsn); err != nil {
+				return fmt.Errorf("server: snapshot header: %w", err)
+			}
+			return inner(w)
+		}
+	}
+	if err := writeSnapshotAtomic(s.cfg.SnapshotPath, encode); err != nil {
+		s.snapErrors.Add(1)
 		return err
 	}
 	s.snapshots.Add(1)
 	s.lastSnap.Store(time.Now().UnixNano())
+	if s.cfg.WAL != nil {
+		s.snapLSN.Store(lsn)
+		if _, err := s.cfg.WAL.Retire(lsn); err != nil {
+			// The snapshot itself succeeded; stale segments only cost
+			// disk and replay-filter time, so log and move on.
+			s.cfg.Logf("wal: retire segments covered by LSN %d: %v", lsn, err)
+		}
+	}
 	return nil
 }
 
@@ -51,6 +98,20 @@ func writeSnapshotAtomic(path string, encode func(io.Writer) error) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("server: snapshot rename: %w", err)
 	}
+	// Fsync the parent directory too: the rename is a directory-entry
+	// update, and without this a crash can surface the *old* name even
+	// though the new file's blocks are on disk.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("server: snapshot dir open: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("server: snapshot dir sync: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("server: snapshot dir close: %w", err)
+	}
 	return nil
 }
 
@@ -60,16 +121,29 @@ func writeSnapshotAtomic(path string, encode func(io.Writer) error) error {
 // -index flags keeps the insertion behaviour its snapshot was built
 // with. Returns os.ErrNotExist (wrapped) when no snapshot exists yet.
 func LoadSnapshot(path string, opts rtree.Options) (*rtree.Tree, error) {
+	t, _, err := LoadSnapshotLSN(path, opts)
+	return t, err
+}
+
+// LoadSnapshotLSN is LoadSnapshot plus the WAL LSN the snapshot covers:
+// replaying the log from that LSN reproduces the pre-crash state.
+// Snapshots written without a WAL (no envelope) report LSN 0, which
+// replays the whole log — correct, since nothing was retired.
+func LoadSnapshotLSN(path string, opts rtree.Options) (*rtree.Tree, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("server: open snapshot: %w", err)
+		return nil, 0, fmt.Errorf("server: open snapshot: %w", err)
 	}
 	defer f.Close()
-	t, err := rtree.Decode(f, opts)
+	lsn, r, err := wal.ReadSnapshotHeader(f)
 	if err != nil {
-		return nil, fmt.Errorf("server: %s: %w", path, err)
+		return nil, 0, fmt.Errorf("server: %s: %w", path, err)
 	}
-	return t, nil
+	t, err := rtree.Decode(r, opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: %s: %w", path, err)
+	}
+	return t, lsn, nil
 }
 
 // LoadShardedSnapshot restores a ShardedTree from a snapshot written by
@@ -79,16 +153,27 @@ func LoadSnapshot(path string, opts rtree.Options) (*rtree.Tree, error) {
 // LoadSnapshot. Returns os.ErrNotExist (wrapped) when no snapshot
 // exists yet.
 func LoadShardedSnapshot(path string, opts shard.Options) (*shard.ShardedTree, error) {
+	st, _, err := LoadShardedSnapshotLSN(path, opts)
+	return st, err
+}
+
+// LoadShardedSnapshotLSN is LoadShardedSnapshot plus the covered WAL
+// LSN, mirroring LoadSnapshotLSN.
+func LoadShardedSnapshotLSN(path string, opts shard.Options) (*shard.ShardedTree, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("server: open snapshot: %w", err)
+		return nil, 0, fmt.Errorf("server: open snapshot: %w", err)
 	}
 	defer f.Close()
-	st, err := shard.Decode(f, opts)
+	lsn, r, err := wal.ReadSnapshotHeader(f)
 	if err != nil {
-		return nil, fmt.Errorf("server: %s: %w", path, err)
+		return nil, 0, fmt.Errorf("server: %s: %w", path, err)
 	}
-	return st, nil
+	st, err := shard.Decode(r, opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: %s: %w", path, err)
+	}
+	return st, lsn, nil
 }
 
 // snapshotLoop writes periodic background snapshots until Close.

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/wal"
+)
+
+// WAL integration: every mutating endpoint appends its operation to the
+// write-ahead log *before* applying it to the index, so an acknowledged
+// write is durable per the log's fsync policy and a crash loses nothing
+// the client was told succeeded.
+//
+// Consistency between the log and snapshots is enforced by walMu, a
+// readers-writer lock with inverted roles: every mutation holds it
+// SHARED for its append+apply critical section (mutations still run
+// concurrently with each other — per-shard parallelism is untouched),
+// while the snapshot capture holds it EXCLUSIVE just long enough to read
+// the last LSN and clone the index. With no mutation mid-flight between
+// its append and its apply, the clone's state corresponds exactly to the
+// captured LSN: replaying records after that LSN neither duplicates nor
+// drops a write. The expensive snapshot encoding runs outside the lock
+// (see SnapshotPreparer).
+
+// SnapshotPreparer is implemented by indexes that can split snapshotting
+// into a cheap capture phase (clone under the index's own locks) and a
+// deferred encode phase. Both rtree.ConcurrentTree and shard.ShardedTree
+// implement it; a WAL-enabled server serving an index without it must
+// hold the snapshot lock across the entire encode.
+type SnapshotPreparer interface {
+	PrepareSnapshot() func(w io.Writer) error
+}
+
+// appendInsert logs the batch and applies it, under the shared half of
+// the snapshot lock. single selects the compact single-object record
+// type for one-item batches. Returns an error — without applying — when
+// the log rejects the append: a write the WAL cannot make durable must
+// not become visible.
+func (s *Server) appendInsert(rects []geom.Rect, data []any, ids []string, single bool) error {
+	if s.cfg.WAL == nil {
+		s.index.InsertBatch(rects, data)
+		return nil
+	}
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	var err error
+	if single {
+		_, err = s.cfg.WAL.AppendInsert(rects[0], ids[0])
+	} else {
+		_, err = s.cfg.WAL.AppendInsertBatch(rects, ids)
+	}
+	if err != nil {
+		return fmt.Errorf("wal append failed, insert not applied: %w", err)
+	}
+	s.index.InsertBatch(rects, data)
+	return nil
+}
+
+// appendDelete logs the delete and applies it, under the shared half of
+// the snapshot lock. A delete that misses still leaves a record in the
+// log; replaying it is a no-op, so correctness is unaffected.
+func (s *Server) appendDelete(r geom.Rect, id string) (bool, error) {
+	if s.cfg.WAL == nil {
+		return s.index.Delete(r, id), nil
+	}
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	if _, err := s.cfg.WAL.AppendDelete(r, id); err != nil {
+		return false, fmt.Errorf("wal append failed, delete not applied: %w", err)
+	}
+	return s.index.Delete(r, id), nil
+}
+
+// RecoveryResult reports what Recover replayed into the index.
+type RecoveryResult struct {
+	Stats wal.ReplayStats
+	// MaxAutoID is the largest N seen among replayed "obj-N" IDs — the
+	// server-assigned ID shape — so a restarted server can seed its
+	// auto-ID counter past every recovered object instead of recycling
+	// IDs (Config.AutoIDSeed).
+	MaxAutoID uint64
+}
+
+// Recover replays every log record past afterLSN (the LSN the restored
+// snapshot covers) into idx, in LSN order. Records route through the
+// Index interface dynamically, so a log written by an N-shard server
+// restores correctly into an M-shard or single-tree one; an epoch
+// mismatch is logged once as a heads-up, not an error. Recover must run
+// before the server starts handling requests.
+func Recover(w *wal.WAL, afterLSN uint64, idx Index, logf func(format string, args ...any)) (RecoveryResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var res RecoveryResult
+	epochWarned := false
+	stats, err := w.Replay(afterLSN, func(rec wal.Record) error {
+		if rec.Epoch != w.Epoch() && !epochWarned {
+			logf("wal: record LSN %d has routing epoch %d, server runs epoch %d (records re-route dynamically; this is informational)",
+				rec.LSN, rec.Epoch, w.Epoch())
+			epochWarned = true
+		}
+		switch rec.Type {
+		case wal.RecInsert, wal.RecInsertBatch:
+			data := make([]any, len(rec.IDs))
+			for i, id := range rec.IDs {
+				data[i] = id
+				if n, ok := parseAutoID(id); ok && n > res.MaxAutoID {
+					res.MaxAutoID = n
+				}
+			}
+			idx.InsertBatch(rec.Rects, data)
+		case wal.RecDelete:
+			idx.Delete(rec.Rects[0], rec.IDs[0])
+		default:
+			return fmt.Errorf("server: unknown wal record type %v at LSN %d", rec.Type, rec.LSN)
+		}
+		return nil
+	})
+	res.Stats = stats
+	return res, err
+}
+
+// parseAutoID recognizes the server-assigned "obj-N" ID shape.
+func parseAutoID(id string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, "obj-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// walStatsPayload is the "wal" section of /stats (and the expvar
+// mirror): the log's counters plus its configuration.
+type walStatsPayload struct {
+	Dir    string `json:"dir"`
+	Policy string `json:"fsync_policy"`
+	Epoch  uint32 `json:"epoch"`
+	wal.Metrics
+}

@@ -1,0 +1,384 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+	"github.com/rlr-tree/rlrtree/internal/shard"
+	"github.com/rlr-tree/rlrtree/internal/wal"
+)
+
+// End-to-end crash-recovery tests: drive a WAL-backed server over HTTP,
+// abandon it without any shutdown (the in-process stand-in for kill -9
+// — nothing flushes, closes, or snapshots), then recover from the
+// snapshot + log into a fresh index and compare against an oracle of
+// every acknowledged write.
+
+var testWorld = geom.NewRect(-100, -100, 100, 100)
+
+// indexIDs collects every stored ID via a world-covering range query.
+func indexIDs(t *testing.T, idx Index) []string {
+	t.Helper()
+	var ids []string
+	idx.SearchEach(testWorld, func(_ geom.Rect, v any) {
+		s, ok := v.(string)
+		if !ok {
+			t.Fatalf("payload %T, want string", v)
+		}
+		ids = append(ids, s)
+	})
+	sort.Strings(ids)
+	return ids
+}
+
+func oracleIDs(oracle map[string]geom.Rect) []string {
+	ids := make([]string, 0, len(oracle))
+	for id := range oracle {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func newWALTestServer(t *testing.T, w *wal.WAL, snapPath string, seed uint64) (*Server, *httptest.Server) {
+	t.Helper()
+	tree, err := rtree.NewChecked(rtree.Options{MaxEntries: 16, MinEntries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Tree:         rtree.NewConcurrent(tree),
+		SnapshotPath: snapPath,
+		WAL:          w,
+		AutoIDSeed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestServerWALCrashRecovery is the headline path: inserts and deletes
+// over HTTP, a snapshot mid-stream, more writes, then an abandoned
+// server. Recovery = restore snapshot, replay the log past its LSN;
+// the rebuilt index must hold exactly the acknowledged state, and the
+// auto-ID counter must resume past every replayed ID.
+func TestServerWALCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	snap := filepath.Join(dir, "tree.gob")
+	walOpts := wal.Options{Dir: walDir, SegmentBytes: 4096, Sync: wal.SyncAlways, Epoch: 1}
+	w1, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newWALTestServer(t, w1, snap, 0)
+
+	rng := rand.New(rand.NewSource(42))
+	oracle := make(map[string]geom.Rect)
+	insert := func(id string) string {
+		r := geom.Square(rng.Float64(), rng.Float64(), 0.01)
+		var resp struct {
+			Inserted int      `json:"inserted"`
+			IDs      []string `json:"ids"`
+		}
+		postJSON(t, ts.URL+"/insert", map[string]any{"id": id, "rect": rectSlice(r)}, &resp)
+		if resp.Inserted != 1 {
+			t.Fatalf("inserted = %d", resp.Inserted)
+		}
+		if id == "" {
+			if len(resp.IDs) != 1 {
+				t.Fatalf("auto-ID insert echoed %d IDs", len(resp.IDs))
+			}
+			id = resp.IDs[0]
+		}
+		oracle[id] = r
+		return id
+	}
+	del := func(id string) {
+		var resp deleteResponse
+		postJSON(t, ts.URL+"/delete", map[string]any{"id": id, "rect": rectSlice(oracle[id])}, &resp)
+		if !resp.Deleted {
+			t.Fatalf("delete %s missed", id)
+		}
+		delete(oracle, id)
+	}
+
+	// Phase 1 (covered by the snapshot): 40 named objects, 10 deleted.
+	for i := 0; i < 40; i++ {
+		insert(fmt.Sprintf("pre-%02d", i))
+	}
+	for i := 0; i < 10; i++ {
+		del(fmt.Sprintf("pre-%02d", i))
+	}
+	if resp := postJSON(t, ts.URL+"/snapshot", map[string]any{}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: HTTP %d", resp.StatusCode)
+	}
+
+	// The /stats wal section and snapshot LSN must be live.
+	var stats struct {
+		Snapshots struct {
+			Written int64  `json:"written"`
+			Errors  int64  `json:"errors"`
+			LSN     uint64 `json:"lsn"`
+		} `json:"snapshots"`
+		WAL *struct {
+			Dir     string `json:"dir"`
+			Policy  string `json:"fsync_policy"`
+			Appends int64  `json:"appends"`
+		} `json:"wal"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Snapshots.Written != 1 || stats.Snapshots.Errors != 0 {
+		t.Fatalf("snapshots = %+v", stats.Snapshots)
+	}
+	if stats.Snapshots.LSN == 0 {
+		t.Fatal("snapshot LSN not recorded in /stats")
+	}
+	if stats.WAL == nil || stats.WAL.Appends != 50 || stats.WAL.Policy != "always" {
+		t.Fatalf("wal stats = %+v", stats.WAL)
+	}
+
+	// Phase 2 (replay-only): a batch, auto-ID inserts, more deletes.
+	batch := make([]map[string]any, 15)
+	for i := range batch {
+		r := geom.Square(rng.Float64(), rng.Float64(), 0.01)
+		id := fmt.Sprintf("post-%02d", i)
+		batch[i] = map[string]any{"id": id, "rect": rectSlice(r)}
+		oracle[id] = r
+	}
+	postJSON(t, ts.URL+"/insert", map[string]any{"items": batch}, nil)
+	var lastAuto string
+	for i := 0; i < 10; i++ {
+		lastAuto = insert("")
+	}
+	if lastAuto != "obj-10" {
+		t.Fatalf("last auto ID = %s, want obj-10", lastAuto)
+	}
+	del("pre-20")
+	del("post-03")
+
+	// Crash: stop the listener, abandon Server and WAL un-closed.
+	ts.Close()
+
+	// Recover into a fresh index.
+	w2, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	tree2, lsn, err := LoadSnapshotLSN(snap, rtree.Options{MaxEntries: 16, MinEntries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn == 0 {
+		t.Fatal("snapshot carries no LSN")
+	}
+	idx2 := rtree.NewConcurrent(tree2)
+	res, err := Recover(w2, lsn, idx2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAutoID != 10 {
+		t.Fatalf("MaxAutoID = %d, want 10", res.MaxAutoID)
+	}
+	if got, want := indexIDs(t, idx2), oracleIDs(oracle); !equalStrings(got, want) {
+		t.Fatalf("recovered %d IDs, oracle %d:\n got %v\nwant %v", len(got), len(want), got, want)
+	}
+	if err := tree2.Validate(); err != nil {
+		t.Fatalf("recovered tree invalid: %v", err)
+	}
+
+	// A restarted server seeded from the recovery must not recycle IDs.
+	_, ts2 := newWALTestServer(t, w2, snap, res.MaxAutoID)
+	var resp struct {
+		IDs []string `json:"ids"`
+	}
+	postJSON(t, ts2.URL+"/insert", map[string]any{"rect": rectSlice(geom.Square(0.5, 0.5, 0.01))}, &resp)
+	if len(resp.IDs) != 1 || resp.IDs[0] != "obj-11" {
+		t.Fatalf("post-recovery auto ID = %v, want [obj-11]", resp.IDs)
+	}
+}
+
+// TestServerWALSnapshotRetiresSegments forces rotations with a tiny
+// segment size, snapshots, and checks that fully-covered segments are
+// gone — the log stays bounded by snapshot cadence, not total writes.
+func TestServerWALSnapshotRetiresSegments(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Dir: filepath.Join(dir, "wal"), SegmentBytes: 512, Sync: wal.SyncNone, Epoch: 1}
+	w, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s, ts := newWALTestServer(t, w, filepath.Join(dir, "tree.gob"), 0)
+
+	for i := 0; i < 200; i++ {
+		postJSON(t, ts.URL+"/insert", map[string]any{
+			"id":   fmt.Sprintf("r-%03d", i),
+			"rect": rectSlice(geom.Square(float64(i)/200, 0.5, 0.01)),
+		}, nil)
+	}
+	before := w.Metrics()
+	if before.Segments < 3 {
+		t.Fatalf("only %d segments before snapshot; rotation not exercised", before.Segments)
+	}
+	if err := s.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	after := w.Metrics()
+	if after.RetiredSegments == 0 {
+		t.Fatalf("snapshot retired nothing (still %d segments)", after.Segments)
+	}
+	if after.Segments >= before.Segments {
+		t.Fatalf("segments %d -> %d, want a decrease", before.Segments, after.Segments)
+	}
+	// Everything the snapshot covers is gone from disk, yet restore +
+	// replay still reproduces the full state.
+	tree2, lsn, err := LoadSnapshotLSN(filepath.Join(dir, "tree.gob"), rtree.Options{MaxEntries: 16, MinEntries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2 := rtree.NewConcurrent(tree2)
+	if _, err := Recover(w, lsn, idx2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if idx2.Len() != 200 {
+		t.Fatalf("recovered %d objects, want 200", idx2.Len())
+	}
+}
+
+// TestSnapshotErrorsCounter: a failing snapshot attempt must surface in
+// the snapshot_errors counter (the satellite for silent background
+// failures), and a later successful one must not reset it.
+func TestSnapshotErrorsCounter(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, filepath.Join(dir, "missing-subdir", "tree.gob"))
+	if err := s.SaveSnapshot(); err == nil {
+		t.Fatal("snapshot into a nonexistent directory succeeded")
+	}
+	var stats struct {
+		Snapshots struct {
+			Written int64 `json:"written"`
+			Errors  int64 `json:"errors"`
+		} `json:"snapshots"`
+		WAL any `json:"wal"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Snapshots.Errors != 1 || stats.Snapshots.Written != 0 {
+		t.Fatalf("snapshots = %+v, want 1 error, 0 written", stats.Snapshots)
+	}
+	if stats.WAL != nil {
+		t.Fatal("/stats grew a wal section on a WAL-less server")
+	}
+}
+
+// TestServerWALShardedRecovery writes through a 4-shard server (epoch
+// 4) with interval fsync and concurrent clients, crashes it, and
+// replays the log into a SINGLE tree: records route dynamically, so the
+// shard-aware format recovers across topology changes, with the epoch
+// mismatch reported but harmless.
+func TestServerWALShardedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Dir: filepath.Join(dir, "wal"), SegmentBytes: 8192, Sync: wal.SyncInterval, Epoch: 4}
+	w1, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := shard.New(shard.Options{Shards: 4, Tree: rtree.Options{MaxEntries: 16, MinEntries: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Index: st, WAL: w1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// 4 concurrent clients × 50 inserts: exercises group commit and the
+	// shared walMu under -race.
+	var (
+		mu     sync.Mutex
+		oracle = make(map[string]geom.Rect)
+		wg     sync.WaitGroup
+	)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("c%d-%02d", c, i)
+				r := geom.Square(rng.Float64(), rng.Float64(), 0.005)
+				postJSON(t, ts.URL+"/insert", map[string]any{"id": id, "rect": rectSlice(r)}, nil)
+				mu.Lock()
+				oracle[id] = r
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Crash, then recover into a single tree under epoch 1.
+	ts.Close()
+	reopened := walOpts
+	reopened.Epoch = 1
+	w2, err := wal.Open(reopened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	tree, err := rtree.NewChecked(rtree.Options{MaxEntries: 16, MinEntries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2 := rtree.NewConcurrent(tree)
+	var logged []string
+	res, err := Recover(w2, 0, idx2, func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Records != 200 {
+		t.Fatalf("replayed %d records, want 200", res.Stats.Records)
+	}
+	if got, want := indexIDs(t, idx2), oracleIDs(oracle); !equalStrings(got, want) {
+		t.Fatalf("recovered %d IDs, want %d", len(got), len(want))
+	}
+	epochNoted := false
+	for _, line := range logged {
+		if strings.Contains(line, "epoch") {
+			epochNoted = true
+		}
+	}
+	if !epochNoted {
+		t.Fatal("epoch mismatch not reported during replay")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -31,23 +31,38 @@ const wireVersion = 1
 // gob-encodable, with non-basic concrete types registered by the caller,
 // as for rtree.(*Tree).Encode.
 func (s *ShardedTree) EncodeSnapshot(w io.Writer) error {
-	wt := wireSharded{
-		Version:  wireVersion,
-		GridBits: s.opts.GridBits,
-		World:    s.opts.World,
-		Shards:   make([][]byte, len(s.shards)),
-	}
+	return s.PrepareSnapshot()(w)
+}
+
+// PrepareSnapshot clones every shard under its read lock *now* and
+// returns an encoder over the private clones to run later, mirroring
+// rtree.(*ConcurrentTree).PrepareSnapshot: the serving layer captures
+// the clones and the WAL's last LSN at one consistent instant, then
+// encodes outside all locks.
+func (s *ShardedTree) PrepareSnapshot() func(w io.Writer) error {
+	clones := make([]*rtree.Tree, len(s.shards))
 	for i, sh := range s.shards {
-		var buf bytes.Buffer
-		if err := sh.Snapshot().Encode(&buf); err != nil {
-			return fmt.Errorf("shard: encode shard %d: %w", i, err)
+		clones[i] = sh.Snapshot()
+	}
+	return func(w io.Writer) error {
+		wt := wireSharded{
+			Version:  wireVersion,
+			GridBits: s.opts.GridBits,
+			World:    s.opts.World,
+			Shards:   make([][]byte, len(clones)),
 		}
-		wt.Shards[i] = buf.Bytes()
+		for i, t := range clones {
+			var buf bytes.Buffer
+			if err := t.Encode(&buf); err != nil {
+				return fmt.Errorf("shard: encode shard %d: %w", i, err)
+			}
+			wt.Shards[i] = buf.Bytes()
+		}
+		if err := gob.NewEncoder(w).Encode(wt); err != nil {
+			return fmt.Errorf("shard: encode: %w", err)
+		}
+		return nil
 	}
-	if err := gob.NewEncoder(w).Encode(wt); err != nil {
-		return fmt.Errorf("shard: encode: %w", err)
-	}
-	return nil
 }
 
 // Decode reads a sharded tree previously written by EncodeSnapshot. The

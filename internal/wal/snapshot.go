@@ -1,0 +1,58 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot envelope. A WAL-coordinated snapshot must record the LSN it
+// covers *in the same atomic write* as the snapshot payload — a sidecar
+// file written before the rename loses data on crash (the snapshot is
+// older than the sidecar claims), and one written after duplicates
+// records on replay (the snapshot is newer). Embedding the LSN in the
+// snapshot file itself makes the rename the single commit point.
+//
+// Envelope layout: | magic 8 bytes | lsn uint64 LE | payload |, where
+// payload is exactly the bytes the index's own encoder produces (the
+// single-tree gob of rtree.(*Tree).Encode or the sharded container of
+// shard.(*ShardedTree).EncodeSnapshot). Snapshots written without a WAL
+// have no envelope; ReadSnapshotHeader detects that and reports LSN 0,
+// which replays the whole log — correct for the upgrade path, where no
+// log exists yet.
+
+// snapMagic opens an LSN-tagged snapshot file. It is distinct from any
+// gob stream prefix (gob begins with a varint length), so envelope
+// detection cannot misfire on a legacy snapshot.
+var snapMagic = [8]byte{'R', 'L', 'R', 'S', 'N', 'A', 'P', '1'}
+
+// WriteSnapshotHeader writes the envelope header for a snapshot that
+// covers every record with LSN <= lsn. The caller streams the index
+// payload immediately after.
+func WriteSnapshotHeader(w io.Writer, lsn uint64) error {
+	var hdr [16]byte
+	copy(hdr[:8], snapMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], lsn)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: write snapshot header: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotHeader detects and strips the snapshot envelope. It
+// returns the covered LSN and a reader positioned at the start of the
+// index payload. Legacy snapshots (no envelope) return LSN 0 with every
+// byte of r still readable.
+func ReadSnapshotHeader(r io.Reader) (uint64, io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(16)
+	if err != nil || [8]byte(head[:8]) != snapMagic {
+		// Too short for an envelope or no magic: legacy payload.
+		return 0, br, nil
+	}
+	if _, err := br.Discard(16); err != nil {
+		return 0, nil, fmt.Errorf("wal: read snapshot header: %w", err)
+	}
+	return binary.LittleEndian.Uint64(head[8:]), br, nil
+}

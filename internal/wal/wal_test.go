@@ -1,0 +1,386 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// applyRecord maps a WAL record onto a plain tree, the same mapping the
+// serving layer's recovery uses.
+func applyRecord(t *rtree.Tree, rec Record) {
+	switch rec.Type {
+	case RecInsert, RecInsertBatch:
+		for i := range rec.Rects {
+			t.Insert(rec.Rects[i], rec.IDs[i])
+		}
+	case RecDelete:
+		t.Delete(rec.Rects[0], rec.IDs[0])
+	}
+}
+
+// encodeBytes returns the tree's canonical v2 snapshot encoding; two
+// trees built by the same operation sequence encode byte-identically.
+func encodeBytes(t *testing.T, tr *rtree.Tree) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func mustOpen(t *testing.T, opts Options) *WAL {
+	t.Helper()
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	return w
+}
+
+func randRect(rng *rand.Rand) geom.Rect {
+	cx, cy := rng.Float64(), rng.Float64()
+	return geom.Square(cx, cy, 0.01+0.02*rng.Float64())
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Epoch: 7})
+	rng := rand.New(rand.NewSource(1))
+
+	oracle := rtree.New(rtree.Options{})
+	var wantLSN uint64
+	appendOp := func(lsn uint64, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		wantLSN++
+		if lsn != wantLSN {
+			t.Fatalf("lsn = %d, want %d", lsn, wantLSN)
+		}
+	}
+
+	var inserted []geom.Rect
+	var insertedIDs []string
+	for i := 0; i < 40; i++ {
+		r := randRect(rng)
+		id := fmt.Sprintf("one-%d", i)
+		appendOp(w.AppendInsert(r, id))
+		oracle.Insert(r, id)
+		inserted = append(inserted, r)
+		insertedIDs = append(insertedIDs, id)
+	}
+	var rects []geom.Rect
+	var ids []string
+	for i := 0; i < 25; i++ {
+		rects = append(rects, randRect(rng))
+		ids = append(ids, fmt.Sprintf("batch-%d", i))
+	}
+	appendOp(w.AppendInsertBatch(rects, ids))
+	for i := range rects {
+		oracle.Insert(rects[i], ids[i])
+	}
+	for i := 0; i < 10; i++ {
+		appendOp(w.AppendDelete(inserted[i], insertedIDs[i]))
+		oracle.Delete(inserted[i], insertedIDs[i])
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Reopen (crash-restart shape) and replay everything.
+	w2 := mustOpen(t, Options{Dir: dir})
+	defer w2.Close()
+	if got := w2.LastLSN(); got != wantLSN {
+		t.Fatalf("LastLSN after reopen = %d, want %d", got, wantLSN)
+	}
+	recovered := rtree.New(rtree.Options{})
+	var epochs []uint32
+	stats, err := w2.Replay(0, func(rec Record) error {
+		epochs = append(epochs, rec.Epoch)
+		applyRecord(recovered, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if stats.Applied != int(wantLSN) || stats.Skipped != 0 {
+		t.Fatalf("replay stats = %+v, want %d applied", stats, wantLSN)
+	}
+	if stats.Items != 40+25+10 {
+		t.Fatalf("replay items = %d, want %d", stats.Items, 40+25+10)
+	}
+	for _, e := range epochs {
+		if e != 7 {
+			t.Fatalf("record epoch = %d, want 7", e)
+		}
+	}
+	if !bytes.Equal(encodeBytes(t, recovered), encodeBytes(t, oracle)) {
+		t.Fatal("recovered tree differs from oracle")
+	}
+	if recovered.Len() != 40+25-10 {
+		t.Fatalf("recovered len = %d", recovered.Len())
+	}
+}
+
+func TestReplayFromSnapshotLSN(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir})
+	defer w.Close()
+	rng := rand.New(rand.NewSource(2))
+
+	full := rtree.New(rtree.Options{})
+	tail := rtree.New(rtree.Options{})
+	var snapLSN uint64
+	for i := 0; i < 30; i++ {
+		r := randRect(rng)
+		id := fmt.Sprintf("o%d", i)
+		lsn, err := w.AppendInsert(r, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full.Insert(r, id)
+		if i < 12 {
+			snapLSN = lsn
+		} else {
+			tail.Insert(r, id)
+		}
+	}
+
+	recovered := rtree.New(rtree.Options{})
+	stats, err := w.Replay(snapLSN, func(rec Record) error {
+		applyRecord(recovered, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 18 || stats.Skipped != 12 {
+		t.Fatalf("stats = %+v, want 18 applied / 12 skipped", stats)
+	}
+	if !bytes.Equal(encodeBytes(t, recovered), encodeBytes(t, tail)) {
+		t.Fatal("replay-from-LSN applied the wrong record suffix")
+	}
+}
+
+func TestRetire(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every few records rotates.
+	w := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	rng := rand.New(rand.NewSource(3))
+	var lastLSN uint64
+	for i := 0; i < 50; i++ {
+		lsn, err := w.AppendInsert(randRect(rng), fmt.Sprintf("r%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLSN = lsn
+	}
+	m := w.Metrics()
+	if m.Segments < 4 {
+		t.Fatalf("expected several segments, got %d", m.Segments)
+	}
+
+	// Retiring below the first segment's range removes nothing.
+	if n, err := w.Retire(0); err != nil || n != 0 {
+		t.Fatalf("Retire(0) = %d, %v", n, err)
+	}
+	// Retiring at the last LSN keeps only the active segment.
+	n, err := w.Retire(lastLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != m.Segments-1 {
+		t.Fatalf("retired %d segments, want %d", n, m.Segments-1)
+	}
+	left, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 {
+		t.Fatalf("%d segments on disk after retire, want 1", len(left))
+	}
+
+	// The log still appends and replays past the retirement point.
+	if _, err := w.AppendInsert(randRect(rng), "after-retire"); err != nil {
+		t.Fatal(err)
+	}
+	var applied int
+	if _, err := w.Replay(lastLSN, func(Record) error { applied++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("replay after retire applied %d records, want 1", applied)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopen of the retired log continues the LSN sequence.
+	w2 := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	defer w2.Close()
+	if got := w2.LastLSN(); got != lastLSN+1 {
+		t.Fatalf("LastLSN after retire+reopen = %d, want %d", got, lastLSN+1)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			w := mustOpen(t, Options{Dir: dir, Sync: pol})
+			rng := rand.New(rand.NewSource(4))
+			for i := 0; i < 20; i++ {
+				if _, err := w.AppendInsert(randRect(rng), fmt.Sprintf("p%d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m := w.Metrics()
+			if pol == SyncAlways && m.Fsyncs < 20 {
+				t.Fatalf("always: %d fsyncs for 20 appends", m.Fsyncs)
+			}
+			if pol == SyncNone && m.Fsyncs > 2 { // header syncs only
+				t.Fatalf("none: unexpected %d fsyncs", m.Fsyncs)
+			}
+			if m.Appends != 20 || m.AppendedBytes == 0 {
+				t.Fatalf("metrics = %+v", m)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			w2 := mustOpen(t, Options{Dir: dir})
+			defer w2.Close()
+			var n int
+			if _, err := w2.Replay(0, func(Record) error { n++; return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if n != 20 {
+				t.Fatalf("%d records survived, want 20", n)
+			}
+		})
+	}
+}
+
+func TestConcurrentGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Sync: SyncInterval, SyncInterval: DefaultSyncInterval, SegmentBytes: 4096})
+	const workers, perWorker = 8, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < perWorker; i++ {
+				if _, err := w.AppendInsert(randRect(rng), fmt.Sprintf("w%d-%d", g, i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := w.LastLSN(); got != workers*perWorker {
+		t.Fatalf("LastLSN = %d, want %d", got, workers*perWorker)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// LSNs on disk are gap-free and every acked append survived.
+	w2 := mustOpen(t, Options{Dir: dir})
+	defer w2.Close()
+	var want uint64
+	if _, err := w2.Replay(0, func(rec Record) error {
+		want++
+		if rec.LSN != want {
+			return fmt.Errorf("lsn %d, want %d", rec.LSN, want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want != workers*perWorker {
+		t.Fatalf("%d records survived, want %d", want, workers*perWorker)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir})
+	if got := w.LastLSN(); got != 0 {
+		t.Fatalf("LastLSN = %d", got)
+	}
+	stats, err := w.Replay(0, func(Record) error { t.Fatal("unexpected record"); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	w := mustOpen(t, Options{Dir: t.TempDir()})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendInsert(geom.NewRect(0, 0, 1, 1), "x"); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "none": SyncNone} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestSegmentNameRoundTrip(t *testing.T) {
+	for _, lsn := range []uint64{1, 42, 1 << 40} {
+		name := segmentName(lsn)
+		got, ok := parseSegmentName(name)
+		if !ok || got != lsn {
+			t.Fatalf("parseSegmentName(%q) = %d, %v", name, got, ok)
+		}
+	}
+	for _, bad := range []string{"wal-zz.seg", "wal-0001.seg", "snapshot.gob", "wal-0000000000000001.tmp"} {
+		if _, ok := parseSegmentName(bad); ok {
+			t.Fatalf("parseSegmentName accepted %q", bad)
+		}
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	w := mustOpen(t, Options{Dir: t.TempDir()})
+	defer w.Close()
+	if _, err := w.AppendInsertBatch([]geom.Rect{geom.NewRect(0, 0, 1, 1)}, []string{"a", "b"}); err == nil {
+		t.Fatal("length-mismatched batch accepted")
+	}
+	// The failed validation must not consume an LSN or poison the log.
+	lsn, err := w.AppendInsert(geom.NewRect(0, 0, 1, 1), "ok")
+	if err != nil || lsn != 1 {
+		t.Fatalf("append after rejected batch: lsn=%d err=%v", lsn, err)
+	}
+}

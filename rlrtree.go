@@ -42,6 +42,7 @@ import (
 	"github.com/rlr-tree/rlrtree/internal/pager"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 	"github.com/rlr-tree/rlrtree/internal/shard"
+	"github.com/rlr-tree/rlrtree/internal/wal"
 )
 
 // Geometry types.
@@ -247,6 +248,45 @@ func ReplayRange(t *Tree, pool *BufferPool, queries []Rect) IOStats {
 // WarmPool pins the tree's top levels into the pool and resets its
 // counters, the standard posture where upper index levels stay in memory.
 func WarmPool(t *Tree, pool *BufferPool) { pager.Warm(t, pool) }
+
+// Durability: the write-ahead log of internal/wal, re-exported for
+// embedders who want crash recovery around their own mutation loop. The
+// serving layer (cmd/rlr-serve -wal-dir) uses the same machinery.
+type (
+	// WAL is a segmented, CRC-checksummed write-ahead log of spatial
+	// mutations. Append each Insert/Delete before applying it; after a
+	// crash, Replay past your newest snapshot's LSN reproduces the
+	// acknowledged state (minus writes the fsync policy had not yet made
+	// durable). Safe for concurrent appenders.
+	WAL = wal.WAL
+	// WALOptions configures OpenWAL: directory, segment rotation size,
+	// fsync policy, routing epoch.
+	WALOptions = wal.Options
+	// WALRecord is one logged mutation, as yielded by Replay.
+	WALRecord = wal.Record
+	// WALSyncPolicy selects when appends fsync: WALSyncAlways,
+	// WALSyncInterval (group commit), or WALSyncNone.
+	WALSyncPolicy = wal.SyncPolicy
+	// WALReplayStats summarizes a Replay pass.
+	WALReplayStats = wal.ReplayStats
+	// WALMetrics is the log's counter snapshot (appends, fsyncs,
+	// rotations, torn-tail truncations, ...).
+	WALMetrics = wal.Metrics
+)
+
+// Fsync policies for WALOptions.Sync.
+const (
+	WALSyncAlways   = wal.SyncAlways
+	WALSyncInterval = wal.SyncInterval
+	WALSyncNone     = wal.SyncNone
+)
+
+// OpenWAL opens (or creates) a write-ahead log in opts.Dir, truncating
+// any torn tail left by a crash. Close it when done.
+func OpenWAL(opts WALOptions) (*WAL, error) { return wal.Open(opts) }
+
+// ParseWALSyncPolicy parses "always", "interval" or "none".
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncPolicy(s) }
 
 // ResumeCombined continues alternating training of a previously trained
 // combined policy on new data — continual adaptation without retraining
