@@ -135,6 +135,18 @@ type Server struct {
 	// it shared around their append+apply pair, snapshot capture holds
 	// it exclusive (see wal.go for the consistency argument).
 	walMu sync.RWMutex
+	// idMu stripes per-object-ID ordering for WAL-enabled mutations:
+	// append+apply runs under the stripe of every ID it touches, so the
+	// log's LSN order matches the index apply order per ID and replay
+	// reproduces exactly the acknowledged per-key outcome (see wal.go).
+	idMu [idStripes]sync.Mutex
+	// snapSaveMu single-flights SaveSnapshot: POST /snapshot, the
+	// background snapshotLoop and Close may race, and an unserialized
+	// save could rename a snapshot carrying an older LSN over a newer
+	// one after the newer save already retired segments past it —
+	// leaving acknowledged writes unrecoverable. Held across
+	// capture+write+rename+retire (see snapshot.go).
+	snapSaveMu sync.Mutex
 }
 
 // New validates cfg and returns a Server. It does not start the

@@ -26,10 +26,20 @@ import (
 // and the clone correspond exactly (see internal/server/wal.go). A
 // successful snapshot advances the durable LSN and retires fully
 // covered log segments.
+//
+// SaveSnapshot is single-flighted: snapSaveMu is held across
+// capture+write+rename+retire so concurrent callers (POST /snapshot,
+// the background snapshotLoop, Close) serialize. Without it a call that
+// captured an older LSN could rename its snapshot over a newer one
+// after the newer call had already retired segments past that LSN,
+// leaving acknowledged writes unrecoverable. A monotonic guard on the
+// captured LSN backs the mutex up as defense in depth.
 func (s *Server) SaveSnapshot() error {
 	if s.cfg.SnapshotPath == "" {
 		return fmt.Errorf("server: no snapshot path configured")
 	}
+	s.snapSaveMu.Lock()
+	defer s.snapSaveMu.Unlock()
 	var (
 		lsn    uint64
 		encode func(io.Writer) error
@@ -51,6 +61,13 @@ func (s *Server) SaveSnapshot() error {
 			defer s.walMu.Unlock()
 			lsn = s.cfg.WAL.LastLSN()
 			encode = s.index.EncodeSnapshot
+		}
+		if lsn < s.snapLSN.Load() {
+			// Unreachable while snapSaveMu serializes saves (LSNs only
+			// grow), but never regress the durable LSN: overwriting a
+			// newer snapshot after its segments were retired would lose
+			// acknowledged writes.
+			return fmt.Errorf("server: snapshot capture LSN %d behind durable LSN %d, refusing stale overwrite", lsn, s.snapLSN.Load())
 		}
 		inner := encode
 		encode = func(w io.Writer) error {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"hash/maphash"
 	"io"
 	"strconv"
 	"strings"
@@ -25,6 +26,45 @@ import (
 // captured LSN: replaying records after that LSN neither duplicates nor
 // drops a write. The expensive snapshot encoding runs outside the lock
 // (see SnapshotPreparer).
+//
+// walMu alone does not order two concurrent mutations against EACH
+// OTHER: writer A could append insert(X) at LSN 1, writer B append
+// delete(X) at LSN 2 yet apply first, and both acknowledgements would
+// then contradict a crash replay (which applies in LSN order). Ops on
+// distinct IDs commute in the index, so only same-ID races matter;
+// idMu stripes per-ID ordering on top of walMu — every mutation holds
+// the stripe of each ID it touches across its append+apply pair, making
+// log order equal apply order per key while unrelated IDs stay fully
+// concurrent.
+
+// idStripes is the size of the per-ID ordering lock set. 64 keeps the
+// acquired-stripe set representable as one uint64 bitmask.
+const idStripes = 64
+
+// idSeed makes the stripe hash stable for the process lifetime.
+var idSeed = maphash.MakeSeed()
+
+// lockIDs locks the stripe of every id — deduplicated via a bitmask and
+// taken in ascending index order so overlapping batches cannot deadlock
+// — and returns the matching unlock.
+func (s *Server) lockIDs(ids []string) (unlock func()) {
+	var mask uint64
+	for _, id := range ids {
+		mask |= 1 << (maphash.String(idSeed, id) % idStripes)
+	}
+	for i := 0; i < idStripes; i++ {
+		if mask&(1<<i) != 0 {
+			s.idMu[i].Lock()
+		}
+	}
+	return func() {
+		for i := 0; i < idStripes; i++ {
+			if mask&(1<<i) != 0 {
+				s.idMu[i].Unlock()
+			}
+		}
+	}
+}
 
 // SnapshotPreparer is implemented by indexes that can split snapshotting
 // into a cheap capture phase (clone under the index's own locks) and a
@@ -36,10 +76,11 @@ type SnapshotPreparer interface {
 }
 
 // appendInsert logs the batch and applies it, under the shared half of
-// the snapshot lock. single selects the compact single-object record
-// type for one-item batches. Returns an error — without applying — when
-// the log rejects the append: a write the WAL cannot make durable must
-// not become visible.
+// the snapshot lock plus the ID stripes of every inserted object.
+// single selects the compact single-object record type for one-item
+// batches. Returns an error — without applying — when the log rejects
+// the append: a write the WAL cannot make durable must not become
+// visible.
 func (s *Server) appendInsert(rects []geom.Rect, data []any, ids []string, single bool) error {
 	if s.cfg.WAL == nil {
 		s.index.InsertBatch(rects, data)
@@ -47,6 +88,7 @@ func (s *Server) appendInsert(rects []geom.Rect, data []any, ids []string, singl
 	}
 	s.walMu.RLock()
 	defer s.walMu.RUnlock()
+	defer s.lockIDs(ids)()
 	var err error
 	if single {
 		_, err = s.cfg.WAL.AppendInsert(rects[0], ids[0])
@@ -61,14 +103,16 @@ func (s *Server) appendInsert(rects []geom.Rect, data []any, ids []string, singl
 }
 
 // appendDelete logs the delete and applies it, under the shared half of
-// the snapshot lock. A delete that misses still leaves a record in the
-// log; replaying it is a no-op, so correctness is unaffected.
+// the snapshot lock plus the ID's stripe. A delete that misses still
+// leaves a record in the log; replaying it is a no-op, so correctness
+// is unaffected.
 func (s *Server) appendDelete(r geom.Rect, id string) (bool, error) {
 	if s.cfg.WAL == nil {
 		return s.index.Delete(r, id), nil
 	}
 	s.walMu.RLock()
 	defer s.walMu.RUnlock()
+	defer s.lockIDs([]string{id})()
 	if _, err := s.cfg.WAL.AppendDelete(r, id); err != nil {
 		return false, fmt.Errorf("wal append failed, delete not applied: %w", err)
 	}

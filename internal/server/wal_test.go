@@ -371,6 +371,163 @@ func TestServerWALShardedRecovery(t *testing.T) {
 	}
 }
 
+// TestConcurrentSnapshotsAndWrites hammers SaveSnapshot from several
+// goroutines (the POST /snapshot + background-loop + Close shape) while
+// writers insert, with tiny segments so snapshots retire segments
+// throughout. SaveSnapshot is single-flighted; without that, a save
+// carrying an older LSN could land over a newer one whose segments were
+// already retired, and the recovery below would either hit the replay
+// gap check or come up short of the acknowledged writes.
+func TestConcurrentSnapshotsAndWrites(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Dir: filepath.Join(dir, "wal"), SegmentBytes: 512, Sync: wal.SyncNone, Epoch: 1}
+	w1, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "tree.gob")
+	s, _ := newWALTestServer(t, w1, snap, 0)
+
+	const writers, perWriter, snappers, snapsEach = 4, 60, 3, 8
+	oracle := make(map[string]geom.Rect)
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for c := 0; c < writers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-%02d", c, i)
+				r := geom.Square(rng.Float64(), rng.Float64(), 0.005)
+				if err := s.appendInsert([]geom.Rect{r}, []any{id}, []string{id}, true); err != nil {
+					t.Errorf("insert %s: %v", id, err)
+					return
+				}
+				mu.Lock()
+				oracle[id] = r
+				mu.Unlock()
+			}
+		}(c)
+	}
+	for c := 0; c < snappers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < snapsEach; i++ {
+				if err := s.SaveSnapshot(); err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Crash (abandon everything un-closed) and recover: the snapshot's
+	// LSN and the surviving segments must still join up.
+	w2, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	tree2, lsn, err := LoadSnapshotLSN(snap, rtree.Options{MaxEntries: 16, MinEntries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2 := rtree.NewConcurrent(tree2)
+	if _, err := Recover(w2, lsn, idx2, t.Logf); err != nil {
+		t.Fatalf("recovery after concurrent snapshots: %v", err)
+	}
+	if got, want := indexIDs(t, idx2), oracleIDs(oracle); !equalStrings(got, want) {
+		t.Fatalf("recovered %d IDs, oracle %d", len(got), len(want))
+	}
+}
+
+// TestWALSameIDRaceReplayConsistent races inserts and deletes of a tiny
+// hot-ID set across goroutines, then crash-replays the log into a fresh
+// index. The per-ID stripe locks make WAL order equal apply order per
+// key, so whatever interleaving actually happened, replay must
+// reproduce the live index's exact contents — without the stripes, an
+// insert acknowledged after a racing delete could replay in the
+// opposite order and vanish.
+func TestWALSameIDRaceReplayConsistent(t *testing.T) {
+	dir := t.TempDir()
+	walOpts := wal.Options{Dir: filepath.Join(dir, "wal"), SegmentBytes: 4096, Sync: wal.SyncNone, Epoch: 1}
+	w1, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newWALTestServer(t, w1, filepath.Join(dir, "tree.gob"), 0)
+
+	// A fixed rect per hot ID so racing delete/insert pairs target the
+	// same (rect, id) entry.
+	const hotIDs = 4
+	rectFor := func(k int) geom.Rect { return geom.Square(float64(k)/10+0.05, 0.5, 0.01) }
+
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			for i := 0; i < 40; i++ {
+				k := rng.Intn(hotIDs)
+				id := fmt.Sprintf("hot-%d", k)
+				switch rng.Intn(3) {
+				case 0: // single insert
+					if err := s.appendInsert([]geom.Rect{rectFor(k)}, []any{id}, []string{id}, true); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				case 1: // batch touching two hot IDs
+					k2 := (k + 1) % hotIDs
+					id2 := fmt.Sprintf("hot-%d", k2)
+					rects := []geom.Rect{rectFor(k), rectFor(k2)}
+					if err := s.appendInsert(rects, []any{id, id2}, []string{id, id2}, false); err != nil {
+						t.Errorf("batch insert: %v", err)
+						return
+					}
+				default: // delete (misses are fine — they replay as no-ops)
+					if _, err := s.appendDelete(rectFor(k), id); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	live := indexIDs(t, s.index)
+
+	// Crash and replay the whole log (no snapshot taken) into a fresh
+	// tree: the multiset of surviving entries must match the live index.
+	w2, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	tree2, err := rtree.NewChecked(rtree.Options{MaxEntries: 16, MinEntries: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2 := rtree.NewConcurrent(tree2)
+	if _, err := Recover(w2, 0, idx2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := indexIDs(t, idx2); !equalStrings(got, live) {
+		t.Fatalf("replay diverged from acknowledged state:\n live %v\nreplay %v", live, got)
+	}
+}
+
 func equalStrings(a, b []string) bool {
 	if len(a) != len(b) {
 		return false

@@ -191,10 +191,12 @@ func decodePayload(p []byte) (Record, error) {
 		if n <= 0 {
 			return rec, fmt.Errorf("wal: bad batch count varint")
 		}
-		// Each item is at least a rect (32 bytes) + a length byte, so a
-		// count beyond len(body) is provably corrupt.
-		if c > uint64(len(body)) {
-			return rec, fmt.Errorf("wal: batch count %d exceeds payload", c)
+		// Each item is at least a rect (32 bytes) + a 1-byte id length,
+		// so a count beyond len(body)/33 is provably corrupt — and the
+		// bound keeps a crafted-but-CRC-valid record from forcing a huge
+		// Rects/IDs pre-allocation before per-item checks run.
+		if c > uint64(len(body))/33 {
+			return rec, fmt.Errorf("wal: batch count %d exceeds payload capacity", c)
 		}
 		count = int(c)
 		body = body[n:]

@@ -511,7 +511,9 @@ func (w *WAL) LastLSN() uint64 {
 // Replay feeds every surviving record with LSN > afterLSN to apply, in
 // LSN order — the recovery path after restoring a snapshot that covers
 // afterLSN. Open has already truncated any torn tail, so Replay sees a
-// clean record run. Replay must run before concurrent appends begin
+// clean record run; Replay itself fails when the surviving segments do
+// not reach back to afterLSN, so a snapshot/segment mismatch surfaces
+// at startup instead of being masked. Replay must run before concurrent appends begin
 // (recovery happens before serving starts); records appended by this
 // process are not replayed to it.
 func (w *WAL) Replay(afterLSN uint64, apply func(Record) error) (ReplayStats, error) {
@@ -522,6 +524,16 @@ func (w *WAL) Replay(afterLSN uint64, apply func(Record) error) (ReplayStats, er
 	copy(segs, w.segments)
 	last := w.lastLSN
 	w.mu.Unlock()
+
+	// The surviving segments must reach back to the snapshot boundary:
+	// if the oldest one starts past afterLSN+1, records the snapshot
+	// does not cover are gone (segments retired against a snapshot that
+	// was later lost, or deleted by hand) and silently replaying past
+	// the hole would present a corrupt index as a clean recovery.
+	if len(segs) > 0 && segs[0].firstLSN > afterLSN+1 {
+		return stats, fmt.Errorf("wal: recovery gap: snapshot covers LSN %d but the oldest segment starts at LSN %d (records %d..%d are missing)",
+			afterLSN, segs[0].firstLSN, afterLSN+1, segs[0].firstLSN-1)
+	}
 
 	for i, seg := range segs {
 		// Skip segments entirely covered by the snapshot: the next

@@ -2,8 +2,10 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 
@@ -369,6 +371,97 @@ func TestSegmentNameRoundTrip(t *testing.T) {
 		if _, ok := parseSegmentName(bad); ok {
 			t.Fatalf("parseSegmentName accepted %q", bad)
 		}
+	}
+}
+
+// TestReplayGapDetected: when the oldest surviving segment starts past
+// the snapshot's LSN — segments retired against a snapshot that was
+// later lost, or deleted by hand — Replay must fail recovery instead of
+// silently skipping the hole.
+func TestReplayGapDetected(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30; i++ {
+		if _, err := w.AppendInsert(randRect(rng), fmt.Sprintf("g%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments; rotation not exercised", len(segs))
+	}
+	if err := os.Remove(segs[0].path); err != nil {
+		t.Fatal(err)
+	}
+	gapEnd := segs[1].firstLSN - 1 // records 1..gapEnd are gone
+
+	w2 := mustOpen(t, Options{Dir: dir, SegmentBytes: 256})
+	defer w2.Close()
+	// A snapshot that does not cover the hole must fail recovery...
+	if _, err := w2.Replay(0, func(Record) error { return nil }); err == nil {
+		t.Fatal("Replay over a missing segment succeeded")
+	}
+	if _, err := w2.Replay(gapEnd-1, func(Record) error { return nil }); err == nil {
+		t.Fatalf("Replay(afterLSN=%d) over a gap ending at %d succeeded", gapEnd-1, gapEnd)
+	}
+	// ...while one that covers it replays the surviving suffix cleanly.
+	var applied int
+	if _, err := w2.Replay(gapEnd, func(Record) error { applied++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if applied != 30-int(gapEnd) {
+		t.Fatalf("replayed %d records past the gap, want %d", applied, 30-int(gapEnd))
+	}
+}
+
+// TestDecodeBatchCountBound: a crafted record whose (CRC-valid) batch
+// count vastly exceeds what the payload could hold must be rejected by
+// the plausibility check — before the count drives slice allocation —
+// while a maximally dense legitimate batch (empty IDs, 33 bytes/item)
+// still decodes.
+func TestDecodeBatchCountBound(t *testing.T) {
+	header := func() []byte {
+		p := []byte{recordVersion, byte(RecInsertBatch)}
+		p = binary.LittleEndian.AppendUint64(p, 1) // LSN
+		p = binary.LittleEndian.AppendUint32(p, 0) // epoch
+		return p
+	}
+	// Declared count ≈ len(body): passes the old c > len(body) check but
+	// needs 33× more bytes than the payload holds.
+	p := binary.AppendUvarint(header(), 1000)
+	p = append(p, make([]byte, 1000)...)
+	if _, err := decodePayload(p); err == nil {
+		t.Fatal("implausible batch count decoded")
+	}
+	// The worst case: count = 256Mi with a near-empty body.
+	p = binary.AppendUvarint(header(), 256<<20)
+	if _, err := decodePayload(p); err == nil {
+		t.Fatal("huge batch count decoded")
+	}
+
+	// Densest legal batch: every item is rect + empty ID = 33 bytes.
+	rects := make([]geom.Rect, 4)
+	ids := make([]string, 4)
+	for i := range rects {
+		rects[i] = geom.NewRect(float64(i), 0, float64(i)+1, 1)
+	}
+	frame, err := appendFrame(nil, Record{Type: RecInsertBatch, LSN: 1, Rects: rects, IDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := decodePayload(frame[frameHeaderSize:])
+	if err != nil {
+		t.Fatalf("dense batch rejected: %v", err)
+	}
+	if len(rec.Rects) != 4 || rec.Type != RecInsertBatch {
+		t.Fatalf("decoded %d rects, type %v", len(rec.Rects), rec.Type)
 	}
 }
 
