@@ -32,6 +32,13 @@ func TestQueryKernelsZeroAlloc(t *testing.T) {
 	objs, _ = tr.SearchAppend(q, objs[:0])
 	nbrs, _ = tr.KNNAppend(p, 25, nbrs[:0])
 
+	// The epoch read path must stay zero-alloc too: pinning the current
+	// epoch is two atomic adds and a pointer load, so a ConcurrentTree
+	// query costs exactly what the bare-tree kernel costs.
+	ct := NewConcurrent(tr.Clone())
+	objs, _ = ct.SearchAppend(q, objs[:0])
+	nbrs, _ = ct.KNNAppend(p, 25, nbrs[:0])
+
 	checks := []struct {
 		name string
 		fn   func()
@@ -41,6 +48,12 @@ func TestQueryKernelsZeroAlloc(t *testing.T) {
 		{"SearchEach", func() { tr.SearchEach(q, func(geom.Rect, any) {}) }},
 		{"KNNAppend", func() { nbrs, _ = tr.KNNAppend(p, 25, nbrs[:0]) }},
 		{"ContainsPoint", func() { _, _ = tr.ContainsPoint(p) }},
+		{"ConcurrentTree.SearchAppend", func() { objs, _ = ct.SearchAppend(q, objs[:0]) }},
+		{"ConcurrentTree.SearchCount", func() { _ = ct.SearchCount(q) }},
+		{"ConcurrentTree.SearchEach", func() { ct.SearchEach(q, func(geom.Rect, any) {}) }},
+		{"ConcurrentTree.KNNAppend", func() { nbrs, _ = ct.KNNAppend(p, 25, nbrs[:0]) }},
+		{"ConcurrentTree.ContainsPoint", func() { _, _ = ct.ContainsPoint(p) }},
+		{"ConcurrentTree.Len", func() { _ = ct.Len() }},
 	}
 	for _, c := range checks {
 		if avg := testing.AllocsPerRun(200, c.fn); avg != 0 {

@@ -3,171 +3,223 @@ package rtree
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"github.com/rlr-tree/rlrtree/internal/geom"
 )
 
-// ConcurrentTree wraps a Tree with a readers-writer lock, making it safe
-// for use from multiple goroutines: queries take a shared lock and run
-// concurrently with each other, mutations take the exclusive lock. This is
-// coarse-grained on purpose — the R-Tree's per-query work is microseconds,
-// so a single RWMutex outperforms node-level latching until well past the
-// concurrency levels an embedded index sees. The zero value is not usable;
-// construct with NewConcurrent.
+// ConcurrentTree makes a Tree safe for use from multiple goroutines with
+// a lock-free read path: queries load the current published epoch (an
+// immutable snapshot of the tree) through an atomic pointer and run the
+// zero-alloc kernels on it with no mutex — readers never block writers
+// and writers never block readers. Mutations serialize through a plain
+// mutex and maintain two arenas left-right style (see epoch.go): apply
+// to the private write arena, publish it atomically, then catch the
+// retired arena up by replaying the same operation once its readers
+// drain. The cost is 2x arena memory and each mutation applied twice —
+// microseconds against the lock handoff it deletes from every query.
+//
+// Mutation closures (Update) therefore run once per arena and must be
+// deterministic, mutate only through the passed tree, and be free of
+// side effects outside it. The zero value is not usable; construct with
+// NewConcurrent.
 type ConcurrentTree struct {
-	mu   sync.RWMutex
-	tree *Tree
+	mu    sync.Mutex            // serializes writers
+	write *Tree                 // private write arena (== published tree until first write)
+	cur   atomic.Pointer[epoch] // published immutable epoch, loaded lock-free by readers
 }
 
-// NewConcurrent wraps t. The caller must stop using t directly.
+// NewConcurrent wraps t. The caller must stop using t directly. The
+// second arena is created lazily on the first mutation (clone-on-first-
+// write), so read-only uses — a restored snapshot that is only queried —
+// never pay the 2x memory.
 func NewConcurrent(t *Tree) *ConcurrentTree {
-	return &ConcurrentTree{tree: t}
+	c := &ConcurrentTree{write: t}
+	c.cur.Store(&epoch{tree: t})
+	return c
 }
 
-// Insert adds an object under the write lock.
-func (c *ConcurrentTree) Insert(r geom.Rect, data any) {
+// mutate is the single writer path: it applies op to the write arena,
+// publishes that arena as the new epoch, and replays op onto the retired
+// arena (after its readers drain) so both sides stay identical. op runs
+// exactly twice, once per arena, and must make the same structural
+// change to each — true for any deterministic function of the tree,
+// which both arenas are byte-identical instances of on entry.
+func (c *ConcurrentTree) mutate(op func(*Tree)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.tree.Insert(r, data)
+	w := c.write
+	if cur := c.cur.Load(); cur.tree == w {
+		// First mutation since construction: the published epoch still
+		// wraps the original arena, which must stay frozen for its
+		// readers. Split off a private copy to write to.
+		w = cur.tree.Clone()
+	}
+	op(w)
+	old := c.cur.Swap(&epoch{tree: w}) // publish: readers switch here
+	old.drain()                        // wait out readers pinned pre-swap
+	op(old.tree)                       // catch the retired arena up
+	c.write = old.tree
+	if c.write.size != w.size || c.write.height != w.height {
+		panic("rtree: concurrent mutation diverged between arenas (non-deterministic op?)")
+	}
 }
 
-// InsertBatch adds len(rects) objects under a single acquisition of the
-// write lock, amortizing the lock handoff across the batch — the bulk
-// ingest path of a serving workload, where per-object locking would let
-// readers interleave between every insertion and thrash the mutex. rects
-// and data must have equal length; data[i] is stored under rects[i].
+// Insert adds an object, serialized with other mutations; concurrent
+// readers keep querying the previous epoch until the insert publishes.
+func (c *ConcurrentTree) Insert(r geom.Rect, data any) {
+	c.mutate(func(t *Tree) { t.Insert(r, data) })
+}
+
+// InsertBatch adds len(rects) objects as one atomic mutation — queries
+// observe none or all of the batch — publishing a single epoch for the
+// whole batch, the bulk ingest path of a serving workload. rects and
+// data must have equal length; data[i] is stored under rects[i].
 func (c *ConcurrentTree) InsertBatch(rects []geom.Rect, data []any) {
 	if len(rects) != len(data) {
 		panic("rtree: InsertBatch length mismatch")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i, r := range rects {
-		c.tree.Insert(r, data[i])
-	}
+	c.mutate(func(t *Tree) {
+		for i, r := range rects {
+			t.Insert(r, data[i])
+		}
+	})
 }
 
-// Delete removes an object under the write lock.
+// Delete removes an object, serialized with other mutations.
 func (c *ConcurrentTree) Delete(r geom.Rect, data any) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tree.Delete(r, data)
+	var ok bool
+	// Both arenas are identical, so the second application returns the
+	// same result and the plain overwrite is safe.
+	c.mutate(func(t *Tree) { ok = t.Delete(r, data) })
+	return ok
 }
 
-// Search runs a range query under the read lock.
+// Search runs a range query on the current epoch, lock-free.
 func (c *ConcurrentTree) Search(q geom.Rect) ([]any, QueryStats) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.Search(q)
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.Search(q)
 }
 
-// SearchAppend appends matches to dst under the read lock; with a
-// caller-reused dst the query allocates nothing.
+// SearchAppend appends matches to dst, querying the current epoch
+// lock-free; with a caller-reused dst the query allocates nothing.
 func (c *ConcurrentTree) SearchAppend(q geom.Rect, dst []any) ([]any, QueryStats) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.SearchAppend(q, dst)
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.SearchAppend(q, dst)
 }
 
-// SearchCount counts matches under the read lock.
+// SearchCount counts matches on the current epoch, lock-free.
 func (c *ConcurrentTree) SearchCount(q geom.Rect) QueryStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.SearchCount(q)
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.SearchCount(q)
 }
 
-// SearchEach streams matches to fn under the read lock. fn must not call
-// back into the tree (the lock is held) and must not block.
+// SearchEach streams matches to fn from the current epoch, lock-free.
+// fn must not call mutating methods of c (the epoch is pinned, and a
+// mutation would deadlock waiting for it to drain) and must not block:
+// a pinned epoch stalls the next writer's arena reclamation.
 func (c *ConcurrentTree) SearchEach(q geom.Rect, fn func(geom.Rect, any)) QueryStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.SearchEach(q, fn)
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.SearchEach(q, fn)
 }
 
-// ContainsPoint reports point containment under the read lock.
+// ContainsPoint reports point containment on the current epoch, lock-free.
 func (c *ConcurrentTree) ContainsPoint(p geom.Point) (bool, QueryStats) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.ContainsPoint(p)
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.ContainsPoint(p)
 }
 
-// KNN runs a nearest-neighbor query under the read lock.
+// KNN runs a nearest-neighbor query on the current epoch, lock-free.
 func (c *ConcurrentTree) KNN(p geom.Point, k int) ([]Neighbor, QueryStats) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.KNN(p, k)
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.KNN(p, k)
 }
 
-// KNNAppend appends the k nearest neighbors to dst under the read lock;
-// with a caller-reused dst the query allocates nothing.
+// KNNAppend appends the k nearest neighbors to dst, querying the current
+// epoch lock-free; with a caller-reused dst the query allocates nothing.
 func (c *ConcurrentTree) KNNAppend(p geom.Point, k int, dst []Neighbor) ([]Neighbor, QueryStats) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.KNNAppend(p, k, dst)
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.KNNAppend(p, k, dst)
 }
 
-// Len returns the object count under the read lock.
+// Len returns the object count of the current epoch, lock-free.
 func (c *ConcurrentTree) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.Len()
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.Len()
 }
 
-// Snapshot returns a deep copy of the current tree under the read lock.
-// The copy is private to the caller: long analytical scans can run on it
-// without blocking writers.
+// Snapshot returns a deep copy of the current epoch's tree. The copy is
+// private to the caller: long analytical scans can run on it without
+// stalling anyone. The epoch stays pinned only for the duration of the
+// arena copy (three array memcpys), not the caller's scan.
 func (c *ConcurrentTree) Snapshot() *Tree {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.Clone()
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.Clone()
 }
 
-// Stats computes the tree's structural statistics under the read lock.
+// Stats computes the tree's structural statistics on the current epoch,
+// lock-free.
 func (c *ConcurrentTree) Stats() TreeStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.Stats()
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.Stats()
 }
 
-// Validate runs the full invariant checker under the read lock.
+// Validate runs the full invariant checker on the current epoch.
 func (c *ConcurrentTree) Validate() error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.tree.Validate()
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.Validate()
 }
 
-// EncodeSnapshot clones the tree under the read lock and gob-encodes the
-// clone outside it, so serialization I/O never blocks writers. It is the
-// serving layer's snapshot hook, shared with shard.ShardedTree.
+// EncodeSnapshot clones the current epoch's tree and gob-encodes the
+// clone, so serialization I/O never blocks writers or pins an epoch. It
+// is the serving layer's snapshot hook, shared with shard.ShardedTree.
 func (c *ConcurrentTree) EncodeSnapshot(w io.Writer) error {
 	return c.PrepareSnapshot()(w)
 }
 
 // PrepareSnapshot splits EncodeSnapshot into its two phases: it clones
-// the tree under the read lock *now* and returns an encoder over the
-// private clone to run later. The serving layer uses the split to
-// capture the tree state and the WAL's last LSN at one consistent
-// instant (under its snapshot lock) while keeping the encoding I/O
-// outside every lock.
+// the current epoch *now* (pinning it only for the arena copy) and
+// returns an encoder over the private clone to run later. The serving
+// layer uses the split to capture the tree state and the WAL's last LSN
+// at one consistent instant (under its snapshot lock) while keeping the
+// encoding I/O outside every lock. Because a mutation only returns after
+// publishing its epoch, the captured epoch reflects every acknowledged
+// write — the WAL consistency argument of internal/server is unchanged.
 func (c *ConcurrentTree) PrepareSnapshot() func(io.Writer) error {
 	return c.Snapshot().Encode
 }
 
-// Update applies fn to the underlying tree under the write lock, for
-// compound operations (move = delete + insert) that must be atomic with
-// respect to queries.
+// Update applies fn to the tree, for compound operations (move =
+// delete + insert) that must be atomic with respect to queries: readers
+// observe the pre-update or post-update epoch, never an intermediate
+// state. fn runs once per arena (twice total) and must be deterministic,
+// mutate only through its argument, and have no side effects outside it
+// — a fn that, say, appends to a captured slice would do so twice.
 func (c *ConcurrentTree) Update(fn func(t *Tree)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fn(c.tree)
+	c.mutate(fn)
 }
 
-// View applies fn to the underlying tree under the read lock, for
-// read-only compound operations (structural statistics, serialization)
-// that need a consistent view but no private copy. fn must not mutate the
-// tree or retain references to it past the call.
+// View applies fn to the current epoch's tree, for read-only compound
+// operations (structural statistics, serialization) that need a
+// consistent view but no private copy. The tree fn observes is frozen
+// for the duration of the call. fn must not mutate the tree, must not
+// call mutating methods of c (deadlock: the pinned epoch cannot drain),
+// must not retain references past the call (the arena is recycled for
+// future writes), and should return promptly — a pinned epoch stalls
+// writers' arena reclamation.
 func (c *ConcurrentTree) View(fn func(t *Tree)) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	fn(c.tree)
+	e := c.pin()
+	defer e.unpin()
+	fn(e.tree)
 }

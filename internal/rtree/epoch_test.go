@@ -1,0 +1,320 @@
+package rtree
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// lockedTree is the pre-epoch read path reconstructed as a test oracle:
+// the same Tree behind a readers-writer lock, exactly what
+// ConcurrentTree was before publication moved to epochs. The
+// differential tests below prove the epoch path byte-identical to it.
+type lockedTree struct {
+	mu sync.RWMutex
+	t  *Tree
+}
+
+func (l *lockedTree) insert(r geom.Rect, data any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.t.Insert(r, data)
+}
+
+func (l *lockedTree) delete(r geom.Rect, data any) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Delete(r, data)
+}
+
+func (l *lockedTree) searchAppend(q geom.Rect, dst []any) ([]any, QueryStats) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.t.SearchAppend(q, dst)
+}
+
+func (l *lockedTree) knnAppend(p geom.Point, k int, dst []Neighbor) ([]Neighbor, QueryStats) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.t.KNNAppend(p, k, dst)
+}
+
+func encodeTree(t *testing.T, tr *Tree) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestEpochDifferentialVsLockedOracle drives the epoch-published
+// ConcurrentTree and the locked oracle through one interleaved
+// insert/delete workload, comparing range and KNN results (payloads,
+// order and QueryStats) at every step, and requires the final trees to
+// be byte-identical under the canonical v2 encoding — the lock-free read
+// path must be observationally indistinguishable from the locked one.
+func TestEpochDifferentialVsLockedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ct := NewConcurrent(New(testOpts()))
+	oracle := &lockedTree{t: New(testOpts())}
+
+	type obj struct {
+		r  geom.Rect
+		id int
+	}
+	var live []obj
+	var dst1, dst2 []any
+	var nb1, nb2 []Neighbor
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && rng.Intn(4) == 0 {
+			j := rng.Intn(len(live))
+			o := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			got := ct.Delete(o.r, o.id)
+			want := oracle.delete(o.r, o.id)
+			if got != want {
+				t.Fatalf("op %d: Delete(%v) = %v, oracle %v", i, o.id, got, want)
+			}
+		} else {
+			o := obj{r: geom.Square(rng.Float64(), rng.Float64(), 0.01), id: i}
+			live = append(live, o)
+			ct.Insert(o.r, o.id)
+			oracle.insert(o.r, o.id)
+		}
+		if i%50 != 0 {
+			continue
+		}
+		q := geom.Square(rng.Float64(), rng.Float64(), 0.1)
+		var st1, st2 QueryStats
+		dst1, st1 = ct.SearchAppend(q, dst1[:0])
+		dst2, st2 = oracle.searchAppend(q, dst2[:0])
+		if st1 != st2 {
+			t.Fatalf("op %d: search stats %+v, oracle %+v", i, st1, st2)
+		}
+		if len(dst1) != len(dst2) {
+			t.Fatalf("op %d: search returned %d, oracle %d", i, len(dst1), len(dst2))
+		}
+		for j := range dst1 {
+			if dst1[j] != dst2[j] {
+				t.Fatalf("op %d: search result %d: %v, oracle %v", i, j, dst1[j], dst2[j])
+			}
+		}
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		nb1, st1 = ct.KNNAppend(p, 10, nb1[:0])
+		nb2, st2 = oracle.knnAppend(p, 10, nb2[:0])
+		if st1 != st2 {
+			t.Fatalf("op %d: knn stats %+v, oracle %+v", i, st1, st2)
+		}
+		if len(nb1) != len(nb2) {
+			t.Fatalf("op %d: knn returned %d, oracle %d", i, len(nb1), len(nb2))
+		}
+		for j := range nb1 {
+			if nb1[j] != nb2[j] {
+				t.Fatalf("op %d: knn result %d: %+v, oracle %+v", i, j, nb1[j], nb2[j])
+			}
+		}
+	}
+
+	if got, want := encodeTree(t, ct.Snapshot()), encodeTree(t, oracle.t); !bytes.Equal(got, want) {
+		t.Fatalf("final canonical encodings differ: %d vs %d bytes", len(got), len(want))
+	}
+	if err := ct.Validate(); err != nil {
+		t.Fatalf("epoch tree invalid: %v", err)
+	}
+}
+
+// TestEpochArenasIdentical checks the left-right invariant directly:
+// after writers quiesce, the published arena and the private write arena
+// (which saw the same operation sequence replayed) must be
+// byte-identical under the canonical encoding, and both Validate-clean.
+func TestEpochArenasIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ct := NewConcurrent(New(testOpts()))
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				r := geom.Square(rng.Float64(), rng.Float64(), 0.01)
+				ct.Insert(r, w*1000+i)
+				if i%5 == 0 {
+					ct.Delete(r, w*1000+i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	_ = rng
+
+	pub := ct.cur.Load().tree
+	if pub == ct.write {
+		t.Fatal("published and write arenas are the same tree after mutations")
+	}
+	if err := pub.Validate(); err != nil {
+		t.Fatalf("published arena invalid: %v", err)
+	}
+	if err := ct.write.Validate(); err != nil {
+		t.Fatalf("write arena invalid: %v", err)
+	}
+	if got, want := encodeTree(t, pub), encodeTree(t, ct.write); !bytes.Equal(got, want) {
+		t.Fatalf("arenas diverged: published %d bytes, write %d bytes", len(got), len(want))
+	}
+}
+
+// TestEpochFrozenViewUnderChurn is the epoch race hammer: readers pin an
+// epoch through View while writers churn inserts, deletes and batches,
+// retiring epochs continuously. The pinned view must be frozen — two
+// canonical encodings taken inside one View, with writer churn in
+// between, must be byte-identical — and Validate-clean every time. Run
+// under -race (CI does), where the detector additionally proves the
+// arena recycling publishes no mutation into a pinned reader.
+func TestEpochFrozenViewUnderChurn(t *testing.T) {
+	ct := NewConcurrent(New(testOpts()))
+	seed := make([]geom.Rect, 500)
+	payload := make([]any, len(seed))
+	rng := rand.New(rand.NewSource(1))
+	for i := range seed {
+		seed[i] = geom.Square(rng.Float64(), rng.Float64(), 0.01)
+		payload[i] = i
+	}
+	ct.InsertBatch(seed, payload)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(10 + w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := geom.Square(rng.Float64(), rng.Float64(), 0.01)
+				id := 1000 + w*100000 + i
+				switch i % 3 {
+				case 0:
+					ct.Insert(r, id)
+				case 1:
+					ct.Update(func(tr *Tree) {
+						if tr.Delete(r, id-1) {
+							tr.Insert(r, id-1)
+						}
+					})
+				default:
+					rects := []geom.Rect{r, geom.Square(rng.Float64(), rng.Float64(), 0.01)}
+					ct.InsertBatch(rects, []any{id, id + 1000000})
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 30; i++ {
+		var first, second []byte
+		var verr error
+		ct.View(func(tr *Tree) {
+			var buf bytes.Buffer
+			if err := tr.Encode(&buf); err != nil {
+				t.Errorf("encode: %v", err)
+				return
+			}
+			first = append([]byte(nil), buf.Bytes()...)
+			verr = tr.Validate()
+			// Give writers real time to publish and retire epochs while
+			// we stay pinned; the view must not move underneath us.
+			for j := 0; j < 100; j++ {
+				runtime.Gosched()
+			}
+			buf.Reset()
+			if err := tr.Encode(&buf); err != nil {
+				t.Errorf("re-encode: %v", err)
+				return
+			}
+			second = append([]byte(nil), buf.Bytes()...)
+		})
+		if verr != nil {
+			t.Fatalf("view %d: pinned tree invalid: %v", i, verr)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("view %d: pinned epoch mutated underneath the reader (%d vs %d bytes)", i, len(first), len(second))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := ct.Validate(); err != nil {
+		t.Fatalf("tree invalid after churn: %v", err)
+	}
+}
+
+// TestEpochReadsDoNotBlockOnWriter is the lock-freedom assertion behind
+// the BENCH_shard numbers: with a writer parked mid-mutation (holding
+// the write mutex), every read API must still complete promptly off the
+// published epoch. Under the old RWMutex path each of these calls would
+// block until the writer finished.
+func TestEpochReadsDoNotBlockOnWriter(t *testing.T) {
+	ct := NewConcurrent(New(testOpts()))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		ct.Insert(geom.Square(rng.Float64(), rng.Float64(), 0.01), i)
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		// The first per-arena application parks on release while holding
+		// the writer mutex; the second (post-close) returns immediately.
+		ct.Update(func(tr *Tree) {
+			once.Do(func() { close(started) })
+			<-release
+			tr.Insert(geom.Square(0.5, 0.5, 0.01), 9999)
+		})
+	}()
+	<-started
+
+	readsDone := make(chan struct{})
+	go func() {
+		defer close(readsDone)
+		q := geom.NewRect(0.2, 0.2, 0.6, 0.6)
+		if _, stats := ct.Search(q); stats.NodesAccessed == 0 {
+			t.Error("search accessed no nodes")
+		}
+		ct.SearchCount(q)
+		ct.SearchEach(q, func(geom.Rect, any) {})
+		ct.ContainsPoint(geom.Pt(0.5, 0.5))
+		ct.KNN(geom.Pt(0.5, 0.5), 5)
+		if n := ct.Len(); n != 300 {
+			t.Errorf("len %d mid-write, want 300 (update not yet published)", n)
+		}
+		ct.Stats()
+		ct.View(func(tr *Tree) { _ = tr.Height() })
+		if snap := ct.Snapshot(); snap.Len() != 300 {
+			t.Errorf("snapshot len %d, want 300", snap.Len())
+		}
+	}()
+	select {
+	case <-readsDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reads blocked behind a parked writer: the read path is taking a lock")
+	}
+	close(release)
+	<-writerDone
+	if n := ct.Len(); n != 301 {
+		t.Fatalf("len %d after update published, want 301", n)
+	}
+}

@@ -27,7 +27,9 @@ type QueryStats struct {
 // each public entry point instead of being shared through a callback:
 // a callback closing over the output would escape to the heap, and these
 // few lines are the hottest code in the repository (every training reward
-// and every served query runs them).
+// and every served query runs them). Entry scans test intersection with
+// the branch-free hitRect predicate (scan.go), which is arithmetically
+// identical to geom.Rect.Intersects.
 
 // Search returns the data payloads of all objects whose MBR intersects q,
 // together with the query statistics. Order is unspecified. The returned
@@ -52,14 +54,14 @@ func (t *Tree) SearchAppend(q geom.Rect, dst []any) ([]any, QueryStats) {
 		if n.leaf {
 			stats.LeavesAccessed++
 			for i := range n.entries {
-				if q.Intersects(n.entries[i].Rect) {
+				if hitRect(q, n.entries[i].Rect) {
 					dst = append(dst, n.entries[i].Data)
 				}
 			}
 			continue
 		}
 		for i := len(n.entries) - 1; i >= 0; i-- {
-			if q.Intersects(n.entries[i].Rect) {
+			if hitRect(q, n.entries[i].Rect) {
 				stack = append(stack, n.entries[i].Child)
 			}
 		}
@@ -85,14 +87,14 @@ func (t *Tree) SearchCount(q geom.Rect) QueryStats {
 		if n.leaf {
 			stats.LeavesAccessed++
 			for i := range n.entries {
-				if q.Intersects(n.entries[i].Rect) {
+				if hitRect(q, n.entries[i].Rect) {
 					stats.Results++
 				}
 			}
 			continue
 		}
 		for i := len(n.entries) - 1; i >= 0; i-- {
-			if q.Intersects(n.entries[i].Rect) {
+			if hitRect(q, n.entries[i].Rect) {
 				stack = append(stack, n.entries[i].Child)
 			}
 		}
@@ -116,7 +118,7 @@ func (t *Tree) SearchEach(q geom.Rect, fn func(geom.Rect, any)) QueryStats {
 		if n.leaf {
 			stats.LeavesAccessed++
 			for i := range n.entries {
-				if q.Intersects(n.entries[i].Rect) {
+				if hitRect(q, n.entries[i].Rect) {
 					stats.Results++
 					fn(n.entries[i].Rect, n.entries[i].Data)
 				}
@@ -124,7 +126,7 @@ func (t *Tree) SearchEach(q geom.Rect, fn func(geom.Rect, any)) QueryStats {
 			continue
 		}
 		for i := len(n.entries) - 1; i >= 0; i-- {
-			if q.Intersects(n.entries[i].Rect) {
+			if hitRect(q, n.entries[i].Rect) {
 				stack = append(stack, n.entries[i].Child)
 			}
 		}

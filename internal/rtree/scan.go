@@ -1,0 +1,35 @@
+package rtree
+
+import "github.com/rlr-tree/rlrtree/internal/geom"
+
+// Branch-free rectangle-intersection predicate for the hot entry scans.
+//
+// geom.Rect.Intersects short-circuits through four && comparisons — up
+// to four conditional branches per entry, each unpredictable for a
+// selective query window (most entries fail on a different axis). The
+// arena's fixed-stride entry slab (arena.go) stores a node's entries
+// contiguously, so the scan loops in query.go stream through memory;
+// what stalls them is branch misprediction, not loads. hitRect folds the
+// four comparisons into SETcc results combined with bitwise AND: one
+// predictable branch per entry (the final hit test) instead of four.
+//
+// The predicate is arithmetically identical to Intersects — including
+// for NaN coordinates, where every comparison is false in both forms —
+// so traversal order, node accesses and results are byte-for-byte
+// unchanged (scan_test.go pins the equivalence).
+
+// cmpLE returns 1 if a <= b, else 0. The compiler lowers this to a
+// flag-set (SETcc) with no branch; kept tiny so it always inlines.
+func cmpLE(a, b float64) uint32 {
+	if a <= b {
+		return 1
+	}
+	return 0
+}
+
+// hitRect reports whether q and r share at least one point (boundaries
+// included), evaluating all four axis comparisons unconditionally.
+func hitRect(q, r geom.Rect) bool {
+	return cmpLE(q.MinX, r.MaxX)&cmpLE(r.MinX, q.MaxX)&
+		cmpLE(q.MinY, r.MaxY)&cmpLE(r.MinY, q.MaxY) != 0
+}

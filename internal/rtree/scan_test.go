@@ -1,0 +1,103 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// TestHitRectMatchesIntersects pins the branch-free predicate to
+// geom.Rect.Intersects over random rects, touching/disjoint boundary
+// cases, and every non-finite coordinate pattern — the kernels may only
+// use hitRect because it is exactly Intersects.
+func TestHitRectMatchesIntersects(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randRect := func() geom.Rect {
+		x, y := rng.Float64(), rng.Float64()
+		return geom.NewRect(x, y, x+rng.Float64()*0.3, y+rng.Float64()*0.3)
+	}
+	for i := 0; i < 100_000; i++ {
+		a, b := randRect(), randRect()
+		if got, want := hitRect(a, b), a.Intersects(b); got != want {
+			t.Fatalf("hitRect(%v, %v) = %v, Intersects = %v", a, b, got, want)
+		}
+	}
+
+	specials := []float64{0, 1, -1, math.NaN(), math.Inf(1), math.Inf(-1)}
+	cases := []geom.Rect{
+		geom.NewRect(0, 0, 1, 1),
+		geom.NewRect(1, 1, 2, 2),             // touching corner
+		geom.NewRect(1, 0, 2, 1),             // touching edge
+		geom.NewRect(2, 2, 3, 3),             // disjoint
+		geom.NewRect(0.25, 0.25, 0.75, 0.75), // contained
+	}
+	for _, a := range cases {
+		for _, b := range cases {
+			if got, want := hitRect(a, b), a.Intersects(b); got != want {
+				t.Fatalf("hitRect(%v, %v) = %v, Intersects = %v", a, b, got, want)
+			}
+		}
+	}
+	// Every pairing of special values in each coordinate slot: NaN must
+	// poison the comparison identically in both forms.
+	for _, v := range specials {
+		for slot := 0; slot < 4; slot++ {
+			a := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+			switch slot {
+			case 0:
+				a.MinX = v
+			case 1:
+				a.MinY = v
+			case 2:
+				a.MaxX = v
+			case 3:
+				a.MaxY = v
+			}
+			for _, b := range cases {
+				if got, want := hitRect(a, b), a.Intersects(b); got != want {
+					t.Fatalf("hitRect(%v, %v) = %v, Intersects = %v", a, b, got, want)
+				}
+				if got, want := hitRect(b, a), b.Intersects(a); got != want {
+					t.Fatalf("hitRect(%v, %v) = %v, Intersects = %v", b, a, got, want)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkLeafScan prices the branch-free predicate against the
+// short-circuit one on a leaf-sized entry block with a selective query
+// (most entries miss, on varying axes — the misprediction-heavy case
+// the kernels see).
+func BenchmarkLeafScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	entries := make([]Entry, DefaultMaxEntries)
+	for i := range entries {
+		entries[i] = Entry{Rect: geom.Square(rng.Float64(), rng.Float64(), 0.01)}
+	}
+	q := geom.NewRect(0.4, 0.4, 0.45, 0.45)
+	b.Run("branchfree", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			for j := range entries {
+				if hitRect(q, entries[j].Rect) {
+					hits++
+				}
+			}
+		}
+		_ = hits
+	})
+	b.Run("shortcircuit", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			for j := range entries {
+				if q.Intersects(entries[j].Rect) {
+					hits++
+				}
+			}
+		}
+		_ = hits
+	})
+}

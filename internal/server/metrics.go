@@ -2,7 +2,9 @@ package server
 
 import (
 	"expvar"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -45,17 +47,23 @@ func (e *endpointMetrics) addNodeAccesses(n int) {
 
 // quantile returns the upper bound of the histogram bucket containing
 // the q-quantile observation — a conservative estimate whose resolution
-// is the bucket width. The unbounded tail reports -1 (">1s").
+// is the bucket width. The unbounded tail reports -1 (">1s"). The
+// quantile is nearest-rank: the ceil(q*total)-th smallest observation,
+// the same convention as the load generator's percentile reporting, so
+// the two ends of a benchmark run agree on what "p99" means.
 func (e *endpointMetrics) quantile(q float64) int64 {
 	total := e.count.Value()
 	if total == 0 {
 		return 0
 	}
-	rank := int64(q * float64(total))
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
 	var cum int64
 	for i := range e.buckets {
 		cum += e.buckets[i].Value()
-		if cum > rank {
+		if cum >= rank {
 			if i == len(latencyBuckets) {
 				return -1
 			}
@@ -127,17 +135,24 @@ func (m *metrics) snapshot() map[string]EndpointStats {
 	return out
 }
 
-var publishOnce sync.Once
+var (
+	publishOnce  sync.Once
+	expvarServer atomic.Pointer[Server]
+)
 
 // PublishExpvar exports this server's full /stats payload on the
 // process-wide expvar registry under "rlrtree.server", alongside the
 // standard expvar memstats — visible on GET /debug/vars when the caller
 // mounts expvar.Handler(). expvar registration is global and permanent,
-// so only the first server in the process wins; later calls are no-ops.
+// so the name is registered exactly once, but the variable reads through
+// an atomic pointer to the most recent caller: a process that rebuilds
+// its Server (tests, config reload) sees the live instance on
+// /debug/vars, not the first one ever constructed.
 func (s *Server) PublishExpvar() {
+	expvarServer.Store(s)
 	publishOnce.Do(func() {
 		expvar.Publish("rlrtree.server", expvar.Func(func() any {
-			return s.statsPayload()
+			return expvarServer.Load().statsPayload()
 		}))
 	})
 }

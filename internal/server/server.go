@@ -2,9 +2,9 @@
 // concurrent HTTP/JSON spatial query service. The paper's deployability
 // argument — a learned index that answers queries with the unmodified
 // classic R-Tree algorithms — means the serving layer needs nothing
-// special: the index sits behind ordinary handlers, queries take the
-// shared lock of rtree.ConcurrentTree and run in parallel, and mutations
-// serialize through its write lock.
+// special: the index sits behind ordinary handlers, queries run
+// lock-free on rtree.ConcurrentTree's published epoch in parallel, and
+// mutations serialize through its writer mutex.
 //
 // Endpoints:
 //
@@ -44,8 +44,9 @@ import (
 
 // Index is the serving-side contract of a concurrent spatial index:
 // everything the handlers need, nothing more. Both *rtree.ConcurrentTree
-// (one tree, one RWMutex) and *shard.ShardedTree (N trees behind a
-// Z-order router, per-shard locks) satisfy it, so the whole HTTP layer
+// (one tree, lock-free epoch reads) and *shard.ShardedTree (N trees
+// behind a Z-order router, per-shard writer mutexes) satisfy it, so the
+// whole HTTP layer
 // is shard-agnostic — the RLR-Tree property that queries are classic
 // R-Tree algorithms extends one level up: the serving code cannot tell
 // how the index is partitioned.

@@ -16,8 +16,9 @@ import (
 // Index.EncodeSnapshot (the single-tree gob format of rtree.(*Tree).Encode,
 // or the nested sharded format of shard.(*ShardedTree).EncodeSnapshot —
 // whichever matches the index being served). Both implementations clone
-// under their read locks and encode outside them, so disk I/O never
-// blocks writers; the file is written to a temp sibling and renamed into
+// the published epoch(s) — pinned only for the arena copy — and encode
+// outside every lock, so disk I/O never blocks writers or stalls epoch
+// reclamation; the file is written to a temp sibling and renamed into
 // place, so a crash mid-write leaves the previous snapshot intact.
 //
 // With a WAL attached the snapshot is prefixed with the envelope of

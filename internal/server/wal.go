@@ -25,7 +25,11 @@ import (
 // its append and its apply, the clone's state corresponds exactly to the
 // captured LSN: replaying records after that LSN neither duplicates nor
 // drops a write. The expensive snapshot encoding runs outside the lock
-// (see SnapshotPreparer).
+// (see SnapshotPreparer). Epoch publication in rtree.ConcurrentTree
+// preserves this argument unchanged: an index mutation returns — and so
+// releases its shared hold on walMu — only after publishing the epoch
+// containing it, so the epoch the exclusive capture clones reflects
+// every mutation whose append the captured LSN covers.
 //
 // walMu alone does not order two concurrent mutations against EACH
 // OTHER: writer A could append insert(X) at LSN 1, writer B append

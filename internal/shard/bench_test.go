@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -40,7 +41,9 @@ func BenchmarkConcurrentInsert(b *testing.B) {
 }
 
 // BenchmarkFanoutSearch prices the read side of sharding: a fan-out
-// range query pays one lock acquisition and one root descent per shard.
+// range query pays one epoch pin (two atomic adds, no lock) and one
+// root descent per shard. BenchmarkFanoutSearchLocked is the same query
+// stream over the pre-epoch locked read path for comparison.
 func BenchmarkFanoutSearch(b *testing.B) {
 	data := dataset.MustGenerate(dataset.UNI, 100_000, 9)
 	queries := dataset.RangeQueries(1024, 0.0001, unitWorld(), 10)
@@ -63,4 +66,150 @@ func BenchmarkFanoutSearch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// rwTree is the pre-epoch read path reconstructed as a benchmark
+// baseline: a bare tree behind a readers-writer lock, what each shard's
+// ConcurrentTree was before publication moved to epochs.
+type rwTree struct {
+	mu sync.RWMutex
+	t  *rtree.Tree
+}
+
+func (l *rwTree) searchAppend(q geom.Rect, dst []any) ([]any, rtree.QueryStats) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.t.SearchAppend(q, dst)
+}
+
+func (l *rwTree) insert(r geom.Rect, data any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.t.Insert(r, data)
+}
+
+func (l *rwTree) delete(r geom.Rect, data any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.t.Delete(r, data)
+}
+
+// buildFanout loads the benchmark dataset into a sharded tree and
+// returns it with the shared query stream.
+func buildFanout(b *testing.B, shards int) (*ShardedTree, []geom.Rect) {
+	b.Helper()
+	data := dataset.MustGenerate(dataset.UNI, 100_000, 9)
+	queries := dataset.RangeQueries(1024, 0.0001, unitWorld(), 10)
+	s, err := New(Options{Shards: shards, Tree: rtree.Options{MaxEntries: 50, MinEntries: 20}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]any, len(data))
+	for i := range payload {
+		payload[i] = i
+	}
+	s.InsertBatch(data, payload)
+	return s, queries
+}
+
+// BenchmarkFanoutSearchLocked is the locked baseline for
+// BenchmarkFanoutSearch: the identical shard trees and query stream, but
+// every per-shard read takes an RWMutex read lock the way the pre-epoch
+// ConcurrentTree did. The delta against BenchmarkFanoutSearch is the
+// per-query price of the lock handoff the epoch path deleted.
+func BenchmarkFanoutSearchLocked(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, queries := buildFanout(b, shards)
+			locked := make([]*rwTree, shards)
+			for i := range locked {
+				locked[i] = &rwTree{t: s.Shard(i).Snapshot()}
+			}
+			var dst []any
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = dst[:0]
+				q := queries[i%len(queries)]
+				for _, l := range locked {
+					dst, _ = l.searchAppend(q, dst)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFanoutSearchUnderWriter prices the structural difference the
+// idle benchmarks cannot show: fan-out reads while one writer churns
+// inserts and deletes. On the epoch path readers keep querying the
+// previous epoch and never wait; on the locked path every read behind
+// the writer's exclusive section stalls for the remainder of that
+// mutation. 8 shards, the BENCH_shard.json headline configuration.
+func BenchmarkFanoutSearchUnderWriter(b *testing.B) {
+	const shards = 8
+	churn := dataset.MustGenerate(dataset.UNI, 1<<14, 11)
+
+	b.Run("epoch", func(b *testing.B) {
+		s, queries := buildFanout(b, shards)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := churn[i%len(churn)]
+				s.Insert(r, -1)
+				s.Delete(r, -1)
+			}
+		}()
+		var dst []any
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			dst, _ = s.SearchAppend(queries[i%len(queries)], dst)
+		}
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
+
+	b.Run("locked", func(b *testing.B) {
+		s, queries := buildFanout(b, shards)
+		locked := make([]*rwTree, shards)
+		for i := range locked {
+			locked[i] = &rwTree{t: s.Shard(i).Snapshot()}
+		}
+		router := s
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := churn[i%len(churn)]
+				sh := locked[router.router.Shard(r)]
+				sh.insert(r, -1)
+				sh.delete(r, -1)
+			}
+		}()
+		var dst []any
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			q := queries[i%len(queries)]
+			for _, l := range locked {
+				dst, _ = l.searchAppend(q, dst)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
 }

@@ -1,8 +1,9 @@
 // Package shard layers space partitioning on top of internal/rtree: a
 // ShardedTree routes every object to one of N independent ConcurrentTree
 // shards by the Z-order cell of its center point, so concurrent writers
-// contend on per-shard locks instead of the single RWMutex of one
-// ConcurrentTree. Queries fan out to every shard and merge; because each
+// contend on per-shard writer mutexes instead of one tree-wide mutex
+// (reads were already lock-free per shard via epoch publication).
+// Queries fan out to every shard and merge; because each
 // object lives in exactly one shard and the per-shard query algorithms
 // are the unmodified classic R-Tree kernels, the merged answers are
 // provably identical to a single tree's — the property the differential

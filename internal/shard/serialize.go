@@ -24,17 +24,17 @@ type wireSharded struct {
 
 const wireVersion = 1
 
-// EncodeSnapshot writes the sharded tree to w. Each shard is cloned
-// under its own read lock and encoded outside it, so encoding never
-// blocks writers for longer than one clone; shards are captured one at a
-// time (see the consistency note on ShardedTree). Payload values must be
+// EncodeSnapshot writes the sharded tree to w. Each shard's published
+// epoch is cloned (pinned only for the arena copy) and encoded outside
+// it, so encoding never blocks writers for longer than one clone; shards
+// are captured one at a time (see the consistency note on ShardedTree). Payload values must be
 // gob-encodable, with non-basic concrete types registered by the caller,
 // as for rtree.(*Tree).Encode.
 func (s *ShardedTree) EncodeSnapshot(w io.Writer) error {
 	return s.PrepareSnapshot()(w)
 }
 
-// PrepareSnapshot clones every shard under its read lock *now* and
+// PrepareSnapshot clones every shard's published epoch *now* and
 // returns an encoder over the private clones to run later, mirroring
 // rtree.(*ConcurrentTree).PrepareSnapshot: the serving layer captures
 // the clones and the WAL's last LSN at one consistent instant, then

@@ -13,7 +13,8 @@ import (
 // Options configures a ShardedTree.
 type Options struct {
 	// Shards is the number of independent shards (default 1). Each shard
-	// is a ConcurrentTree with its own readers-writer lock.
+	// is a ConcurrentTree with its own writer mutex and lock-free epoch
+	// read path.
 	Shards int
 	// GridBits is the router grid resolution in bits per dimension
 	// (default DefaultGridBits). Must be in [1, sfc.Order].
@@ -34,10 +35,13 @@ type Options struct {
 // use.
 //
 // Consistency: each individual operation is atomic within its shard, but
-// a fan-out query acquires the per-shard read locks one at a time, so it
+// a fan-out query pins each shard's published epoch one at a time, so it
 // observes each shard at a slightly different instant. A query
 // concurrent with a write may or may not see that write — the same
 // guarantee a single ConcurrentTree gives — but never a torn shard.
+// Reads take no lock at all (see rtree.ConcurrentTree): a fan-out query
+// never waits on writers, and writers to the same shard never wait on
+// readers.
 type ShardedTree struct {
 	shards []*rtree.ConcurrentTree
 	router Router
@@ -93,14 +97,15 @@ func (s *ShardedTree) Router() Router { return s.router }
 func (s *ShardedTree) Shard(i int) *rtree.ConcurrentTree { return s.shards[i] }
 
 // Insert routes the object to its shard and inserts it under that
-// shard's write lock.
+// shard's writer mutex; shard queries keep reading the previous epoch
+// until the insert publishes.
 func (s *ShardedTree) Insert(r geom.Rect, data any) {
 	s.shards[s.router.Shard(r)].Insert(r, data)
 }
 
-// InsertBatch partitions the batch by shard and inserts each group under
-// a single acquisition of its shard's write lock, the groups in
-// parallel. rects and data must have equal length.
+// InsertBatch partitions the batch by shard and inserts each group as
+// one atomic mutation of its shard (a single epoch publication), the
+// groups in parallel. rects and data must have equal length.
 func (s *ShardedTree) InsertBatch(rects []geom.Rect, data []any) {
 	if len(rects) != len(data) {
 		panic("shard: InsertBatch length mismatch")
@@ -132,7 +137,7 @@ func (s *ShardedTree) InsertBatch(rects []geom.Rect, data []any) {
 
 // Delete routes by the rectangle's center — the same function Insert
 // used, so an object is always deleted from the shard that stores it —
-// and removes it under that shard's write lock.
+// and removes it under that shard's writer mutex.
 func (s *ShardedTree) Delete(r geom.Rect, data any) bool {
 	return s.shards[s.router.Shard(r)].Delete(r, data)
 }
@@ -171,8 +176,10 @@ func (s *ShardedTree) SearchCount(q geom.Rect) rtree.QueryStats {
 	return stats
 }
 
-// SearchEach streams matches shard by shard. fn must not call back into
-// the sharded tree (a shard's read lock is held) and must not block.
+// SearchEach streams matches shard by shard. fn must not call mutating
+// methods of the sharded tree (a shard's epoch is pinned and a mutation
+// would deadlock waiting for it to drain) and must not block: a pinned
+// epoch stalls that shard's writers' arena reclamation.
 func (s *ShardedTree) SearchEach(q geom.Rect, fn func(geom.Rect, any)) rtree.QueryStats {
 	var stats rtree.QueryStats
 	for _, sh := range s.shards {
@@ -236,8 +243,8 @@ func (s *ShardedTree) KNNAppend(p geom.Point, k int, dst []rtree.Neighbor) ([]rt
 	return dst, stats
 }
 
-// Len returns the total object count. Each shard is read under its own
-// lock; concurrent writers may make the sum momentarily stale, never
+// Len returns the total object count, summed over each shard's current
+// epoch; concurrent writers may make the sum momentarily stale, never
 // torn.
 func (s *ShardedTree) Len() int {
 	n := 0
@@ -303,7 +310,7 @@ func (s *ShardedTree) Validate() error {
 }
 
 // validateRouting walks shard i's leaves and checks each object routes
-// back to shard i. Called under the shard's read lock (inside View).
+// back to shard i. Called with the shard's epoch pinned (inside View).
 func (s *ShardedTree) validateRouting(i int, t *rtree.Tree) error {
 	var walk func(n *rtree.Node) error
 	walk = func(n *rtree.Node) error {

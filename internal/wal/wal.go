@@ -19,11 +19,12 @@ const (
 	// SyncAlways fsyncs before every append returns: no acknowledged
 	// write is ever lost, at one fsync per append.
 	SyncAlways SyncPolicy = iota
-	// SyncInterval groups commits: an append blocks until the next
-	// periodic fsync (at most Options.SyncInterval later) covers its
-	// record, so concurrent writers share one fsync. Durability equals
-	// SyncAlways for acknowledged writes; latency is bounded by the
-	// interval.
+	// SyncInterval groups commits: an append blocks until an fsync
+	// covers its record — the periodic one (at most Options.SyncInterval
+	// later), or an earlier out-of-band fsync (explicit Sync, segment
+	// rotation, Close) — so concurrent writers share one fsync.
+	// Durability equals SyncAlways for acknowledged writes; latency is
+	// bounded by the interval.
 	SyncInterval
 	// SyncNone never fsyncs on the append path (segments still sync on
 	// rotation and Close). A crash can lose acknowledged writes that
@@ -284,6 +285,10 @@ func (w *WAL) startSegmentLocked(firstLSN uint64) error {
 			return fmt.Errorf("wal: sync on rotate: %w", err)
 		}
 		w.noteFsyncLocked()
+		// The rotation fsync makes every record in the closing segment
+		// durable: release any group-commit waiter it covers, instead of
+		// leaving them parked until the next ticker tick.
+		w.publishSynced(w.lastLSN)
 		if err := w.f.Close(); err != nil {
 			return fmt.Errorf("wal: close on rotate: %w", err)
 		}
@@ -416,6 +421,11 @@ func (w *WAL) waitSynced(lsn uint64) error {
 	for w.syncedLSN < lsn && w.syncErr == nil {
 		w.syncCond.Wait()
 	}
+	if w.syncedLSN >= lsn {
+		// The record is durable; a sync error raised afterwards (for
+		// example Close failing later appends) does not concern it.
+		return nil
+	}
 	return w.syncErr
 }
 
@@ -476,6 +486,11 @@ func (w *WAL) syncOnce() error {
 	return nil
 }
 
+// publishSynced advances the durable LSN watermark and releases every
+// group-commit waiter it covers. Called from every fsync path — the
+// periodic syncOnce, explicit Sync, segment rotation, and the final
+// fsync in Close — some of which hold w.mu; that nesting is safe because
+// no syncMu critical section ever acquires w.mu.
 func (w *WAL) publishSynced(lsn uint64) {
 	w.syncMu.Lock()
 	if lsn > w.syncedLSN {
@@ -485,18 +500,27 @@ func (w *WAL) publishSynced(lsn uint64) {
 	w.syncCond.Broadcast()
 }
 
-// Sync forces an fsync of the active segment regardless of policy.
+// Sync forces an fsync of the active segment regardless of policy. The
+// covered LSN is published to group-commit waiters: an append whose
+// bytes this fsync made durable returns without waiting for the ticker.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.err != nil {
-		return w.err
+		err := w.err
+		w.mu.Unlock()
+		return err
 	}
 	if err := w.f.Sync(); err != nil {
 		w.err = fmt.Errorf("wal: fsync failed: %w", err)
-		return w.err
+		err := w.err
+		w.mu.Unlock()
+		w.wakeSyncWaiters(err)
+		return err
 	}
 	w.noteFsyncLocked()
+	lsn := w.lastLSN
+	w.mu.Unlock()
+	w.publishSynced(lsn)
 	return nil
 }
 
@@ -631,22 +655,26 @@ func (w *WAL) Policy() SyncPolicy { return w.opts.Sync }
 func (w *WAL) Dir() string { return w.opts.Dir }
 
 // Close stops the group-commit goroutine, fsyncs and closes the active
-// segment. The WAL must not be used afterwards.
+// segment. The WAL must not be used afterwards. The final fsync
+// publishes its covered LSN before waiters are failed with "closed", so
+// an append whose bytes it made durable returns success, not an error —
+// its record will be replayed after a restart.
 func (w *WAL) Close() error {
 	if w.stopCh != nil {
 		close(w.stopCh)
 		<-w.doneCh
-		w.wakeSyncWaiters(errors.New("wal: closed"))
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.f == nil {
+		w.mu.Unlock()
 		return nil
 	}
 	var err error
+	var synced uint64
 	if w.err == nil {
 		if err = w.f.Sync(); err == nil {
 			w.noteFsyncLocked()
+			synced = w.lastLSN
 		}
 	}
 	if cerr := w.f.Close(); err == nil && cerr != nil {
@@ -656,5 +684,10 @@ func (w *WAL) Close() error {
 	if w.err == nil {
 		w.err = errors.New("wal: closed")
 	}
+	w.mu.Unlock()
+	if synced > 0 {
+		w.publishSynced(synced)
+	}
+	w.wakeSyncWaiters(errors.New("wal: closed"))
 	return err
 }

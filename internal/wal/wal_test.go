@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/rlr-tree/rlrtree/internal/geom"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
@@ -475,5 +476,132 @@ func TestRecordValidation(t *testing.T) {
 	lsn, err := w.AppendInsert(geom.NewRect(0, 0, 1, 1), "ok")
 	if err != nil || lsn != 1 {
 		t.Fatalf("append after rejected batch: lsn=%d err=%v", lsn, err)
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSyncReleasesGroupCommitWaiters is the regression test for the
+// group-commit wakeup bug: Sync() fsynced and counted the fsync in the
+// metrics but never published the covered LSN, so a blocked append
+// stayed parked until the next ticker tick. With the ticker an hour out,
+// only the publish on the explicit-Sync path can release the waiter.
+func TestSyncReleasesGroupCommitWaiters(t *testing.T) {
+	w := mustOpen(t, Options{Dir: t.TempDir(), Sync: SyncInterval, SyncInterval: time.Hour})
+	defer w.Close()
+
+	appended := make(chan error, 1)
+	go func() {
+		_, err := w.AppendInsert(geom.Square(0.5, 0.5, 0.01), "a")
+		appended <- err
+	}()
+	// The record's bytes are in the segment once LastLSN advances; the
+	// appender is then parked in the group-commit wait.
+	waitUntil(t, "append to reach the segment", func() bool { return w.LastLSN() == 1 })
+	select {
+	case err := <-appended:
+		t.Fatalf("append returned before any fsync (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-appended:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("explicit Sync did not release the group-commit waiter")
+	}
+}
+
+// TestRotationReleasesGroupCommitWaiters covers the same bug on the
+// rotation path: the fsync that seals a full segment makes every record
+// in it durable, so waiters parked on those records must be released by
+// the rotation itself, not by a later ticker tick (an hour out here).
+func TestRotationReleasesGroupCommitWaiters(t *testing.T) {
+	// SegmentBytes=1 forces every append after the first to rotate.
+	w := mustOpen(t, Options{Dir: t.TempDir(), Sync: SyncInterval, SyncInterval: time.Hour, SegmentBytes: 1})
+	defer w.Close()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := w.AppendInsert(geom.Square(0.1, 0.1, 0.01), "a")
+		first <- err
+	}()
+	waitUntil(t, "first append to reach the segment", func() bool { return w.LastLSN() == 1 })
+	select {
+	case err := <-first:
+		t.Fatalf("first append returned before any fsync (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The second append rotates before writing its own record; the
+	// rotation fsync covers LSN 1 and must release the first waiter.
+	second := make(chan error, 1)
+	go func() {
+		_, err := w.AppendInsert(geom.Square(0.2, 0.2, 0.01), "b")
+		second <- err
+	}()
+	select {
+	case err := <-first:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("rotation fsync did not release the waiter in the sealed segment")
+	}
+
+	// The second record landed in the fresh segment after its fsync, so
+	// its waiter is still parked; release it explicitly.
+	waitUntil(t, "second append to reach the segment", func() bool { return w.LastLSN() == 2 })
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-second:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("explicit Sync did not release the post-rotation waiter")
+	}
+}
+
+// TestCloseReleasesCoveredWaiters: Close's final fsync makes the parked
+// appends' bytes durable, so they must return success, not the
+// wal-closed error — acknowledged-and-durable beats shutting-down.
+func TestCloseReleasesCoveredWaiters(t *testing.T) {
+	w := mustOpen(t, Options{Dir: t.TempDir(), Sync: SyncInterval, SyncInterval: time.Hour})
+
+	appended := make(chan error, 1)
+	go func() {
+		_, err := w.AppendInsert(geom.Square(0.3, 0.3, 0.01), "a")
+		appended <- err
+	}()
+	waitUntil(t, "append to reach the segment", func() bool { return w.LastLSN() == 1 })
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-appended:
+		if err != nil {
+			t.Fatalf("append covered by Close's final fsync failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the group-commit waiter")
 	}
 }

@@ -163,11 +163,14 @@ func TrainCombined(data []Rect, cfg TrainConfig) (*Policy, *TrainReport, error) 
 // LoadPolicy reads a policy saved with Policy.Save.
 func LoadPolicy(path string) (*Policy, error) { return core.LoadPolicy(path) }
 
-// ConcurrentTree is a Tree behind a readers-writer lock: queries run
-// concurrently under the shared lock, mutations serialize through the
-// exclusive lock, and InsertBatch amortizes one lock acquisition over a
-// whole batch. It is the index type the HTTP serving layer
-// (internal/server, cmd/rlr-serve) puts on the network.
+// ConcurrentTree makes a Tree safe for concurrent use with a lock-free
+// read path: queries load the currently published epoch (an immutable
+// snapshot) through an atomic pointer and take no lock at all, while
+// mutations serialize through a writer mutex and publish a new epoch
+// left-right style; InsertBatch publishes one epoch for a whole batch.
+// Readers never block writers and writers never block readers. It is
+// the index type the HTTP serving layer (internal/server, cmd/rlr-serve)
+// puts on the network.
 type ConcurrentTree = rtree.ConcurrentTree
 
 // NewConcurrentTree wraps t for concurrent use. The caller must stop
