@@ -168,6 +168,38 @@ type queryResult struct {
 	err     error
 }
 
+// fanoutCounters mirrors the server's /stats "fanout" section (present
+// only when the served index prunes shard probes).
+type fanoutCounters struct {
+	Queries       uint64 `json:"queries"`
+	ShardsProbed  uint64 `json:"shards_probed"`
+	ShardsPruned  uint64 `json:"shards_pruned"`
+	CellsMigrated uint64 `json:"cells_migrated"`
+}
+
+// fetchFanout reads the fan-out counters from GET /stats, returning nil
+// when the server does not expose them (single-tree index, old server).
+func fetchFanout(client *http.Client, addr string) *fanoutCounters {
+	resp, err := client.Get(addr + "/stats")
+	if err != nil {
+		return nil
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var body struct {
+		Fanout *fanoutCounters `json:"fanout"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	return body.Fanout
+}
+
 func queryPhase(client *http.Client, addr string, queries int, size, knnFrac float64, k int, qps float64, workers int, seed int64) error {
 	world := geom.NewRect(0, 0, 1, 1)
 	windows := dataset.RangeQueries(queries, size, world, seed+1)
@@ -186,6 +218,10 @@ func queryPhase(client *http.Client, addr string, queries int, size, knnFrac flo
 			urls[i] = fmt.Sprintf("%s/search?rect=%g,%g,%g,%g", addr, q.MinX, q.MinY, q.MaxX, q.MaxY)
 		}
 	}
+
+	// Fan-out counters are cumulative; sample them around the phase so
+	// the delta covers exactly this query stream.
+	fanBefore := fetchFanout(client, addr)
 
 	work := make(chan int, workers)
 	results := make(chan queryResult, queries)
@@ -275,6 +311,13 @@ func queryPhase(client *http.Client, addr string, queries int, size, knnFrac flo
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 	fmt.Printf("        node accesses: %d total, %.1f per query\n", nodes, float64(nodes)/float64(len(lats)))
+	if fanAfter := fetchFanout(client, addr); fanAfter != nil && fanBefore != nil && fanAfter.Queries > fanBefore.Queries {
+		dq := fanAfter.Queries - fanBefore.Queries
+		probed := fanAfter.ShardsProbed - fanBefore.ShardsProbed
+		pruned := fanAfter.ShardsPruned - fanBefore.ShardsPruned
+		fmt.Printf("        fanout: %.2f shards probed per query (%d probed, %d pruned over %d fan-outs)\n",
+			float64(probed)/float64(dq), probed, pruned, dq)
+	}
 	return nil
 }
 

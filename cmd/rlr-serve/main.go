@@ -20,9 +20,13 @@
 // With -shards N (N > 1) the server fronts a shard.ShardedTree — N
 // independent trees behind a Z-order spatial router with per-shard
 // locks, so concurrent inserters stop serializing on one write lock.
-// /stats then carries a per-shard breakdown, and snapshots use the
-// sharded container format (a -shards server cannot restore a
-// single-tree snapshot file, or vice versa).
+// Queries prune shards through per-shard bounds summaries (selective
+// queries probe ~1–2 shards instead of all N), and -rebalance-every
+// enables background hot-cell migration that adapts the cell→shard
+// assignment to the observed workload. /stats then carries a per-shard
+// breakdown plus the fan-out counters, and snapshots use the sharded
+// container format (a -shards server cannot restore a single-tree
+// snapshot file, or vice versa).
 //
 // On startup the server restores the snapshot file when it exists, so a
 // restart resumes with the indexed data intact; on SIGINT/SIGTERM it
@@ -64,6 +68,8 @@ func main() {
 		walDir      = flag.String("wal-dir", "", "write-ahead log directory (empty disables durability logging)")
 		walFsync    = flag.String("wal-fsync", "interval", "WAL fsync policy: always, interval, none")
 		walSegBytes = flag.Int64("wal-segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold in bytes")
+		rebalEvery  = flag.Duration("rebalance-every", 0, "background hot-cell rebalance interval for sharded indexes (0 disables)")
+		rebalMax    = flag.Int("rebalance-max-cells", server.DefaultRebalanceMaxCells, "maximum cells migrated per rebalance tick")
 		reqTimeout  = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout")
 		maxBody     = flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
 		maxResults  = flag.Int("max-results", server.DefaultMaxResults, "maximum ids per /search response")
@@ -169,6 +175,9 @@ func main() {
 		WAL:            theWAL,
 		AutoIDSeed:     autoIDSeed,
 		Logf:           logger.Printf,
+
+		RebalanceEvery:    *rebalEvery,
+		RebalanceMaxCells: *rebalMax,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -156,6 +156,15 @@ func (c *ConcurrentTree) Len() int {
 	return e.tree.Len()
 }
 
+// Bounds returns the root MBR of the current epoch's tree — the minimal
+// rectangle covering every stored object — and whether the tree is
+// non-empty. Shard-level pruning uses it as the coarse per-shard bound.
+func (c *ConcurrentTree) Bounds() (geom.Rect, bool) {
+	e := c.pin()
+	defer e.unpin()
+	return e.tree.Bounds()
+}
+
 // Snapshot returns a deep copy of the current epoch's tree. The copy is
 // private to the caller: long analytical scans can run on it without
 // stalling anyone. The epoch stays pinned only for the duration of the

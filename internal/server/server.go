@@ -39,6 +39,7 @@ import (
 	"github.com/rlr-tree/rlrtree/internal/cliutil"
 	"github.com/rlr-tree/rlrtree/internal/geom"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
+	"github.com/rlr-tree/rlrtree/internal/shard"
 	"github.com/rlr-tree/rlrtree/internal/wal"
 )
 
@@ -69,11 +70,28 @@ type ShardStatser interface {
 	ShardStats() []rtree.TreeStats
 }
 
+// FanoutStatser is optionally implemented by sharded indexes with query
+// pruning; when the served Index provides it, /stats (and the expvar
+// mirror) carry the cumulative fan-out counters (shards probed vs
+// pruned per query, cells migrated).
+type FanoutStatser interface {
+	FanoutStats() shard.FanoutStats
+}
+
+// Rebalancer is optionally implemented by indexes that support online
+// workload-adaptive rebalancing; when the served Index provides it and
+// Config.RebalanceEvery is set, the server runs RebalanceStep
+// periodically in the background.
+type Rebalancer interface {
+	RebalanceStep(maxCells int) int
+}
+
 // Defaults for the zero values of Config.
 const (
-	DefaultRequestTimeout = 10 * time.Second
-	DefaultMaxBodyBytes   = 16 << 20 // 16 MiB: ~100K-item insert batches
-	DefaultMaxResults     = 100_000
+	DefaultRequestTimeout    = 10 * time.Second
+	DefaultMaxBodyBytes      = 16 << 20 // 16 MiB: ~100K-item insert batches
+	DefaultMaxResults        = 100_000
+	DefaultRebalanceMaxCells = 64
 )
 
 // Config configures a Server. Exactly one of Tree and Index is
@@ -107,6 +125,14 @@ type Config struct {
 	// Server.Close. Snapshots then embed the covered LSN and retire
 	// fully-covered segments.
 	WAL *wal.WAL
+	// RebalanceEvery is the background cell-rebalance interval for
+	// indexes implementing Rebalancer; zero (the default) disables the
+	// loop. Each tick migrates at most RebalanceMaxCells hot cells
+	// between shards based on the decayed per-cell heat counters.
+	RebalanceEvery time.Duration
+	// RebalanceMaxCells bounds the cells migrated per rebalance tick
+	// (default DefaultRebalanceMaxCells when the loop is enabled).
+	RebalanceMaxCells int
 	// AutoIDSeed starts the auto-assigned object ID counter past IDs
 	// already in use — Recover reports the right seed after a replay.
 	AutoIDSeed uint64
@@ -123,14 +149,15 @@ type Server struct {
 	metrics metrics
 	started time.Time
 
-	snapshots  atomic.Int64  // snapshots written
-	snapErrors atomic.Int64  // snapshot attempts that failed
-	lastSnap   atomic.Int64  // unix nanos of the last snapshot
-	snapLSN    atomic.Uint64 // WAL LSN covered by the last snapshot
-	autoID     atomic.Uint64
-	stopSnap   chan struct{}
-	snapLoopWG chan struct{} // closed when the background loop exits
-	closed     atomic.Bool
+	snapshots   atomic.Int64  // snapshots written
+	snapErrors  atomic.Int64  // snapshot attempts that failed
+	lastSnap    atomic.Int64  // unix nanos of the last snapshot
+	snapLSN     atomic.Uint64 // WAL LSN covered by the last snapshot
+	autoID      atomic.Uint64
+	stopSnap    chan struct{}
+	snapLoopWG  chan struct{} // closed when the background snapshot loop exits
+	rebalLoopWG chan struct{} // closed when the background rebalance loop exits
+	closed      atomic.Bool
 
 	// walMu orders mutations against snapshot captures: mutations hold
 	// it shared around their append+apply pair, snapshot capture holds
@@ -174,26 +201,56 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.RebalanceEvery > 0 && cfg.RebalanceMaxCells <= 0 {
+		cfg.RebalanceMaxCells = DefaultRebalanceMaxCells
+	}
 	s := &Server{
-		cfg:        cfg,
-		index:      cfg.Index,
-		started:    time.Now(),
-		stopSnap:   make(chan struct{}),
-		snapLoopWG: make(chan struct{}),
+		cfg:         cfg,
+		index:       cfg.Index,
+		started:     time.Now(),
+		stopSnap:    make(chan struct{}),
+		snapLoopWG:  make(chan struct{}),
+		rebalLoopWG: make(chan struct{}),
 	}
 	s.autoID.Store(cfg.AutoIDSeed)
 	s.metrics.init()
 	return s, nil
 }
 
-// Start launches the background snapshot loop when configured. Safe to
-// call when snapshots are disabled (it is then a no-op).
+// Start launches the background snapshot and rebalance loops when
+// configured. Safe to call when both are disabled (it is then a no-op).
 func (s *Server) Start() {
 	if s.cfg.SnapshotPath == "" || s.cfg.SnapshotEvery <= 0 {
 		close(s.snapLoopWG)
+	} else {
+		go s.snapshotLoop()
+	}
+	rb, ok := s.index.(Rebalancer)
+	if !ok || s.cfg.RebalanceEvery <= 0 {
+		close(s.rebalLoopWG)
 		return
 	}
-	go s.snapshotLoop()
+	go s.rebalanceLoop(rb)
+}
+
+// rebalanceLoop periodically migrates hot cells between shards. The
+// rebalance step takes only the index's route lock — never walMu — so
+// it cannot deadlock against mutations or snapshot captures; it merely
+// excludes queries and routed writes for the bounded migration window.
+func (s *Server) rebalanceLoop(rb Rebalancer) {
+	defer close(s.rebalLoopWG)
+	t := time.NewTicker(s.cfg.RebalanceEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSnap:
+			return
+		case <-t.C:
+			if n := rb.RebalanceStep(s.cfg.RebalanceMaxCells); n > 0 {
+				s.cfg.Logf("rebalance: migrated %d cells", n)
+			}
+		}
+	}
 }
 
 // Close stops the background snapshot loop and writes a final snapshot —
@@ -206,6 +263,7 @@ func (s *Server) Close() error {
 	}
 	close(s.stopSnap)
 	<-s.snapLoopWG
+	<-s.rebalLoopWG
 	if s.cfg.SnapshotPath == "" {
 		return nil
 	}
@@ -529,7 +587,11 @@ type statsResponse struct {
 	Tree          treeStatsPayload `json:"tree"`
 	// Shards carries the per-shard breakdown when the served index is
 	// sharded (implements ShardStatser); absent for a single tree.
-	Shards    []treeStatsPayload       `json:"shards,omitempty"`
+	Shards []treeStatsPayload `json:"shards,omitempty"`
+	// Fanout carries the cumulative query fan-out and cell-migration
+	// counters when the served index prunes shard probes (implements
+	// FanoutStatser); absent otherwise.
+	Fanout    *shard.FanoutStats       `json:"fanout,omitempty"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Snapshots snapshotStats            `json:"snapshots"`
 	// WAL carries the write-ahead log's counters when one is attached.
@@ -602,6 +664,10 @@ func (s *Server) statsPayload() statsResponse {
 		for i, st := range per {
 			resp.Shards[i] = toTreeStatsPayload(st)
 		}
+	}
+	if fs, ok := s.index.(FanoutStatser); ok {
+		fst := fs.FanoutStats()
+		resp.Fanout = &fst
 	}
 	if ns := s.lastSnap.Load(); ns != 0 {
 		resp.Snapshots.LastRFC = time.Unix(0, ns).UTC().Format(time.RFC3339)

@@ -72,6 +72,30 @@ func FuzzShardRouter(f *testing.F) {
 			t.Fatalf("KNN at center of the only object returned %v", got)
 		}
 
+		// Migrate the object's cell to another shard mid-lifetime: the
+		// routing table retargets, the object stays findable, and the
+		// routed delete below must follow it to the new shard.
+		if shards > 1 {
+			cell := router.Cell(r)
+			dst := (router.CellShard(cell) + 1) % shards
+			moved, err := s.MigrateCell(cell, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if moved != 1 {
+				t.Fatalf("migrating the object's cell moved %d objects, want 1", moved)
+			}
+			if got := router.Shard(r); got != dst {
+				t.Fatalf("after migration rect routes to shard %d, want %d", got, dst)
+			}
+			found = false
+			s.SearchEach(r, func(_ geom.Rect, d any) { found = found || d == 42 })
+			if !found {
+				t.Fatalf("rect %v lost by migrating its cell to shard %d", r, dst)
+			}
+			si = dst
+		}
+
 		// Delete routes back to the same shard and removes it.
 		if !s.Delete(r, 42) {
 			t.Fatalf("routed delete missed rect %v (shard %d)", r, si)

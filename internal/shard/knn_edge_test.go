@@ -65,6 +65,34 @@ func TestKNNEdgeCases(t *testing.T) {
 			queries: []geom.Point{geom.Pt(0.003, 0.003), geom.Pt(1, 1)},
 			ks:      []int{1, 2, 5, 9},
 		},
+		{
+			// Pruning row: k exceeds the count and only one of the four
+			// shards is populated — the best-first probe must visit that
+			// single shard and skip the three empty ones entirely (the
+			// probe-count assertion below pins it).
+			name: "corner-cluster-prunes",
+			objects: []geom.Rect{
+				geom.Square(0.01, 0.01, 0.002), geom.Square(0.02, 0.01, 0.002),
+				geom.Square(0.01, 0.02, 0.002), geom.Square(0.03, 0.03, 0.002),
+			},
+			queries: []geom.Point{geom.Pt(0.02, 0.02), geom.Pt(0.9, 0.9)},
+			ks:      []int{1, 4, 9},
+		},
+		{
+			// Pruning row: point objects mirrored about the x=0.5 and
+			// y=0.5 quadrant seams, queried from the center — every
+			// neighbor distance is tied across shard boundaries, the case
+			// where a sloppy kth-distance cutoff (>= instead of >) would
+			// drop tied members living in a later-probed shard.
+			name: "equidistant-ties-across-boundary",
+			objects: []geom.Rect{
+				geom.PointRect(geom.Pt(0.4, 0.5)), geom.PointRect(geom.Pt(0.6, 0.5)),
+				geom.PointRect(geom.Pt(0.5, 0.4)), geom.PointRect(geom.Pt(0.5, 0.6)),
+				geom.PointRect(geom.Pt(0.3, 0.5)), geom.PointRect(geom.Pt(0.7, 0.5)),
+			},
+			queries: []geom.Point{geom.Pt(0.5, 0.5)},
+			ks:      []int{1, 2, 3, 4, 5, 6},
+		},
 	}
 
 	for _, c := range cases {
@@ -79,7 +107,7 @@ func TestKNNEdgeCases(t *testing.T) {
 					ix.Insert(r, i)
 				}
 			}
-			if c.name == "all-in-one-shard" {
+			if c.name == "all-in-one-shard" || c.name == "corner-cluster-prunes" {
 				populated := 0
 				for _, st := range sharded.ShardStats() {
 					if st.Size > 0 {
@@ -88,6 +116,17 @@ func TestKNNEdgeCases(t *testing.T) {
 				}
 				if populated != 1 {
 					t.Fatalf("cluster spread over %d shards, want 1", populated)
+				}
+				// All-but-one shard is empty, so even k > count must probe
+				// exactly one shard: empty shards never enter the probe
+				// order and cannot satisfy a starving k.
+				before := sharded.FanoutStats()
+				if got, _ := sharded.KNN(c.queries[0], len(c.objects)+5); len(got) != len(c.objects) {
+					t.Fatalf("k>count query returned %d neighbors, want %d", len(got), len(c.objects))
+				}
+				after := sharded.FanoutStats()
+				if probed := after.ShardsProbed - before.ShardsProbed; probed != 1 {
+					t.Fatalf("k>count cluster query probed %d shards, want 1", probed)
 				}
 			}
 

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"fmt"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// MigrateCell moves every object whose center lies in grid cell `cell`
+// from its current shard to shard dst and retargets the cell in the
+// routing table, atomically with respect to every query and routed
+// mutation (the route lock is held exclusively for the duration — the
+// mid-migration state where the cell's objects exist in both shards is
+// never observable). Returns the number of objects moved. Migrating a
+// cell to the shard it is already on is a no-op.
+//
+// Migration is content-preserving — the set of stored (rect, data)
+// pairs is unchanged — so query answers are byte-identical before,
+// after, and (because of the exclusion) during a migration. It is
+// deliberately not WAL-logged: recovery replays inserts through the
+// routing table restored from the snapshot, so the restored placement
+// and table are mutually consistent, and any post-snapshot migrations
+// are simply re-derivable load-balancing state.
+func (s *ShardedTree) MigrateCell(cell, dst int) (int, error) {
+	if cell < 0 || cell >= s.router.Cells() {
+		return 0, fmt.Errorf("shard: cell %d out of range [0, %d)", cell, s.router.Cells())
+	}
+	if dst < 0 || dst >= len(s.shards) {
+		return 0, fmt.Errorf("shard: destination shard %d out of range [0, %d)", dst, len(s.shards))
+	}
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	return s.migrateCellLocked(cell, dst), nil
+}
+
+// migrateCellLocked does the move. Caller holds routeMu exclusively.
+func (s *ShardedTree) migrateCellLocked(cell, dst int) int {
+	src := s.router.CellShard(cell)
+	if src == dst {
+		return 0
+	}
+	var rects []geom.Rect
+	var data []any
+	s.shards[src].View(func(t *rtree.Tree) {
+		forEachLeafEntry(t, func(r geom.Rect, d any) {
+			if s.router.Cell(r) == cell {
+				rects = append(rects, r)
+				data = append(data, d)
+			}
+		})
+	})
+	if len(rects) > 0 {
+		s.shards[dst].InsertBatch(rects, data)
+	}
+	s.router.setCellShard(cell, dst)
+	if len(rects) > 0 {
+		missing := 0
+		s.shards[src].Update(func(t *rtree.Tree) {
+			missing = 0 // the op runs once per arena; count fresh each time
+			for i := range rects {
+				if !t.Delete(rects[i], data[i]) {
+					missing++
+				}
+			}
+		})
+		if missing > 0 {
+			panic(fmt.Sprintf("shard: migration of cell %d lost %d objects", cell, missing))
+		}
+	}
+	// Recomputing from the cell records also tightens any delete
+	// looseness the incremental aggregates accumulated.
+	s.bounds.recompute(src, &s.router)
+	s.bounds.recompute(dst, &s.router)
+	s.cCellsMigrated.Add(1)
+	s.cObjectsMoved.Add(uint64(len(rects)))
+	return len(rects)
+}
+
+// forEachLeafEntry streams every stored (rect, data) pair of t.
+func forEachLeafEntry(t *rtree.Tree, fn func(geom.Rect, any)) {
+	var walk func(n *rtree.Node)
+	walk = func(n *rtree.Node) {
+		for j, e := range n.Entries() {
+			if n.IsLeaf() {
+				fn(e.Rect, e.Data)
+				continue
+			}
+			walk(n.ChildAt(j))
+		}
+	}
+	walk(t.Root())
+}
+
+// RebalanceStep performs one bounded round of workload-adaptive cell
+// migration: it halves every cell's heat counter (exponential decay, so
+// the plan tracks the recent workload), computes each shard's load as
+// the sum of its cells' decayed heat plus stored population, and
+// greedily migrates the hottest movable cells from the most- to the
+// least-loaded shard while each move strictly improves the imbalance.
+// At most maxCells cells move per call, bounding the exclusive route
+// lock hold. Returns the number of cells migrated. Safe to call
+// periodically from a background goroutine (the server does, behind
+// -rebalance-every); the greedy plan is deterministic for a given heat
+// and assignment state, with ties broken toward lower shard and cell
+// indexes.
+func (s *ShardedTree) RebalanceStep(maxCells int) int {
+	if maxCells <= 0 || len(s.shards) < 2 {
+		return 0
+	}
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+
+	type hotCell struct {
+		weight uint64
+		cell   int
+	}
+	loads := make([]uint64, len(s.shards))
+	perShard := make([][]hotCell, len(s.shards))
+	cells := s.router.Cells()
+	for c := 0; c < cells; c++ {
+		h := s.heat[c].Load() / 2
+		s.heat[c].Store(h)
+		w := h + uint64(s.bounds.cells[c].count)
+		if w == 0 {
+			continue
+		}
+		si := s.router.CellShard(c)
+		loads[si] += w
+		perShard[si] = append(perShard[si], hotCell{weight: w, cell: c})
+	}
+
+	moved := 0
+	for moved < maxCells {
+		maxS, minS := 0, 0
+		for i := 1; i < len(loads); i++ {
+			if loads[i] > loads[maxS] {
+				maxS = i
+			}
+			if loads[i] < loads[minS] {
+				minS = i
+			}
+		}
+		diff := loads[maxS] - loads[minS]
+		if diff < 2 {
+			break
+		}
+		// The hottest cell whose move strictly shrinks the imbalance:
+		// weight < diff means the donor stays at or above where the
+		// recipient ends up only if the gap genuinely narrows.
+		best := -1
+		for idx, hc := range perShard[maxS] {
+			if hc.weight >= diff {
+				continue
+			}
+			if best < 0 || hc.weight > perShard[maxS][best].weight ||
+				(hc.weight == perShard[maxS][best].weight && hc.cell < perShard[maxS][best].cell) {
+				best = idx
+			}
+		}
+		if best < 0 {
+			break
+		}
+		hc := perShard[maxS][best]
+		s.migrateCellLocked(hc.cell, minS)
+		loads[maxS] -= hc.weight
+		loads[minS] += hc.weight
+		perShard[minS] = append(perShard[minS], hc)
+		last := len(perShard[maxS]) - 1
+		perShard[maxS][best] = perShard[maxS][last]
+		perShard[maxS] = perShard[maxS][:last]
+		moved++
+	}
+	return moved
+}

@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// TestMigrateCellMovesObjects: a migration moves exactly the cell's
+// population between the shard trees, retargets the routing table,
+// leaves every query answer unchanged, and bumps the counters.
+func TestMigrateCellMovesObjects(t *testing.T) {
+	const n = 500
+	s := newTestSharded(t, 4)
+	data := dataset.MustGenerate(dataset.UNI, n, 9)
+	for i, r := range data {
+		s.Insert(r, i)
+	}
+	router := s.Router()
+	cell := router.Cell(data[0])
+	src := router.CellShard(cell)
+	dst := (src + 1) % 4
+	wantMoved := 0
+	for _, r := range data {
+		if router.Cell(r) == cell {
+			wantMoved++
+		}
+	}
+	if wantMoved == 0 {
+		t.Fatal("test setup: chosen cell is empty")
+	}
+
+	world := geom.NewRect(-1, -1, 2, 2)
+	wantAll, _ := s.Search(world)
+	srcLen, dstLen := s.Shard(src).Len(), s.Shard(dst).Len()
+
+	moved, err := s.MigrateCell(cell, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != wantMoved {
+		t.Fatalf("migrated %d objects, want the cell's full population %d", moved, wantMoved)
+	}
+	if got := router.CellShard(cell); got != dst {
+		t.Fatalf("cell %d still assigned to shard %d, want %d", cell, got, dst)
+	}
+	if got := s.Len(); got != n {
+		t.Fatalf("Len %d after migration, want %d", got, n)
+	}
+	if got := s.Shard(src).Len(); got != srcLen-moved {
+		t.Fatalf("source shard holds %d, want %d", got, srcLen-moved)
+	}
+	if got := s.Shard(dst).Len(); got != dstLen+moved {
+		t.Fatalf("destination shard holds %d, want %d", got, dstLen+moved)
+	}
+	gotAll, _ := s.Search(world)
+	if !equalInts(sortedIDs(t, wantAll), sortedIDs(t, gotAll)) {
+		t.Fatal("migration changed the stored object set")
+	}
+	st := s.FanoutStats()
+	if st.CellsMigrated != 1 || st.ObjectsMoved != uint64(moved) {
+		t.Fatalf("counters %+v, want 1 cell / %d objects", st, moved)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same-shard migration is a no-op: nothing moves, no counter bump.
+	if moved, err = s.MigrateCell(cell, dst); err != nil || moved != 0 {
+		t.Fatalf("same-shard migration moved %d (err %v), want 0", moved, err)
+	}
+	if st := s.FanoutStats(); st.CellsMigrated != 1 {
+		t.Fatalf("no-op migration bumped CellsMigrated to %d", st.CellsMigrated)
+	}
+
+	// Migrated objects still delete through the routed path.
+	for i, r := range data {
+		if router.Cell(r) == cell {
+			if !s.Delete(r, i) {
+				t.Fatalf("migrated object %d undeletable", i)
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrateCellValidation: out-of-range cells and destinations error
+// without touching anything.
+func TestMigrateCellValidation(t *testing.T) {
+	s := newTestSharded(t, 2)
+	cells := s.Router().Cells()
+	for _, bad := range [][2]int{{-1, 0}, {cells, 0}, {0, -1}, {0, 2}} {
+		if _, err := s.MigrateCell(bad[0], bad[1]); err == nil {
+			t.Fatalf("MigrateCell(%d, %d) accepted out-of-range arguments", bad[0], bad[1])
+		}
+	}
+	if st := s.FanoutStats(); st.CellsMigrated != 0 {
+		t.Fatalf("failed migrations bumped counters: %+v", st)
+	}
+}
+
+// TestRebalanceStepDeterministic: two identical instances plan the same
+// migrations (the greedy plan is a pure function of heat + assignment),
+// repeated steps converge, and answers are preserved throughout.
+func TestRebalanceStepDeterministic(t *testing.T) {
+	const n = 1500
+	build := func() *ShardedTree {
+		s := newTestSharded(t, 4)
+		// SKE concentrates mass at small y, so the contiguous default
+		// assignment leaves one shard far heavier than the rest — the
+		// imbalance RebalanceStep exists to fix.
+		data := dataset.MustGenerate(dataset.SKE, n, 7)
+		for i, r := range data {
+			s.Insert(r, i)
+		}
+		return s
+	}
+	a, b := build(), build()
+
+	spread := func(s *ShardedTree) int {
+		maxL, minL := 0, int(^uint(0)>>1)
+		for i := 0; i < s.NumShards(); i++ {
+			l := s.Shard(i).Len()
+			if l > maxL {
+				maxL = l
+			}
+			if l < minL {
+				minL = l
+			}
+		}
+		return maxL - minL
+	}
+	spreadBefore := spread(a)
+
+	movedA, movedB := a.RebalanceStep(64), b.RebalanceStep(64)
+	if movedA != movedB {
+		t.Fatalf("identical instances migrated %d vs %d cells", movedA, movedB)
+	}
+	if movedA == 0 {
+		t.Fatal("skewed load triggered no rebalance")
+	}
+	for c := 0; c < a.Router().Cells(); c++ {
+		if a.Router().CellShard(c) != b.Router().CellShard(c) {
+			t.Fatalf("rebalance plans diverged at cell %d", c)
+		}
+	}
+	if got := spread(a); got >= spreadBefore {
+		t.Fatalf("object-count spread %d after rebalance, was %d — no improvement", got, spreadBefore)
+	}
+
+	// Convergence: bounded steps reach a fixed point.
+	for iter := 0; a.RebalanceStep(64) > 0; iter++ {
+		if iter > 50 {
+			t.Fatal("rebalance failed to converge")
+		}
+	}
+	if a.Len() != n {
+		t.Fatalf("rebalance changed Len to %d, want %d", a.Len(), n)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assertPrunedEqualsExhaustive(t, a, nil, 31)
+}
+
+// TestRebalanceDecaysHeat: each step halves every cell's heat counter,
+// so the plan tracks the recent workload instead of all history.
+func TestRebalanceDecaysHeat(t *testing.T) {
+	s := newTestSharded(t, 2)
+	r := geom.Square(0.1, 0.1, 0.01)
+	c := s.Router().Cell(r)
+	for i := 0; i < 8; i++ {
+		s.Insert(r, i)
+	}
+	if got := s.CellHeat(c); got != 8 {
+		t.Fatalf("heat %d after 8 inserts, want 8", got)
+	}
+	s.RebalanceStep(1)
+	if got := s.CellHeat(c); got != 4 {
+		t.Fatalf("heat %d after one rebalance step, want 4 (halved)", got)
+	}
+	s.RebalanceStep(1)
+	if got := s.CellHeat(c); got != 2 {
+		t.Fatalf("heat %d after two steps, want 2", got)
+	}
+}

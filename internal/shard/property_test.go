@@ -69,6 +69,12 @@ func TestShardsValidAfterDeleteHeavyWorkload(t *testing.T) {
 					if err := s.Validate(); err != nil {
 						t.Fatalf("wave %d after refill: %v", wave, err)
 					}
+					// A rebalance between waves keeps the cell→shard map
+					// moving while the delete churn stresses the bounds.
+					s.RebalanceStep(16)
+					if err := s.Validate(); err != nil {
+						t.Fatalf("wave %d after rebalance: %v", wave, err)
+					}
 				}
 				// Drain to empty: the end state of the shrink path.
 				for len(live) > 0 {
@@ -79,6 +85,22 @@ func TestShardsValidAfterDeleteHeavyWorkload(t *testing.T) {
 				}
 				if s.Len() != 0 {
 					t.Fatalf("drained tree reports Len %d", s.Len())
+				}
+				// Empty-shard pruning: the drained bounds summaries must
+				// have shed all coverage, so a fan-out query probes zero
+				// shards (single-shard trees bypass pruning by design).
+				for i := 0; i < shards; i++ {
+					if b := s.bounds.shard(i); b.count != 0 {
+						t.Fatalf("drained shard %d aggregate still counts %d", i, b.count)
+					}
+				}
+				if shards > 1 {
+					before := s.FanoutStats()
+					s.SearchCount(geom.NewRect(-1, -1, 2, 2))
+					after := s.FanoutStats()
+					if probed := after.ShardsProbed - before.ShardsProbed; probed != 0 {
+						t.Fatalf("drained tree probed %d shards, want 0", probed)
+					}
 				}
 			})
 		}

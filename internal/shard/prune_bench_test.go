@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// The PR-8 headline benchmarks: selective queries (0.01%-area windows,
+// the BenchmarkFanoutSearch stream) against 8 shards, pruned public
+// path vs the fan-out-all oracle. The pruned variants report the
+// average shards probed per query ("shards-probed/op", from the
+// FanoutStats counters) so CI can assert pruning is actually engaged
+// (< 8) rather than trusting ns/op alone.
+
+func BenchmarkPrunedFanoutSearch(b *testing.B) {
+	s, queries := buildFanout(b, 8)
+	b.Run("pruned", func(b *testing.B) {
+		var dst []any
+		before := s.FanoutStats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			dst, _ = s.SearchAppend(queries[i%len(queries)], dst)
+		}
+		b.StopTimer()
+		after := s.FanoutStats()
+		b.ReportMetric(float64(after.ShardsProbed-before.ShardsProbed)/float64(b.N), "shards-probed/op")
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		var dst []any
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			dst, _ = s.searchAppendAll(queries[i%len(queries)], dst)
+		}
+	})
+}
+
+func BenchmarkPrunedFanoutKNN(b *testing.B) {
+	const k = 10
+	s, _ := buildFanout(b, 8)
+	points := dataset.KNNQueryPoints(1024, unitWorld(), 12)
+	b.Run("pruned", func(b *testing.B) {
+		var dst []rtree.Neighbor
+		before := s.FanoutStats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			dst, _ = s.KNNAppend(points[i%len(points)], k, dst)
+		}
+		b.StopTimer()
+		after := s.FanoutStats()
+		b.ReportMetric(float64(after.ShardsProbed-before.ShardsProbed)/float64(b.N), "shards-probed/op")
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		var dst []rtree.Neighbor
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			dst, _ = s.knnAppendAll(points[i%len(points)], k, dst)
+		}
+	})
+}
+
+// BenchmarkParallelFanoutSearch prices the bounded goroutine fan-out on
+// wide windows (5% area, several surviving shards per query). On a
+// single-CPU host the parallel branch is disabled (GOMAXPROCS==1) and
+// this measures the sequential multi-survivor merge; with cores it
+// measures the spawn+merge overhead against the same stream.
+func BenchmarkParallelFanoutSearch(b *testing.B) {
+	s, _ := buildFanout(b, 8)
+	queries := dataset.RangeQueries(256, 0.05, unitWorld(), 13)
+	var dst []any
+	before := s.FanoutStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = dst[:0]
+		dst, _ = s.SearchAppend(queries[i%len(queries)], dst)
+	}
+	b.StopTimer()
+	after := s.FanoutStats()
+	b.ReportMetric(float64(after.ShardsProbed-before.ShardsProbed)/float64(b.N), "wide-shards-probed/op")
+}

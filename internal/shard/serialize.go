@@ -15,41 +15,86 @@ import (
 // byte blocks so the per-shard format stays exactly the single-tree
 // snapshot format (a 1-shard snapshot and a plain tree snapshot differ
 // only by this envelope).
+//
+// Version 2 added the adaptive-routing state: the cell→shard assignment
+// (restoring with the wrong table would route deletes to the wrong
+// shards), the per-cell heat counters (so a restart does not forget the
+// observed workload), and the cell/shard bounds summaries. The bounds
+// must travel in the snapshot rather than be rebuilt tight from the
+// trees: they are maintained incrementally and may be loose after
+// deletes, and the round-trip tests pin query *stats* identity between
+// an index and its restored copy — identical pruning decisions require
+// identical bounds. Version-1 snapshots (which placed objects with the
+// legacy round-robin cell assignment) still decode transparently.
 type wireSharded struct {
 	Version  int
 	GridBits int
 	World    geom.Rect
 	Shards   [][]byte
+
+	// Version >= 2 fields; zero-valued when decoding version 1.
+	Assign     []int32     // cell → shard
+	Heat       []uint64    // cell → decayed heat counter
+	CellRects  []geom.Rect // cell → bounds cover ({} when empty)
+	CellCounts []int64     // cell → live object count
+	ShardRects []geom.Rect // shard → aggregate bounds cover ({} when empty)
 }
 
-const wireVersion = 1
+const wireVersion = 2
 
 // EncodeSnapshot writes the sharded tree to w. Each shard's published
 // epoch is cloned (pinned only for the arena copy) and encoded outside
 // it, so encoding never blocks writers for longer than one clone; shards
-// are captured one at a time (see the consistency note on ShardedTree). Payload values must be
-// gob-encodable, with non-basic concrete types registered by the caller,
-// as for rtree.(*Tree).Encode.
+// are captured one at a time (see the consistency note on ShardedTree).
+// Payload values must be gob-encodable, with non-basic concrete types
+// registered by the caller, as for rtree.(*Tree).Encode.
 func (s *ShardedTree) EncodeSnapshot(w io.Writer) error {
 	return s.PrepareSnapshot()(w)
 }
 
-// PrepareSnapshot clones every shard's published epoch *now* and
-// returns an encoder over the private clones to run later, mirroring
+// PrepareSnapshot clones every shard's published epoch *now* — together
+// with the cell→shard assignment, heat and bounds tables, all captured
+// under the shared route lock so no cell migration intervenes — and
+// returns an encoder over the private captures to run later, mirroring
 // rtree.(*ConcurrentTree).PrepareSnapshot: the serving layer captures
 // the clones and the WAL's last LSN at one consistent instant, then
 // encodes outside all locks.
 func (s *ShardedTree) PrepareSnapshot() func(w io.Writer) error {
+	s.routeMu.RLock()
 	clones := make([]*rtree.Tree, len(s.shards))
 	for i, sh := range s.shards {
 		clones[i] = sh.Snapshot()
 	}
+	cells := s.router.Cells()
+	assign := make([]int32, cells)
+	heat := make([]uint64, cells)
+	cellRects := make([]geom.Rect, cells)
+	cellCounts := make([]int64, cells)
+	for c := 0; c < cells; c++ {
+		assign[c] = int32(s.router.CellShard(c))
+		heat[c] = s.heat[c].Load()
+		mu := &s.bounds.cellMu[c%cellStripes]
+		mu.Lock()
+		cellRects[c] = s.bounds.cells[c].rect
+		cellCounts[c] = s.bounds.cells[c].count
+		mu.Unlock()
+	}
+	shardRects := make([]geom.Rect, len(s.shards))
+	for i := range s.shards {
+		shardRects[i] = s.bounds.shard(i).rect
+	}
+	s.routeMu.RUnlock()
 	return func(w io.Writer) error {
 		wt := wireSharded{
-			Version:  wireVersion,
-			GridBits: s.opts.GridBits,
-			World:    s.opts.World,
-			Shards:   make([][]byte, len(clones)),
+			Version:    wireVersion,
+			GridBits:   s.opts.GridBits,
+			World:      s.opts.World,
+			Shards:     make([][]byte, len(clones)),
+			Assign:     assign,
+			Heat:       heat,
+			CellRects:  cellRects,
+			CellCounts: cellCounts,
+			ShardRects: shardRects,
 		}
 		for i, t := range clones {
 			var buf bytes.Buffer
@@ -66,18 +111,25 @@ func (s *ShardedTree) PrepareSnapshot() func(w io.Writer) error {
 }
 
 // Decode reads a sharded tree previously written by EncodeSnapshot. The
-// shard count, grid resolution and world frame come from the snapshot —
-// they determine where every stored object lives, so restoring with a
-// different routing configuration would break Delete. opts.Tree supplies
-// the insertion strategies for future writes, exactly like rtree.Decode;
-// its Shards/GridBits/World fields are ignored. Every restored shard is
-// validated (rtree.Decode runs the invariant checker).
+// shard count, grid resolution, world frame and (version 2) cell→shard
+// assignment come from the snapshot — they determine where every stored
+// object lives, so restoring with a different routing configuration
+// would break Delete. Version-1 snapshots reconstruct the legacy
+// round-robin assignment their objects were placed with, and rebuild
+// tight bounds from the restored trees; version-2 snapshots restore the
+// serialized bounds (unioned with the rebuilt covers, so a snapshot
+// captured under concurrent writers still yields conservative bounds)
+// and heat. Every restored shard is validated (rtree.Decode runs the
+// invariant checker) and every restored object is checked to route to
+// the shard that holds it. opts.Tree supplies the insertion strategies
+// for future writes, exactly like rtree.Decode; its Shards/GridBits/
+// World fields are ignored.
 func Decode(r io.Reader, opts Options) (*ShardedTree, error) {
 	var wt wireSharded
 	if err := gob.NewDecoder(r).Decode(&wt); err != nil {
 		return nil, fmt.Errorf("shard: decode: %w", err)
 	}
-	if wt.Version != wireVersion {
+	if wt.Version < 1 || wt.Version > wireVersion {
 		return nil, fmt.Errorf("shard: unsupported wire version %d", wt.Version)
 	}
 	if len(wt.Shards) < 1 {
@@ -90,12 +142,70 @@ func Decode(r io.Reader, opts Options) (*ShardedTree, error) {
 	if err != nil {
 		return nil, err
 	}
+	cells := s.router.Cells()
+	switch wt.Version {
+	case 1:
+		s.router = newRouterRoundRobin(wt.World, wt.GridBits, opts.Shards)
+	default:
+		if len(wt.Assign) != cells {
+			return nil, fmt.Errorf("shard: snapshot assignment table has %d cells, want %d", len(wt.Assign), cells)
+		}
+		for c, a := range wt.Assign {
+			if int(a) < 0 || int(a) >= opts.Shards {
+				return nil, fmt.Errorf("shard: snapshot assigns cell %d to shard %d of %d", c, a, opts.Shards)
+			}
+		}
+		if len(wt.Heat) != cells || len(wt.CellRects) != cells || len(wt.CellCounts) != cells || len(wt.ShardRects) != opts.Shards {
+			return nil, fmt.Errorf("shard: snapshot cell tables malformed")
+		}
+		s.router = newRouterAssigned(wt.World, wt.GridBits, opts.Shards, wt.Assign)
+		for c := range wt.Heat {
+			s.heat[c].Store(wt.Heat[c])
+		}
+	}
+	walked := make([]cellBounds, cells)
 	for i, blob := range wt.Shards {
 		t, err := rtree.Decode(bytes.NewReader(blob), opts.Tree)
 		if err != nil {
 			return nil, fmt.Errorf("shard: decode shard %d: %w", i, err)
 		}
+		var routeErr error
+		forEachLeafEntry(t, func(r geom.Rect, d any) {
+			if routeErr != nil {
+				return
+			}
+			c := s.router.Cell(r)
+			if got := s.router.CellShard(c); got != i {
+				routeErr = fmt.Errorf("shard: snapshot object %v (%v) stored in shard %d routes to shard %d", d, r, i, got)
+				return
+			}
+			cb := &walked[c]
+			if cb.count == 0 {
+				cb.rect = r
+			} else {
+				cb.rect = cb.rect.Union(r)
+			}
+			cb.count++
+		})
+		if routeErr != nil {
+			return nil, routeErr
+		}
 		s.shards[i] = rtree.NewConcurrent(t)
+	}
+	for c := range walked {
+		cb := walked[c]
+		if wt.Version >= 2 && cb.count > 0 && wt.CellCounts[c] > 0 {
+			cb.rect = wt.CellRects[c].Union(cb.rect)
+		}
+		s.bounds.cells[c] = cb
+	}
+	for i := range s.shards {
+		s.bounds.recompute(i, &s.router)
+		if wt.Version >= 2 {
+			if b := s.bounds.shard(i); b.count > 0 {
+				s.bounds.agg[i].Store(&shardBounds{count: b.count, rect: b.rect.Union(wt.ShardRects[i])})
+			}
+		}
 	}
 	return s, nil
 }

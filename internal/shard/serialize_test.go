@@ -2,11 +2,13 @@ package shard
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"testing"
 
 	"github.com/rlr-tree/rlrtree/internal/dataset"
 	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
 )
 
 // TestSnapshotRoundTrip extends the single-tree gob round-trip pattern
@@ -100,6 +102,137 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		}
 		if deleted++; deleted >= 100 {
 			break
+		}
+	}
+}
+
+// TestSnapshotRoundTripAfterMigration is the version-2 contract: the
+// migrated cell→shard assignment, the heat counters and the (possibly
+// loose, post-delete) bounds summaries all survive the round trip, so
+// the restored tree makes the *identical pruning decisions* — pinned by
+// requiring full QueryStats equality — and re-encodes byte-for-byte.
+func TestSnapshotRoundTripAfterMigration(t *testing.T) {
+	const n = 2000
+	data := dataset.MustGenerate(dataset.GAU, n, 19)
+	s := newTestSharded(t, 4)
+	for i, r := range data {
+		s.Insert(r, i)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		if _, err := s.MigrateCell(rng.Intn(s.Router().Cells()), rng.Intn(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RebalanceStep(32)
+	// Deletes leave the incremental bounds loose — exactly the state the
+	// snapshot must carry verbatim for restored pruning to match.
+	for i := 0; i < n/4; i++ {
+		s.Delete(data[i*2], i*2)
+	}
+
+	var buf1 bytes.Buffer
+	if err := s.EncodeSnapshot(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Decode(bytes.NewReader(buf1.Bytes()), Options{Tree: testTreeOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for c := 0; c < s.Router().Cells(); c++ {
+		if got, want := restored.Router().CellShard(c), s.Router().CellShard(c); got != want {
+			t.Fatalf("cell %d restored to shard %d, want the migrated assignment %d", c, got, want)
+		}
+		if got, want := restored.CellHeat(c), s.CellHeat(c); got != want {
+			t.Fatalf("cell %d heat restored to %d, want %d", c, got, want)
+		}
+	}
+	if err := restored.Validate(); err != nil {
+		t.Fatalf("restored migrated tree invalid: %v", err)
+	}
+
+	var buf2 bytes.Buffer
+	if err := restored.EncodeSnapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-encoded migrated snapshot differs: %d vs %d bytes", buf1.Len(), buf2.Len())
+	}
+
+	world := geom.NewRect(0, 0, 1, 1)
+	for qi, q := range dataset.RangeQueries(30, 0.001, world, 6) {
+		wantRes, wantStats := s.Search(q)
+		gotRes, gotStats := restored.Search(q)
+		if !equalInts(sortedIDs(t, wantRes), sortedIDs(t, gotRes)) {
+			t.Fatalf("query %d: result sets differ after migrated round trip", qi)
+		}
+		if gotStats != wantStats {
+			t.Fatalf("query %d: stats %+v, want %+v (pruning decisions must round-trip)", qi, gotStats, wantStats)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		want, wantStats := s.KNN(p, 15)
+		got, gotStats := restored.KNN(p, 15)
+		if len(got) != len(want) || gotStats != wantStats {
+			t.Fatalf("KNN %d: %d/%+v, want %d/%+v", i, len(got), gotStats, len(want), wantStats)
+		}
+	}
+}
+
+// TestDecodeV1RoundRobin hand-crafts a version-1 snapshot (the pre-PR-8
+// wire format, which carried no assignment table because placement was
+// implicitly round-robin) and requires transparent decode: the legacy
+// assignment is reconstructed so every stored object still routes to
+// the shard that holds it, bounds are rebuilt tight, and deletes work.
+func TestDecodeV1RoundRobin(t *testing.T) {
+	const shards = 3
+	world := geom.NewRect(0, 0, 1, 1)
+	rr := newRouterRoundRobin(world, DefaultGridBits, shards)
+	data := dataset.MustGenerate(dataset.UNI, 600, 33)
+	trees := make([]*rtree.Tree, shards)
+	for i := range trees {
+		trees[i] = rtree.New(testTreeOpts())
+	}
+	for i, r := range data {
+		trees[rr.Shard(r)].Insert(r, i)
+	}
+	blobs := make([][]byte, shards)
+	for i, tr := range trees {
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		blobs[i] = buf.Bytes()
+	}
+	var buf bytes.Buffer
+	wt := wireSharded{Version: 1, GridBits: DefaultGridBits, World: world, Shards: blobs}
+	if err := gob.NewEncoder(&buf).Encode(wt); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Decode(&buf, Options{Tree: testTreeOpts()})
+	if err != nil {
+		t.Fatalf("version-1 snapshot failed to decode: %v", err)
+	}
+	if restored.Len() != len(data) {
+		t.Fatalf("restored %d objects, want %d", restored.Len(), len(data))
+	}
+	for c := 0; c < restored.Router().Cells(); c++ {
+		if got := restored.Router().CellShard(c); got != c%shards {
+			t.Fatalf("cell %d assigned to shard %d, want legacy round-robin %d", c, got, c%shards)
+		}
+	}
+	if err := restored.Validate(); err != nil {
+		t.Fatalf("restored v1 tree invalid: %v", err)
+	}
+	if res, _ := restored.Search(world); len(res) != len(data) {
+		t.Fatalf("full-world query found %d of %d objects", len(res), len(data))
+	}
+	for i := 0; i < 50; i++ {
+		if !restored.Delete(data[i], i) {
+			t.Fatalf("v1-restored tree cannot delete object %d", i)
 		}
 	}
 }
