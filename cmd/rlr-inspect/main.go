@@ -115,6 +115,7 @@ func walMain(args []string) {
 
 	var (
 		total, insertItems, deleteItems int
+		setItems, delKeyItems           int
 		firstLSN, lastLSN               uint64
 	)
 	dump := func(rec wal.Record) error {
@@ -126,6 +127,10 @@ func walMain(args []string) {
 		switch rec.Type {
 		case wal.RecDelete:
 			deleteItems++
+		case wal.RecSet:
+			setItems++
+		case wal.RecDelKey:
+			delKeyItems++
 		default:
 			insertItems += len(rec.IDs)
 		}
@@ -162,6 +167,8 @@ func walMain(args []string) {
 	fmt.Printf("records:      %d\n", total)
 	fmt.Printf("insert_items: %d\n", insertItems)
 	fmt.Printf("delete_items: %d\n", deleteItems)
+	fmt.Printf("set_items:    %d\n", setItems)
+	fmt.Printf("delkey_items: %d\n", delKeyItems)
 	if damaged && *strict {
 		os.Exit(1)
 	}
@@ -175,6 +182,10 @@ func recTypeName(rt wal.RecordType) string {
 		return "delete"
 	case wal.RecInsertBatch:
 		return "batch"
+	case wal.RecSet:
+		return "set"
+	case wal.RecDelKey:
+		return "del-key"
 	default:
 		return fmt.Sprintf("type(%d)", rt)
 	}

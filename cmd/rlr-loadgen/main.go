@@ -14,6 +14,16 @@
 // issues -queries window queries (area fraction -size) and KNN queries
 // (fraction -knn-frac, k = -k) from -c concurrent workers, paced at
 // -qps requests/second (0 = closed loop, as fast as the server allows).
+//
+// -scenario moving switches to the live-update churn workload the keyed
+// API exists for: SET -n objects by key, then have -c workers move them
+// with random-walk POST /set updates for -duration, paced at -rate
+// total updates/second (0 = closed loop). Because every move is a SET
+// of an existing key, the object count must stay exactly -n while the
+// sets counter grows — the scenario fetches /stats at the end and fails
+// loudly if the server leaked or lost objects.
+//
+//	rlr-loadgen -addr http://localhost:8080 -scenario moving -n 10000 -duration 10s
 package main
 
 import (
@@ -50,6 +60,10 @@ func main() {
 		qps         = flag.Float64("qps", 0, "target queries/second (0 = closed loop)")
 		workers     = flag.Int("c", 8, "concurrent query workers")
 		seed        = flag.Int64("seed", 1, "random seed")
+		scenario    = flag.String("scenario", "", `workload scenario: "" (load+query) or "moving" (keyed update churn)`)
+		rate        = flag.Float64("rate", 0, "moving scenario: target updates/second across all workers (0 = closed loop)")
+		duration    = flag.Duration("duration", 10*time.Second, "moving scenario: churn phase length")
+		pipeline    = flag.Int("pipeline", 8, "moving scenario: pipelined requests per connection write")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -63,6 +77,17 @@ func main() {
 		Transport: &http.Transport{
 			MaxIdleConnsPerHost: *workers * 2,
 		},
+	}
+
+	switch *scenario {
+	case "moving":
+		if err := movingScenario(client, *addr, *kind, *n, *workers, *pipeline, *rate, *duration, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown -scenario %q (want \"moving\" or empty)", *scenario))
 	}
 
 	if *load {

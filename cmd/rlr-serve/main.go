@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"github.com/rlr-tree/rlrtree/internal/cliutil"
+	"github.com/rlr-tree/rlrtree/internal/collection"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 	"github.com/rlr-tree/rlrtree/internal/server"
 	"github.com/rlr-tree/rlrtree/internal/shard"
@@ -89,18 +90,19 @@ func main() {
 		logger.Fatal(err)
 	}
 	var (
-		index   server.Index
-		snapLSN uint64 // WAL LSN the restored snapshot covers (0: replay all)
+		index      server.Index
+		snapLSN    uint64 // WAL LSN the restored snapshot covers (0: replay all)
+		keyedPairs []collection.KeyRect
 	)
 	if *shards > 1 {
 		sopts := shard.Options{Shards: *shards, Tree: opts}
 		var st *shard.ShardedTree
 		if *snapPath != "" {
-			restored, lsn, err := server.LoadShardedSnapshotLSN(*snapPath, sopts)
+			restored, pairs, lsn, err := server.LoadKeyedShardedSnapshotLSN(*snapPath, sopts)
 			switch {
 			case err == nil:
-				st, snapLSN = restored, lsn
-				logger.Printf("restored %d objects from %s (%d shards)", st.Len(), *snapPath, st.NumShards())
+				st, snapLSN, keyedPairs = restored, lsn, pairs
+				logger.Printf("restored %d objects (%d keyed) from %s (%d shards)", st.Len(), len(pairs), *snapPath, st.NumShards())
 			case errors.Is(err, os.ErrNotExist):
 				logger.Printf("no snapshot at %s, starting empty", *snapPath)
 			default:
@@ -120,11 +122,11 @@ func main() {
 			logger.Fatal(err)
 		}
 		if *snapPath != "" {
-			restored, lsn, err := server.LoadSnapshotLSN(*snapPath, opts)
+			restored, pairs, lsn, err := server.LoadKeyedSnapshotLSN(*snapPath, opts)
 			switch {
 			case err == nil:
-				tree, snapLSN = restored, lsn
-				logger.Printf("restored %d objects from %s (height %d)", tree.Len(), *snapPath, tree.Height())
+				tree, snapLSN, keyedPairs = restored, lsn, pairs
+				logger.Printf("restored %d objects (%d keyed) from %s (height %d)", tree.Len(), len(pairs), *snapPath, tree.Height())
 			case errors.Is(err, os.ErrNotExist):
 				logger.Printf("no snapshot at %s, starting empty", *snapPath)
 			default:
@@ -133,6 +135,10 @@ func main() {
 		}
 		index = rtree.NewConcurrent(tree)
 	}
+
+	// The keyed layer restores from the snapshot's keyed section over the
+	// restored index, then WAL replay applies keyed records through it.
+	coll := collection.Restore(index, keyedPairs)
 
 	// The WAL opens after the snapshot restore (its recovery needs the
 	// snapshot's LSN) and before the server exists: replay must finish
@@ -155,7 +161,7 @@ func main() {
 		if err != nil {
 			logger.Fatal(err)
 		}
-		res, err := server.Recover(theWAL, snapLSN, index, logger.Printf)
+		res, err := server.Recover(theWAL, snapLSN, index, coll, logger.Printf)
 		if err != nil {
 			logger.Fatal(fmt.Errorf("wal recovery: %w", err))
 		}
@@ -174,6 +180,7 @@ func main() {
 		MaxResults:     *maxResults,
 		WAL:            theWAL,
 		AutoIDSeed:     autoIDSeed,
+		Collection:     coll,
 		Logf:           logger.Printf,
 
 		RebalanceEvery:    *rebalEvery,

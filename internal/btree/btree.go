@@ -124,6 +124,167 @@ func (t *Tree) insert(n *node, key uint64, value any) (uint64, *node) {
 	return upKey, rightNode
 }
 
+// Delete removes one value stored under key — the first whose dynamic
+// value compares equal to value with the == operator (pointer identity
+// for pointer values, value equality for comparables) — and reports
+// whether anything was removed. Nodes that underflow below half fill
+// rebalance by borrowing from an adjacent sibling or merging with it,
+// exactly mirroring Insert's split discipline, so a long churn of
+// interleaved inserts and deletes keeps the tree's height and fill
+// bounds intact (the property suite pins this against a sorted-map
+// oracle). Deleting with an incomparable value type (slices, maps)
+// panics, the same contract as using such a value as a map key.
+func (t *Tree) Delete(key uint64, value any) bool {
+	if !t.delete(t.root, key, value) {
+		return false
+	}
+	t.size--
+	// An internal root left with a single child shrinks the tree.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.height--
+	}
+	return true
+}
+
+// minFill is the underflow threshold: leaves rebalance below minFill
+// items, internal nodes below minFill keys. Insert splits an
+// over-capacity node in half, so both split halves start at or above
+// this bound; the root is exempt as usual.
+func (t *Tree) minFill() int { return t.order / 2 }
+
+// delete removes (key, value) from the subtree under n, rebalancing any
+// child it shrank below the fill bound.
+func (t *Tree) delete(n *node, key uint64, value any) bool {
+	if n.leaf {
+		i := sort.Search(len(n.items), func(i int) bool { return n.items[i].key >= key })
+		if i >= len(n.items) || n.items[i].key != key {
+			return false
+		}
+		it := &n.items[i]
+		for j, v := range it.values {
+			if v != value {
+				continue
+			}
+			it.values = append(it.values[:j], it.values[j+1:]...)
+			if len(it.values) == 0 {
+				n.items = append(n.items[:i], n.items[i+1:]...)
+			}
+			return true
+		}
+		return false
+	}
+	ci := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+	if !t.delete(n.children[ci], key, value) {
+		return false
+	}
+	t.rebalance(n, ci)
+	return true
+}
+
+// underfull reports whether ch is below the fill bound.
+func (t *Tree) underfull(ch *node) bool {
+	if ch.leaf {
+		return len(ch.items) < t.minFill()
+	}
+	return len(ch.keys) < t.minFill()
+}
+
+// canLend reports whether ch can give up one item/key and stay legal.
+func (t *Tree) canLend(ch *node) bool {
+	if ch.leaf {
+		return len(ch.items) > t.minFill()
+	}
+	return len(ch.keys) > t.minFill()
+}
+
+// rebalance restores n.children[ci]'s fill bound after a removal below
+// it: borrow one entry from an adjacent sibling when that sibling can
+// spare it, otherwise merge with one (which may in turn underfill n —
+// the caller's own rebalance handles that on the way up).
+func (t *Tree) rebalance(n *node, ci int) {
+	ch := n.children[ci]
+	if !t.underfull(ch) {
+		return
+	}
+	if ci > 0 && t.canLend(n.children[ci-1]) {
+		t.borrowLeft(n, ci)
+		return
+	}
+	if ci < len(n.children)-1 && t.canLend(n.children[ci+1]) {
+		t.borrowRight(n, ci)
+		return
+	}
+	// Neither neighbor can lend, so one of them sits exactly at the fill
+	// bound and the merged node fits: minFill + (minFill-1) <= order.
+	if ci > 0 {
+		t.merge(n, ci-1)
+	} else {
+		t.merge(n, ci)
+	}
+}
+
+// borrowLeft moves the left sibling's last entry into n.children[ci].
+func (t *Tree) borrowLeft(n *node, ci int) {
+	left, ch := n.children[ci-1], n.children[ci]
+	if ch.leaf {
+		last := left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		ch.items = append(ch.items, item{})
+		copy(ch.items[1:], ch.items)
+		ch.items[0] = last
+		n.keys[ci-1] = last.key
+		return
+	}
+	// Rotate through the parent: the separator drops into ch, the left
+	// sibling's last key replaces it, and its last child changes sides.
+	ch.keys = append(ch.keys, 0)
+	copy(ch.keys[1:], ch.keys)
+	ch.keys[0] = n.keys[ci-1]
+	n.keys[ci-1] = left.keys[len(left.keys)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	moved := left.children[len(left.children)-1]
+	left.children = left.children[:len(left.children)-1]
+	ch.children = append(ch.children, nil)
+	copy(ch.children[1:], ch.children)
+	ch.children[0] = moved
+}
+
+// borrowRight moves the right sibling's first entry into n.children[ci].
+func (t *Tree) borrowRight(n *node, ci int) {
+	ch, right := n.children[ci], n.children[ci+1]
+	if ch.leaf {
+		first := right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		ch.items = append(ch.items, first)
+		n.keys[ci] = right.items[0].key
+		return
+	}
+	ch.keys = append(ch.keys, n.keys[ci])
+	n.keys[ci] = right.keys[0]
+	right.keys = append(right.keys[:0], right.keys[1:]...)
+	ch.children = append(ch.children, right.children[0])
+	right.children = append(right.children[:0], right.children[1:]...)
+}
+
+// merge folds n.children[i+1] into n.children[i] and drops separator
+// n.keys[i]. For leaves the leaf chain is re-linked past the absorbed
+// right sibling; for internal nodes the separator moves down between the
+// two key runs.
+func (t *Tree) merge(n *node, i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.items = append(left.items, right.items...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
 // ScanStats reports the work of one range scan: node accesses follow the
 // same convention as the R-Tree's QueryStats (every visited node counts).
 type ScanStats struct {

@@ -1,0 +1,196 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oracleMap is the reference model for the property suite: a plain map
+// of key → values in insertion order, scanned brute-force.
+type oracleMap map[uint64][]int
+
+func (o oracleMap) insert(k uint64, v int) { o[k] = append(o[k], v) }
+
+func (o oracleMap) delete(k uint64, v int) bool {
+	vals := o[k]
+	for i, got := range vals {
+		if got == v {
+			o[k] = append(vals[:i], vals[i+1:]...)
+			if len(o[k]) == 0 {
+				delete(o, k)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// pairs flattens the oracle into ScanRange order: ascending key, values
+// in insertion order.
+func (o oracleMap) pairs() []struct {
+	k uint64
+	v int
+} {
+	var out []struct {
+		k uint64
+		v int
+	}
+	keys := make([]uint64, 0, len(o))
+	for k := range o {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	for _, k := range keys {
+		for _, v := range o[k] {
+			out = append(out, struct {
+				k uint64
+				v int
+			}{k, v})
+		}
+	}
+	return out
+}
+
+func compareWithOracle(t *testing.T, tree *Tree, oracle oracleMap, step int) {
+	t.Helper()
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("step %d: invariants broken after delete churn: %v", step, err)
+	}
+	want := oracle.pairs()
+	if tree.Len() != len(want) {
+		t.Fatalf("step %d: Len %d, oracle holds %d values", step, tree.Len(), len(want))
+	}
+	i := 0
+	tree.ScanRange(0, ^uint64(0), func(k uint64, v any) bool {
+		if i >= len(want) {
+			t.Fatalf("step %d: scan yielded more than the oracle's %d values", step, len(want))
+		}
+		if k != want[i].k || v.(int) != want[i].v {
+			t.Fatalf("step %d: scan[%d] = (%d, %v), oracle has (%d, %d)", step, i, k, v, want[i].k, want[i].v)
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("step %d: scan yielded %d values, oracle holds %d", step, i, len(want))
+	}
+}
+
+// TestDeletePropertyOracle drives 10K randomized Insert/Delete ops
+// (including duplicate keys, repeated values under one key, and deletes
+// of absent keys/values) against the sorted-map oracle, validating the
+// full invariant set and the complete scan order after every batch.
+// Small orders force deep trees so borrow and merge paths fire on both
+// leaf and internal levels.
+func TestDeletePropertyOracle(t *testing.T) {
+	for _, order := range []int{4, 8, DefaultOrder} {
+		rng := rand.New(rand.NewSource(int64(order) * 7919))
+		tree := New(order)
+		oracle := oracleMap{}
+		nextVal := 0
+		// Small key range relative to op count → plenty of duplicates.
+		keyOf := func() uint64 { return uint64(rng.Intn(600)) }
+
+		const ops = 10_000
+		for i := 0; i < ops; i++ {
+			switch r := rng.Float64(); {
+			case r < 0.55:
+				k, v := keyOf(), nextVal
+				nextVal++
+				tree.Insert(k, v)
+				oracle.insert(k, v)
+			case r < 0.95:
+				// Delete a value that exists: pick a live key, then one of
+				// its values (map iteration order is fine — any live pair).
+				var k uint64
+				var v int
+				found := false
+				for kk, vals := range oracle {
+					k, v = kk, vals[rng.Intn(len(vals))]
+					found = true
+					break
+				}
+				if !found {
+					continue
+				}
+				if !tree.Delete(k, v) {
+					t.Fatalf("op %d: Delete(%d, %d) missed a live value (order %d)", i, k, v, order)
+				}
+				if !oracle.delete(k, v) {
+					t.Fatalf("op %d: oracle desync on (%d, %d)", i, k, v)
+				}
+			default:
+				// Deletes that must miss: absent key, and live key with a
+				// value never inserted.
+				k := keyOf()
+				if tree.Delete(k, -1) {
+					t.Fatalf("op %d: Delete(%d, -1) removed a value that was never inserted", i, k)
+				}
+				if tree.Delete(^uint64(0)-uint64(rng.Intn(100)), 0) {
+					t.Fatalf("op %d: delete of absent key succeeded", i)
+				}
+			}
+			if i%500 == 499 {
+				compareWithOracle(t, tree, oracle, i)
+			}
+		}
+		// Drain everything: the tree must come back to empty with clean
+		// invariants the whole way down.
+		for k, vals := range oracle {
+			for _, v := range vals {
+				if !tree.Delete(k, v) {
+					t.Fatalf("drain: Delete(%d, %d) missed (order %d)", k, v, order)
+				}
+			}
+			delete(oracle, k)
+		}
+		compareWithOracle(t, tree, oracle, ops)
+		if tree.Len() != 0 || tree.Height() != 1 {
+			t.Fatalf("drained tree: Len %d, Height %d; want 0, 1 (order %d)", tree.Len(), tree.Height(), order)
+		}
+	}
+}
+
+// TestDeleteLeafChainAfterMerge pins the leaf-chain relink: delete a
+// dense run so leaves merge, then verify the chain still enumerates
+// every survivor in order (Validate checks this too; the scan here makes
+// the failure readable).
+func TestDeleteLeafChainAfterMerge(t *testing.T) {
+	tree := New(4)
+	const n = 200
+	for i := 0; i < n; i++ {
+		tree.Insert(uint64(i), i)
+	}
+	for i := 40; i < 160; i++ {
+		if !tree.Delete(uint64(i), i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	tree.ScanRange(0, ^uint64(0), func(k uint64, _ any) bool {
+		got = append(got, k)
+		return true
+	})
+	want := make([]uint64, 0, 80)
+	for i := 0; i < 40; i++ {
+		want = append(want, uint64(i))
+	}
+	for i := 160; i < n; i++ {
+		want = append(want, uint64(i))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("chain enumerates %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("chain[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

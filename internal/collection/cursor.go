@@ -1,0 +1,113 @@
+package collection
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Cursor tokens. A page's Cursor field is an opaque string the client
+// feeds back to resume iteration; "" means "from the beginning" on the
+// way in and "no more results" on the way out.
+//
+// Stability semantics: a cursor is a strict lower bound in the query's
+// total order — (key) for range queries, (distance, key) for Nearby —
+// not a saved position in a snapshot. Each page re-evaluates the query
+// against the live collection and returns what now sorts strictly after
+// the bound. Deleting the very object the cursor points at therefore
+// invalidates nothing, objects that moved behind the bound are skipped
+// (they were already "passed"), and objects that churned into the
+// not-yet-visited region appear — exactly the semantics of the map
+// oracle, which the differential suite pins byte-for-byte, resumptions
+// mid-churn included.
+//
+// Wire format ("k." / "d." discriminate the two orders so a Nearby
+// token fed to Within fails loudly instead of silently restarting):
+//
+//	range:  k.<base64url(key)>
+//	nearby: d.<16-hex float64 bits of distSq>.<base64url(key)>
+
+const (
+	rangeCursorPrefix  = "k."
+	nearbyCursorPrefix = "d."
+)
+
+// cursor is a parsed token. The zero value iterates from the beginning.
+type cursor struct {
+	started bool
+	key     string
+	dist    float64 // nearby order only
+	nearby  bool
+}
+
+// encodeRangeCursor returns the token resuming a range query strictly
+// after key.
+func encodeRangeCursor(key string) string {
+	return rangeCursorPrefix + base64.RawURLEncoding.EncodeToString([]byte(key))
+}
+
+// encodeNearbyCursor returns the token resuming a Nearby query strictly
+// after (distSq, key).
+func encodeNearbyCursor(distSq float64, key string) string {
+	var bits [8]byte
+	binary.BigEndian.PutUint64(bits[:], math.Float64bits(distSq))
+	return nearbyCursorPrefix + fmt.Sprintf("%016x", bits) + "." +
+		base64.RawURLEncoding.EncodeToString([]byte(key))
+}
+
+// parseCursor decodes a token of either kind; nearby reports which
+// order the token belongs to so the query can reject a mismatch.
+func parseCursor(tok string) (cursor, error) {
+	if tok == "" {
+		return cursor{}, nil
+	}
+	switch {
+	case strings.HasPrefix(tok, rangeCursorPrefix):
+		key, err := base64.RawURLEncoding.DecodeString(tok[len(rangeCursorPrefix):])
+		if err != nil {
+			return cursor{}, fmt.Errorf("collection: bad cursor %q: %w", tok, err)
+		}
+		return cursor{started: true, key: string(key)}, nil
+	case strings.HasPrefix(tok, nearbyCursorPrefix):
+		rest := tok[len(nearbyCursorPrefix):]
+		hex, b64, ok := strings.Cut(rest, ".")
+		if !ok || len(hex) != 16 {
+			return cursor{}, fmt.Errorf("collection: bad nearby cursor %q", tok)
+		}
+		var bits uint64
+		if _, err := fmt.Sscanf(hex, "%016x", &bits); err != nil {
+			return cursor{}, fmt.Errorf("collection: bad nearby cursor %q: %w", tok, err)
+		}
+		d := math.Float64frombits(bits)
+		if math.IsNaN(d) || d < 0 {
+			return cursor{}, fmt.Errorf("collection: bad nearby cursor %q: distance out of range", tok)
+		}
+		key, err := base64.RawURLEncoding.DecodeString(b64)
+		if err != nil {
+			return cursor{}, fmt.Errorf("collection: bad cursor %q: %w", tok, err)
+		}
+		return cursor{started: true, key: string(key), dist: d, nearby: true}, nil
+	default:
+		return cursor{}, fmt.Errorf("collection: unrecognized cursor %q", tok)
+	}
+}
+
+// after reports whether (distSq, key) sorts strictly after the cursor
+// position in the nearby order.
+func (c cursor) afterNearby(distSq float64, key string) bool {
+	if !c.started {
+		return true
+	}
+	if distSq != c.dist {
+		return distSq > c.dist
+	}
+	return key > c.key
+}
+
+// afterRange reports whether key sorts strictly after the cursor in the
+// range order.
+func (c cursor) afterRange(key string) bool {
+	return !c.started || key > c.key
+}

@@ -1,0 +1,387 @@
+package collection
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+	"github.com/rlr-tree/rlrtree/internal/shard"
+)
+
+// The map oracle: the entire keyed collection re-implemented as a
+// map[string]geom.Rect plus brute-force scans, with the same cursor and
+// pagination semantics. The differential suite interleaves randomized
+// SET/DEL/query traffic and requires every response — keys, rects,
+// distances, cursors — to match the oracle byte for byte, including
+// pagination sequences resumed across churn.
+
+type oracle struct {
+	m map[string]geom.Rect
+}
+
+func newOracle() *oracle { return &oracle{m: make(map[string]geom.Rect)} }
+
+func (o *oracle) set(key string, r geom.Rect) bool {
+	_, existed := o.m[key]
+	o.m[key] = r
+	return existed
+}
+
+func (o *oracle) del(key string) bool {
+	_, existed := o.m[key]
+	delete(o.m, key)
+	return existed
+}
+
+func (o *oracle) get(key string) (geom.Rect, bool) {
+	r, ok := o.m[key]
+	return r, ok
+}
+
+// rangeQuery brute-scans the map, mirroring Within/Intersects.
+func (o *oracle) rangeQuery(q geom.Rect, cur string, limit int, contained bool) (Page, error) {
+	pos, err := parseCursor(cur)
+	if err != nil {
+		return Page{}, err
+	}
+	if pos.nearby {
+		return Page{}, fmt.Errorf("oracle: nearby cursor on range query")
+	}
+	var items []item
+	for key, r := range o.m {
+		if contained {
+			if !q.Contains(r) {
+				continue
+			}
+		} else if !q.Intersects(r) {
+			continue
+		}
+		items = append(items, item{key: key, rect: r})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
+	return paginate(items, pos, limit, false), nil
+}
+
+// nearby brute-computes every distance, mirroring Nearby's total order.
+func (o *oracle) nearby(p geom.Point, k int, cur string, limit int) (Page, error) {
+	pos, err := parseCursor(cur)
+	if err != nil {
+		return Page{}, err
+	}
+	if pos.started && !pos.nearby {
+		return Page{}, fmt.Errorf("oracle: range cursor on nearby query")
+	}
+	if k <= 0 {
+		return Page{}, nil
+	}
+	items := make([]item, 0, len(o.m))
+	for key, r := range o.m {
+		items = append(items, item{key: key, rect: r, dist: r.MinDistSq(p)})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].dist != items[j].dist {
+			return items[i].dist < items[j].dist
+		}
+		return items[i].key < items[j].key
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	return paginate(items, pos, limit, true), nil
+}
+
+// backends under differential test: the single concurrent tree and the
+// sharded tree, so cursor pagination is pinned across the fan-out path
+// too.
+func backends(t *testing.T) map[string]func() Spatial {
+	t.Helper()
+	return map[string]func() Spatial{
+		"single": func() Spatial {
+			return rtree.NewConcurrent(rtree.New(rtree.Options{MaxEntries: 16, MinEntries: 6}))
+		},
+		"sharded": func() Spatial {
+			st, err := shard.New(shard.Options{Shards: 4, Tree: rtree.Options{MaxEntries: 16, MinEntries: 6}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		},
+	}
+}
+
+func comparePages(t *testing.T, op string, got, want Page) {
+	t.Helper()
+	if !reflect.DeepEqual(normalizePage(got), normalizePage(want)) {
+		t.Fatalf("%s diverged:\n got: %+v\nwant: %+v", op, got, want)
+	}
+}
+
+// normalizePage maps empty slices and nil to one form so DeepEqual
+// compares content, not allocation history.
+func normalizePage(p Page) Page {
+	if len(p.Keys) == 0 {
+		p.Keys = nil
+	}
+	if len(p.Rects) == 0 {
+		p.Rects = nil
+	}
+	if len(p.Dists) == 0 {
+		p.Dists = nil
+	}
+	return p
+}
+
+// TestDifferentialChurn is the headline harness: for every dataset
+// distribution and both backends, run thousands of randomized
+// SET/DEL/GET/query steps against the collection and the map oracle in
+// lockstep, comparing every result byte for byte — with in-flight
+// pagination sequences resumed between mutations (the mid-churn cursor
+// case) and Validate run periodically.
+func TestDifferentialChurn(t *testing.T) {
+	kinds := []dataset.Kind{dataset.UNI, dataset.SKE, dataset.CHI, dataset.GAU}
+	for name, mk := range backends(t) {
+		for _, kind := range kinds {
+			t.Run(fmt.Sprintf("%s/%s", name, kind), func(t *testing.T) {
+				runDifferentialChurn(t, mk(), kind)
+			})
+		}
+	}
+}
+
+// pagedWalk is an in-flight pagination sequence resumed step by step
+// while mutations land in between.
+type pagedWalk struct {
+	query  func(cur string, limit int) (Page, Page, error) // (got, want, err)
+	cursor string
+	limit  int
+}
+
+func runDifferentialChurn(t *testing.T, ix Spatial, kind dataset.Kind) {
+	const (
+		steps   = 4000
+		keySpan = 400
+	)
+	rects, err := dataset.Generate(kind, steps, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	c := New(ix)
+	o := newOracle()
+	key := func() string { return fmt.Sprintf("k-%03d", rng.Intn(keySpan)) }
+	var walks []*pagedWalk
+
+	queryRect := func() geom.Rect {
+		cx, cy := rng.Float64(), rng.Float64()
+		return geom.NewRect(cx-0.1, cy-0.1, cx+0.1, cy+0.1)
+	}
+
+	for i := 0; i < steps; i++ {
+		switch op := rng.Intn(100); {
+		case op < 45: // SET: fresh insert or move
+			k, r := key(), rects[i]
+			res := c.Set(k, r)
+			if want := o.set(k, r); res.Replaced != want {
+				t.Fatalf("step %d: Set(%s).Replaced=%v oracle=%v", i, k, res.Replaced, want)
+			}
+		case op < 60: // DEL
+			k := tokenOr(rng, o, key)
+			_, got := c.Del(k)
+			if want := o.del(k); got != want {
+				t.Fatalf("step %d: Del(%s)=%v oracle=%v", i, k, got, want)
+			}
+		case op < 70: // GET
+			k := tokenOr(rng, o, key)
+			gr, gok := c.Get(k)
+			wr, wok := o.get(k)
+			if gok != wok || gr != wr {
+				t.Fatalf("step %d: Get(%s)=%v,%v oracle=%v,%v", i, k, gr, gok, wr, wok)
+			}
+		case op < 80: // one-shot range query, randomly within/intersects
+			q := queryRect()
+			contained := rng.Intn(2) == 0
+			var got Page
+			var qerr error
+			if contained {
+				got, _, qerr = c.Within(q, "", 0)
+			} else {
+				got, _, qerr = c.Intersects(q, "", 0)
+			}
+			if qerr != nil {
+				t.Fatalf("step %d: %v", i, qerr)
+			}
+			want, err := o.rangeQuery(q, "", 0, contained)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comparePages(t, fmt.Sprintf("step %d range(contained=%v)", i, contained), got, want)
+		case op < 88: // one-shot nearby
+			p := geom.Pt(rng.Float64(), rng.Float64())
+			k := 1 + rng.Intn(30)
+			got, _, qerr := c.Nearby(p, k, "", 0)
+			if qerr != nil {
+				t.Fatalf("step %d: %v", i, qerr)
+			}
+			want, err := o.nearby(p, k, "", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comparePages(t, fmt.Sprintf("step %d nearby(k=%d)", i, k), got, want)
+		case op < 94: // start a paged walk that will resume mid-churn
+			if rng.Intn(2) == 0 {
+				q := queryRect()
+				contained := rng.Intn(2) == 0
+				walks = append(walks, &pagedWalk{
+					limit: 1 + rng.Intn(5),
+					query: func(cur string, limit int) (Page, Page, error) {
+						var got Page
+						var err error
+						if contained {
+							got, _, err = c.Within(q, cur, limit)
+						} else {
+							got, _, err = c.Intersects(q, cur, limit)
+						}
+						if err != nil {
+							return Page{}, Page{}, err
+						}
+						want, err := o.rangeQuery(q, cur, limit, contained)
+						return got, want, err
+					},
+				})
+			} else {
+				p := geom.Pt(rng.Float64(), rng.Float64())
+				kk := 5 + rng.Intn(40)
+				walks = append(walks, &pagedWalk{
+					limit: 1 + rng.Intn(5),
+					query: func(cur string, limit int) (Page, Page, error) {
+						got, _, err := c.Nearby(p, kk, cur, limit)
+						if err != nil {
+							return Page{}, Page{}, err
+						}
+						want, err := o.nearby(p, kk, cur, limit)
+						return got, want, err
+					},
+				})
+			}
+		default: // advance a random in-flight walk one page
+			if len(walks) == 0 {
+				continue
+			}
+			wi := rng.Intn(len(walks))
+			w := walks[wi]
+			got, want, err := w.query(w.cursor, w.limit)
+			if err != nil {
+				t.Fatalf("step %d: paged walk: %v", i, err)
+			}
+			comparePages(t, fmt.Sprintf("step %d paged walk (cursor %q)", i, w.cursor), got, want)
+			if got.Cursor == "" {
+				walks = append(walks[:wi], walks[wi+1:]...)
+			} else {
+				w.cursor = got.Cursor
+			}
+		}
+		if i%500 == 499 {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			if c.Len() != len(o.m) {
+				t.Fatalf("step %d: Len=%d oracle=%d", i, c.Len(), len(o.m))
+			}
+		}
+	}
+	// Drain every remaining walk to its end.
+	for _, w := range walks {
+		for hop := 0; ; hop++ {
+			got, want, err := w.query(w.cursor, w.limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comparePages(t, "drain walk", got, want)
+			if got.Cursor == "" {
+				break
+			}
+			w.cursor = got.Cursor
+			if hop > 1000 {
+				t.Fatal("walk never terminated")
+			}
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tokenOr picks an existing key half the time (so DELs and GETs hit)
+// and a random key otherwise (so misses are exercised too).
+func tokenOr(rng *rand.Rand, o *oracle, gen func() string) string {
+	if len(o.m) > 0 && rng.Intn(2) == 0 {
+		i := rng.Intn(len(o.m))
+		for k := range o.m {
+			if i == 0 {
+				return k
+			}
+			i--
+		}
+	}
+	return gen()
+}
+
+// TestNearbyTieDeterminism pins the tie-doubling fetch: many objects at
+// exactly the same distance must resolve to the same k-set as the
+// oracle, whichever the index would have surfaced first.
+func TestNearbyTieDeterminism(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			c := New(mk())
+			o := newOracle()
+			// 40 unit squares all at distance 0 from the query point
+			// (they contain it), plus a far ring.
+			for i := 0; i < 40; i++ {
+				k := fmt.Sprintf("tie-%02d", i)
+				r := geom.NewRect(0.4, 0.4, 0.6, 0.6)
+				c.Set(k, r)
+				o.set(k, r)
+			}
+			for i := 0; i < 20; i++ {
+				k := fmt.Sprintf("far-%02d", i)
+				r := geom.NewRect(10+float64(i), 10, 11+float64(i), 11)
+				c.Set(k, r)
+				o.set(k, r)
+			}
+			p := geom.Pt(0.5, 0.5)
+			for _, k := range []int{1, 5, 39, 40, 41, 60} {
+				got, _, err := c.Nearby(p, k, "", 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := o.nearby(p, k, "", 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comparePages(t, fmt.Sprintf("nearby k=%d", k), got, want)
+			}
+			// And paged through the tie plateau.
+			cur := ""
+			for {
+				got, _, err := c.Nearby(p, 45, cur, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := o.nearby(p, 45, cur, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comparePages(t, "paged ties", got, want)
+				if got.Cursor == "" {
+					break
+				}
+				cur = got.Cursor
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package collection
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/rtree"
+)
+
+// Page is one page of a keyed query. Keys and Rects are parallel;
+// Dists is parallel too but only populated by Nearby (squared distance
+// from the query point to the object MBR). Cursor is non-empty exactly
+// when more results remain: feed it back to the same query to resume.
+type Page struct {
+	Keys   []string    `json:"keys"`
+	Rects  []geom.Rect `json:"rects"`
+	Dists  []float64   `json:"dists,omitempty"`
+	Cursor string      `json:"cursor,omitempty"`
+}
+
+// item is one candidate row before pagination.
+type item struct {
+	key  string
+	rect geom.Rect
+	dist float64
+}
+
+// Within returns the keyed objects wholly contained in q, ordered by
+// key, resuming strictly after cur and returning at most limit rows
+// (limit <= 0 means unlimited). A non-empty Cursor in the returned page
+// means more rows matched.
+func (c *Collection) Within(q geom.Rect, cur string, limit int) (Page, rtree.QueryStats, error) {
+	return c.rangeQuery(q, cur, limit, true)
+}
+
+// Intersects returns the keyed objects overlapping q (boundaries
+// included), ordered by key, with the same cursor/limit contract as
+// Within.
+func (c *Collection) Intersects(q geom.Rect, cur string, limit int) (Page, rtree.QueryStats, error) {
+	return c.rangeQuery(q, cur, limit, false)
+}
+
+func (c *Collection) rangeQuery(q geom.Rect, cur string, limit int, contained bool) (Page, rtree.QueryStats, error) {
+	pos, err := parseCursor(cur)
+	if err != nil {
+		return Page{}, rtree.QueryStats{}, err
+	}
+	if pos.nearby {
+		return Page{}, rtree.QueryStats{}, fmt.Errorf("collection: nearby cursor %q fed to a range query", cur)
+	}
+	// Every page re-runs the query live and sorts by key — that, not a
+	// saved iterator, is what makes cursors survive churn (see cursor.go).
+	var items []item
+	stats := c.ix.SearchEach(q, func(r geom.Rect, d any) {
+		key, ok := d.(string)
+		if !ok {
+			return // not a keyed object; unreachable through the server
+		}
+		if contained && !q.Contains(r) {
+			return
+		}
+		items = append(items, item{key: key, rect: r})
+	})
+	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
+	return paginate(items, pos, limit, false), stats, nil
+}
+
+// Nearby returns the k keyed objects nearest to p in ascending
+// (distance, key) order, resuming strictly after cur and returning at
+// most limit of them per page. The cursor pages through the k-set; a
+// returned empty Cursor means the k nearest have all been delivered.
+//
+// Determinism at the k-th distance: when several objects tie exactly at
+// the k-th distance, which the index returns is arbitrary, so the fetch
+// widens (doubling) until every object at that distance is in hand,
+// then sorts by (distance, key) and truncates to k — the same objects
+// the map oracle picks, byte for byte.
+func (c *Collection) Nearby(p geom.Point, k int, cur string, limit int) (Page, rtree.QueryStats, error) {
+	pos, err := parseCursor(cur)
+	if err != nil {
+		return Page{}, rtree.QueryStats{}, err
+	}
+	if pos.started && !pos.nearby {
+		return Page{}, rtree.QueryStats{}, fmt.Errorf("collection: range cursor %q fed to a nearby query", cur)
+	}
+	var stats rtree.QueryStats
+	if k <= 0 {
+		return Page{}, stats, nil
+	}
+	var nbrs []rtree.Neighbor
+	kk := k
+	for {
+		var st rtree.QueryStats
+		nbrs, st = c.ix.KNNAppend(p, kk, nbrs[:0])
+		stats = st
+		// Widen while the fetch is full and the boundary might still be
+		// tied: the (kk)-th result at the same distance as the k-th means
+		// objects tied at the k-th distance may have been cut off.
+		if len(nbrs) < kk || nbrs[len(nbrs)-1].DistSq > nbrs[k-1].DistSq {
+			break
+		}
+		kk *= 2
+	}
+	items := make([]item, 0, len(nbrs))
+	for _, nb := range nbrs {
+		key, ok := nb.Data.(string)
+		if !ok {
+			continue // not a keyed object; unreachable through the server
+		}
+		items = append(items, item{key: key, rect: nb.Rect, dist: nb.DistSq})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].dist != items[j].dist {
+			return items[i].dist < items[j].dist
+		}
+		return items[i].key < items[j].key
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	return paginate(items, pos, limit, true), stats, nil
+}
+
+// paginate drops the rows at or before pos, applies limit, and stamps
+// the resume cursor when rows remain. items must already be sorted in
+// the query's total order.
+func paginate(items []item, pos cursor, limit int, nearby bool) Page {
+	if pos.started {
+		// Binary search for the first row strictly after the cursor.
+		i := sort.Search(len(items), func(i int) bool {
+			if nearby {
+				return pos.afterNearby(items[i].dist, items[i].key)
+			}
+			return pos.afterRange(items[i].key)
+		})
+		items = items[i:]
+	}
+	more := false
+	if limit > 0 && len(items) > limit {
+		items = items[:limit]
+		more = true
+	}
+	p := Page{
+		Keys:  make([]string, len(items)),
+		Rects: make([]geom.Rect, len(items)),
+	}
+	if nearby {
+		p.Dists = make([]float64, len(items))
+	}
+	for i, it := range items {
+		p.Keys[i] = it.key
+		p.Rects[i] = it.rect
+		if nearby {
+			p.Dists[i] = it.dist
+		}
+	}
+	if more {
+		last := items[len(items)-1]
+		if nearby {
+			p.Cursor = encodeNearbyCursor(last.dist, last.key)
+		} else {
+			p.Cursor = encodeRangeCursor(last.key)
+		}
+	}
+	return p
+}

@@ -1,0 +1,193 @@
+package collection
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// Keyed snapshot section. The key map persists alongside the spatial
+// index: a snapshot of a keyed server is
+//
+//	| WAL envelope | keyed section | inner index payload |
+//
+// The keyed section comes BEFORE the index payload on purpose — the
+// index decoders (gob for the single tree, the wire-v2 container for
+// shards) read through buffered streams that may consume bytes past
+// their own payload, so nothing can be appended after them reliably.
+// Prepending is safe: the section is length-delimited, so the reader
+// consumes exactly its own bytes and hands the rest to the index
+// decoder untouched.
+//
+// Section layout (all integers little-endian or uvarint):
+//
+//	| magic "RLRKEYS1" | uvarint count | count × pair |
+//	pair = uvarint keyLen | keyLen bytes | 4 × float64 LE (MinX MinY MaxX MaxY)
+//
+// Legacy snapshots have no section; ReadKeyedSection detects the
+// missing magic by peeking and returns zero pairs with every byte
+// still readable, so a pre-keyed snapshot restores cleanly (the key
+// map starts empty and WAL replay of RecSet records rebuilds it).
+
+// keyedMagic opens the keyed section. Distinct from the WAL envelope
+// magic ("RLRSNAP1") and from any gob prefix (gob opens with a varint
+// length < 0x52), so detection cannot misfire.
+var keyedMagic = [8]byte{'R', 'L', 'R', 'K', 'E', 'Y', 'S', '1'}
+
+// KeyRect is one (key, position) pair of the key map, the unit of the
+// keyed snapshot section.
+type KeyRect struct {
+	Key  string
+	Rect geom.Rect
+}
+
+// AppendKeyedSection writes the keyed section for pairs.
+func AppendKeyedSection(w io.Writer, pairs []KeyRect) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(keyedMagic[:]); err != nil {
+		return fmt.Errorf("collection: keyed section: %w", err)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(pairs))); err != nil {
+		return fmt.Errorf("collection: keyed section: %w", err)
+	}
+	var coords [32]byte
+	for _, p := range pairs {
+		if err := writeUvarint(uint64(len(p.Key))); err != nil {
+			return fmt.Errorf("collection: keyed section: %w", err)
+		}
+		if _, err := bw.WriteString(p.Key); err != nil {
+			return fmt.Errorf("collection: keyed section: %w", err)
+		}
+		binary.LittleEndian.PutUint64(coords[0:], math.Float64bits(p.Rect.MinX))
+		binary.LittleEndian.PutUint64(coords[8:], math.Float64bits(p.Rect.MinY))
+		binary.LittleEndian.PutUint64(coords[16:], math.Float64bits(p.Rect.MaxX))
+		binary.LittleEndian.PutUint64(coords[24:], math.Float64bits(p.Rect.MaxY))
+		if _, err := bw.Write(coords[:]); err != nil {
+			return fmt.Errorf("collection: keyed section: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("collection: keyed section: %w", err)
+	}
+	return nil
+}
+
+// maxSnapshotKeyLen bounds a single key read from a snapshot; a longer
+// length is corruption, not data (the server caps keys far below this).
+const maxSnapshotKeyLen = 1 << 20
+
+// ReadKeyedSection detects and consumes the keyed section, returning
+// the pairs and a reader positioned at the start of the inner index
+// payload. Snapshots without a section (pre-keyed servers) return nil
+// pairs with every byte of r still readable.
+func ReadKeyedSection(r io.Reader) ([]KeyRect, io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(8)
+	if err != nil || [8]byte(head) != keyedMagic {
+		// Too short for a section or no magic: legacy payload.
+		return nil, br, nil
+	}
+	if _, err := br.Discard(8); err != nil {
+		return nil, nil, fmt.Errorf("collection: keyed section: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("collection: keyed section count: %w", err)
+	}
+	pairs := make([]KeyRect, 0, count)
+	var coords [32]byte
+	for i := uint64(0); i < count; i++ {
+		klen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("collection: keyed section pair %d: %w", i, err)
+		}
+		if klen > maxSnapshotKeyLen {
+			return nil, nil, fmt.Errorf("collection: keyed section pair %d: key length %d exceeds limit", i, klen)
+		}
+		kb := make([]byte, klen)
+		if _, err := io.ReadFull(br, kb); err != nil {
+			return nil, nil, fmt.Errorf("collection: keyed section pair %d key: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, coords[:]); err != nil {
+			return nil, nil, fmt.Errorf("collection: keyed section pair %d rect: %w", i, err)
+		}
+		pairs = append(pairs, KeyRect{
+			Key: string(kb),
+			Rect: geom.Rect{
+				MinX: math.Float64frombits(binary.LittleEndian.Uint64(coords[0:])),
+				MinY: math.Float64frombits(binary.LittleEndian.Uint64(coords[8:])),
+				MaxX: math.Float64frombits(binary.LittleEndian.Uint64(coords[16:])),
+				MaxY: math.Float64frombits(binary.LittleEndian.Uint64(coords[24:])),
+			},
+		})
+	}
+	return pairs, br, nil
+}
+
+// Pairs captures the key map as a sorted-by-nothing-in-particular
+// (key-hash order) slice, the input to AppendKeyedSection. Consistent
+// only if no mutations run concurrently — the server captures under
+// the exclusive half of walMu, which excludes all keyed writes.
+func (c *Collection) Pairs() []KeyRect {
+	c.kmu.RLock()
+	defer c.kmu.RUnlock()
+	pairs := make([]KeyRect, 0, c.keys.Len())
+	c.keys.ScanRange(0, ^uint64(0), func(_ uint64, v any) bool {
+		e := v.(*entry)
+		pairs = append(pairs, KeyRect{Key: e.key, Rect: e.rect})
+		return true
+	})
+	return pairs
+}
+
+// EncodeSnapshot writes the keyed section followed by the inner index
+// snapshot. The underlying index must expose EncodeSnapshot (both
+// served index types do).
+func (c *Collection) EncodeSnapshot(w io.Writer) error {
+	enc, ok := c.ix.(interface{ EncodeSnapshot(io.Writer) error })
+	if !ok {
+		return fmt.Errorf("collection: index %T cannot encode snapshots", c.ix)
+	}
+	if err := AppendKeyedSection(w, c.Pairs()); err != nil {
+		return err
+	}
+	return enc.EncodeSnapshot(w)
+}
+
+// PrepareSnapshot splits capture from encode, mirroring the server's
+// SnapshotPreparer contract: the key map and the index epoch are
+// captured now (cheap, under the caller's exclusive lock) and the
+// returned closure encodes both outside every lock. Falls back to
+// encoding the whole index inside the closure when the index cannot
+// split — the caller already holds its lock across the closure in that
+// case only if it knows the index lacks PrepareSnapshot, so the
+// collection mirrors whichever contract the inner index offers.
+func (c *Collection) PrepareSnapshot() func(io.Writer) error {
+	pairs := c.Pairs()
+	var inner func(io.Writer) error
+	if p, ok := c.ix.(interface{ PrepareSnapshot() func(io.Writer) error }); ok {
+		inner = p.PrepareSnapshot()
+	} else if enc, ok := c.ix.(interface{ EncodeSnapshot(io.Writer) error }); ok {
+		inner = enc.EncodeSnapshot
+	} else {
+		inner = func(io.Writer) error {
+			return fmt.Errorf("collection: index %T cannot encode snapshots", c.ix)
+		}
+	}
+	return func(w io.Writer) error {
+		if err := AppendKeyedSection(w, pairs); err != nil {
+			return err
+		}
+		return inner(w)
+	}
+}

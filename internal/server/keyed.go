@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/rlr-tree/rlrtree/internal/cliutil"
+	"github.com/rlr-tree/rlrtree/internal/collection"
+	"github.com/rlr-tree/rlrtree/internal/geom"
+)
+
+// Keyed endpoints: the HTTP face of internal/collection. SET/GET/DEL
+// address objects by string key; the paged query mode (triggered on
+// /search and /knn by a cursor or limit parameter, always on for
+// /within) returns keys, rects and a resume cursor instead of the
+// legacy flat ID list.
+
+// Collection returns the keyed layer the server serves — the handle
+// tests and embedding callers use to inspect or validate it.
+func (s *Server) Collection() *collection.Collection { return s.coll }
+
+// maxKeyBytes caps a single object key; far below the snapshot codec's
+// corruption bound, far above any sane identifier.
+const maxKeyBytes = 4096
+
+func validKey(key string) error {
+	if key == "" {
+		return errors.New("key must not be empty")
+	}
+	if len(key) > maxKeyBytes {
+		return fmt.Errorf("key exceeds %d bytes", maxKeyBytes)
+	}
+	return nil
+}
+
+type setRequest struct {
+	Key  string    `json:"key"`
+	Rect []float64 `json:"rect"`
+}
+
+// keyedScratch is the reusable per-request state of the keyed write
+// path. SET is the hottest endpoint in the system — a moving-objects
+// workload is nothing but tiny POST /set bodies — so the body read
+// buffer, the decoded request (whose Rect backing array json.Unmarshal
+// reuses), and the response encode buffer are pooled, mirroring the
+// query handlers' respScratch.
+type keyedScratch struct {
+	in  bytes.Buffer
+	out bytes.Buffer
+	req setRequest
+}
+
+var keyedPool = sync.Pool{New: func() any { return new(keyedScratch) }}
+
+// readKeyedBody slurps the request body into the scratch buffer and
+// unmarshals it into the scratch request.
+func (ks *keyedScratch) readKeyedBody(r *http.Request) error {
+	ks.in.Reset()
+	if _, err := ks.in.ReadFrom(r.Body); err != nil {
+		return err
+	}
+	ks.req.Key = ""
+	ks.req.Rect = ks.req.Rect[:0]
+	return json.Unmarshal(ks.in.Bytes(), &ks.req)
+}
+
+type setResponse struct {
+	Replaced bool `json:"replaced"`
+	// Prev is the rect the key held before this SET, present only when
+	// Replaced.
+	Prev *[4]float64 `json:"prev,omitempty"`
+	Size int         `json:"size"`
+}
+
+func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
+	ks := keyedPool.Get().(*keyedScratch)
+	defer keyedPool.Put(ks)
+	if err := ks.readKeyedBody(r); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad set body: %w", err))
+		return
+	}
+	if err := validKey(ks.req.Key); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rect, err := parseRectSlice(ks.req.Rect)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.appendSet(ks.req.Key, rect)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := setResponse{Replaced: res.Replaced, Size: s.coll.Len()}
+	if res.Replaced {
+		resp.Prev = &[4]float64{res.Prev.MinX, res.Prev.MinY, res.Prev.MaxX, res.Prev.MaxY}
+	}
+	writeJSONBuf(w, http.StatusOK, resp, &ks.out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if err := validKey(key); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rect, ok := s.coll.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("key %q not found", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":  key,
+		"rect": [4]float64{rect.MinX, rect.MinY, rect.MaxX, rect.MaxY},
+	})
+}
+
+type delResponse struct {
+	Deleted bool `json:"deleted"`
+	Size    int  `json:"size"`
+}
+
+func (s *Server) handleDel(w http.ResponseWriter, r *http.Request) {
+	ks := keyedPool.Get().(*keyedScratch)
+	defer keyedPool.Put(ks)
+	if err := ks.readKeyedBody(r); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad del body: %w", err))
+		return
+	}
+	if len(ks.req.Rect) != 0 {
+		httpError(w, http.StatusBadRequest, errors.New("del takes a key, not a rect"))
+		return
+	}
+	if err := validKey(ks.req.Key); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ok, err := s.appendDelKey(ks.req.Key)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSONBuf(w, http.StatusOK, delResponse{Deleted: ok, Size: s.coll.Len()}, &ks.out)
+}
+
+// pagedResponse is the wire form of one collection query page.
+type pagedResponse struct {
+	Keys  []string     `json:"keys"`
+	Rects [][4]float64 `json:"rects"`
+	// Dists carries squared distances, /knn paged mode only.
+	Dists []float64 `json:"dists,omitempty"`
+	// Cursor resumes the query when non-empty; empty means exhausted.
+	Cursor        string `json:"cursor,omitempty"`
+	Count         int    `json:"count"`
+	NodesAccessed int    `json:"nodes_accessed"`
+}
+
+func toPagedResponse(p collection.Page, nodes int) pagedResponse {
+	resp := pagedResponse{
+		Keys:          p.Keys,
+		Rects:         make([][4]float64, len(p.Rects)),
+		Dists:         p.Dists,
+		Cursor:        p.Cursor,
+		Count:         len(p.Keys),
+		NodesAccessed: nodes,
+	}
+	if resp.Keys == nil {
+		resp.Keys = []string{}
+	}
+	for i, r := range p.Rects {
+		resp.Rects[i] = [4]float64{r.MinX, r.MinY, r.MaxX, r.MaxY}
+	}
+	return resp
+}
+
+// pageParams extracts the cursor/limit pair. wantPaged reports whether
+// either parameter was present — the signal that /search and /knn
+// should answer in paged keyed mode. The effective limit is clamped to
+// MaxResults; absent or non-positive means "server maximum".
+func (s *Server) pageParams(r *http.Request) (cur string, limit int, wantPaged bool, err error) {
+	q := r.URL.Query()
+	cur = q.Get("cursor")
+	_, hasLimit := q["limit"]
+	if ls := q.Get("limit"); ls != "" {
+		limit, err = strconv.Atoi(ls)
+		if err != nil {
+			return "", 0, false, fmt.Errorf("bad limit %q", ls)
+		}
+	}
+	if limit <= 0 || limit > s.cfg.MaxResults {
+		limit = s.cfg.MaxResults
+	}
+	return cur, limit, cur != "" || hasLimit, nil
+}
+
+func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
+	q, err := cliutil.ParseRect(r.URL.Query().Get("rect"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad rect: %w", err))
+		return
+	}
+	cur, limit, _, err := s.pageParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	page, stats, err := s.coll.Within(q, cur, limit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.endpoint("within").addNodeAccesses(stats.NodesAccessed)
+	writeJSON(w, http.StatusOK, toPagedResponse(page, stats.NodesAccessed))
+}
+
+// handleSearchPaged is /search's keyed paged mode (Intersects order-by-key).
+func (s *Server) handleSearchPaged(w http.ResponseWriter, q geom.Rect, cur string, limit int) {
+	page, stats, err := s.coll.Intersects(q, cur, limit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.endpoint("search").addNodeAccesses(stats.NodesAccessed)
+	writeJSON(w, http.StatusOK, toPagedResponse(page, stats.NodesAccessed))
+}
+
+// handleKNNPaged is /knn's keyed paged mode (Nearby, deterministic at
+// distance ties).
+func (s *Server) handleKNNPaged(w http.ResponseWriter, p geom.Point, k int, cur string, limit int) {
+	page, stats, err := s.coll.Nearby(p, k, cur, limit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.endpoint("knn").addNodeAccesses(stats.NodesAccessed)
+	writeJSON(w, http.StatusOK, toPagedResponse(page, stats.NodesAccessed))
+}

@@ -10,15 +10,23 @@
 //
 //	POST /insert    {"id":"a","rect":[x1,y1,x2,y2]} or {"items":[...]}
 //	POST /delete    {"id":"a","rect":[x1,y1,x2,y2]}
-//	GET  /search    ?rect=x1,y1,x2,y2
-//	GET  /knn       ?point=x,y&k=10
-//	GET  /stats     tree structure + per-endpoint request metrics
+//	POST /set       {"key":"truck-1","rect":[x1,y1,x2,y2]} keyed upsert
+//	POST /del       {"key":"truck-1"} keyed delete
+//	GET  /get       ?key=truck-1
+//	GET  /search    ?rect=x1,y1,x2,y2 (&limit=N&cursor=... pages keyed objects)
+//	GET  /within    ?rect=x1,y1,x2,y2&limit=N&cursor=... keyed containment query
+//	GET  /knn       ?point=x,y&k=10 (&limit=N&cursor=... pages keyed neighbors)
+//	GET  /stats     tree structure + keyed counters + per-endpoint metrics
 //	POST /snapshot  force a snapshot to disk now
 //	GET  /healthz   liveness probe
 //
 // Object payloads are string IDs; delete matches on (rect, id), the same
-// equality rule as rtree.(*Tree).Delete. Every response is JSON. Request
-// bodies are size-capped and every request carries a deadline.
+// equality rule as rtree.(*Tree).Delete. The keyed endpoints address
+// objects by key through internal/collection: SET moves the key's
+// previous object instead of adding a second one, and the paged query
+// modes return stable cursors (see internal/collection's cursor
+// contract). Every response is JSON. Request bodies are size-capped and
+// every request carries a deadline.
 package server
 
 import (
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	"github.com/rlr-tree/rlrtree/internal/cliutil"
+	"github.com/rlr-tree/rlrtree/internal/collection"
 	"github.com/rlr-tree/rlrtree/internal/geom"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 	"github.com/rlr-tree/rlrtree/internal/shard"
@@ -52,6 +61,7 @@ import (
 // R-Tree algorithms extends one level up: the serving code cannot tell
 // how the index is partitioned.
 type Index interface {
+	Insert(r geom.Rect, data any)
 	InsertBatch(rects []geom.Rect, data []any)
 	Delete(r geom.Rect, data any) bool
 	SearchEach(q geom.Rect, fn func(geom.Rect, any)) rtree.QueryStats
@@ -136,6 +146,12 @@ type Config struct {
 	// AutoIDSeed starts the auto-assigned object ID counter past IDs
 	// already in use — Recover reports the right seed after a replay.
 	AutoIDSeed uint64
+	// Collection is the keyed object layer served by /set, /get, /del
+	// and the paged query modes. Pass the collection WAL recovery
+	// replayed into (built over Index with collection.Restore from the
+	// snapshot's keyed section); nil makes New build an empty one over
+	// Index.
+	Collection *collection.Collection
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -146,6 +162,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	index   Index
+	coll    *collection.Collection
 	metrics metrics
 	started time.Time
 
@@ -204,9 +221,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RebalanceEvery > 0 && cfg.RebalanceMaxCells <= 0 {
 		cfg.RebalanceMaxCells = DefaultRebalanceMaxCells
 	}
+	if cfg.Collection == nil {
+		cfg.Collection = collection.New(cfg.Index)
+	}
 	s := &Server{
 		cfg:         cfg,
 		index:       cfg.Index,
+		coll:        cfg.Collection,
 		started:     time.Now(),
 		stopSnap:    make(chan struct{}),
 		snapLoopWG:  make(chan struct{}),
@@ -276,20 +297,28 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Handler returns the service's HTTP handler: the route mux wrapped with
-// the per-request deadline.
+// Handler returns the service's HTTP handler. The per-request deadline
+// is applied as a context deadline inside instrument rather than via
+// http.TimeoutHandler: the handlers here are synchronous and fast, and
+// TimeoutHandler's per-request goroutine plus full response buffering
+// costs real throughput on small-core boxes (the keyed-update hot path
+// is thousands of tiny POSTs per second).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /insert", s.instrument("insert", s.handleInsert))
 	mux.HandleFunc("POST /delete", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("POST /set", s.instrumentLean("set", s.handleSet))
+	mux.HandleFunc("GET /get", s.instrumentLean("get", s.handleGet))
+	mux.HandleFunc("POST /del", s.instrumentLean("del", s.handleDel))
 	mux.HandleFunc("GET /search", s.instrument("search", s.handleSearch))
+	mux.HandleFunc("GET /within", s.instrument("within", s.handleWithin))
 	mux.HandleFunc("GET /knn", s.instrument("knn", s.handleKNN))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("POST /snapshot", s.instrument("snapshot", s.handleSnapshot))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	return mux
 }
 
 // instrument wraps a handler with body capping, latency/count metrics,
@@ -305,6 +334,26 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		defer cancel()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		s.recoverable(endpoint, h, sw, r.WithContext(ctx))
+		ep.observe(time.Since(start), sw.code >= 400)
+	}
+}
+
+// instrumentLean is instrument without the per-request deadline
+// context. The keyed point ops (SET/GET/DEL) never block on anything
+// context-aware — they hash, lock a stripe, touch the index, and for
+// SET/DEL wait on the WAL group commit, none of which observes
+// cancellation — so the context timer would be pure per-request
+// overhead on the system's hottest path. Query endpoints, which can
+// scan arbitrarily much of the index, keep the deadline.
+func (s *Server) instrumentLean(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.metrics.endpoint(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.recoverable(endpoint, h, sw, r)
 		ep.observe(time.Since(start), sw.code >= 400)
 	}
 }
@@ -516,6 +565,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad rect: %w", err))
 		return
 	}
+	if cur, limit, paged, err := s.pageParams(r); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	} else if paged {
+		s.handleSearchPaged(w, q, cur, limit)
+		return
+	}
 	rs := getRespScratch()
 	defer rs.release()
 	// Stream matches straight into the pooled ID slice — no intermediate
@@ -563,6 +619,13 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if k > s.cfg.MaxResults {
 		k = s.cfg.MaxResults
 	}
+	if cur, limit, paged, err := s.pageParams(r); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	} else if paged {
+		s.handleKNNPaged(w, p, k, cur, limit)
+		return
+	}
 	rs := getRespScratch()
 	defer rs.release()
 	neighbors, stats := s.index.KNNAppend(p, k, rs.knnBuf)
@@ -585,6 +648,9 @@ type statsResponse struct {
 	Index         string           `json:"index"`
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Tree          treeStatsPayload `json:"tree"`
+	// Collection carries the keyed object layer's counters: live keys
+	// plus cumulative sets, updates-in-place and dels.
+	Collection collection.Stats `json:"collection"`
 	// Shards carries the per-shard breakdown when the served index is
 	// sharded (implements ShardStatser); absent for a single tree.
 	Shards []treeStatsPayload `json:"shards,omitempty"`
@@ -641,6 +707,7 @@ func (s *Server) statsPayload() statsResponse {
 		Index:         s.cfg.IndexName,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Tree:          toTreeStatsPayload(s.index.Stats()),
+		Collection:    s.coll.Stats(),
 		Endpoints:     s.metrics.snapshot(),
 		Snapshots: snapshotStats{
 			Path:    s.cfg.SnapshotPath,

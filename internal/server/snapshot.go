@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"github.com/rlr-tree/rlrtree/internal/collection"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 	"github.com/rlr-tree/rlrtree/internal/shard"
 	"github.com/rlr-tree/rlrtree/internal/wal"
@@ -45,14 +46,18 @@ func (s *Server) SaveSnapshot() error {
 		lsn    uint64
 		encode func(io.Writer) error
 	)
+	// The collection's encoders prepend the keyed section to the inner
+	// index payload, so every snapshot carries the key map; its
+	// PrepareSnapshot captures the key map alongside the index epoch, so
+	// the two halves are consistent with each other and with the LSN.
 	if s.cfg.WAL == nil {
-		encode = s.index.EncodeSnapshot
+		encode = s.coll.EncodeSnapshot
 	} else {
 		s.walMu.Lock()
-		if p, ok := s.index.(SnapshotPreparer); ok {
+		if _, ok := s.index.(SnapshotPreparer); ok {
 			// Cheap capture under the lock, expensive encode outside it.
 			lsn = s.cfg.WAL.LastLSN()
-			encode = p.PrepareSnapshot()
+			encode = s.coll.PrepareSnapshot()
 			s.walMu.Unlock()
 		} else {
 			// The index cannot split capture from encode, so the whole
@@ -61,7 +66,7 @@ func (s *Server) SaveSnapshot() error {
 			// captured LSN and the encoded state.
 			defer s.walMu.Unlock()
 			lsn = s.cfg.WAL.LastLSN()
-			encode = s.index.EncodeSnapshot
+			encode = s.coll.EncodeSnapshot
 		}
 		if lsn < s.snapLSN.Load() {
 			// Unreachable while snapSaveMu serializes saves (LSNs only
@@ -146,22 +151,38 @@ func LoadSnapshot(path string, opts rtree.Options) (*rtree.Tree, error) {
 // LoadSnapshotLSN is LoadSnapshot plus the WAL LSN the snapshot covers:
 // replaying the log from that LSN reproduces the pre-crash state.
 // Snapshots written without a WAL (no envelope) report LSN 0, which
-// replays the whole log — correct, since nothing was retired.
+// replays the whole log — correct, since nothing was retired. The key
+// map section, when present, is decoded and dropped; use
+// LoadKeyedSnapshotLSN to keep it.
 func LoadSnapshotLSN(path string, opts rtree.Options) (*rtree.Tree, uint64, error) {
+	t, _, lsn, err := LoadKeyedSnapshotLSN(path, opts)
+	return t, lsn, err
+}
+
+// LoadKeyedSnapshotLSN is LoadSnapshotLSN plus the keyed section: the
+// (key, rect) pairs to rebuild the collection's key map with
+// collection.Restore over the returned tree. Snapshots from pre-keyed
+// servers return nil pairs (the key map starts empty and WAL replay of
+// keyed records, if any, rebuilds it).
+func LoadKeyedSnapshotLSN(path string, opts rtree.Options) (*rtree.Tree, []collection.KeyRect, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("server: open snapshot: %w", err)
+		return nil, nil, 0, fmt.Errorf("server: open snapshot: %w", err)
 	}
 	defer f.Close()
 	lsn, r, err := wal.ReadSnapshotHeader(f)
 	if err != nil {
-		return nil, 0, fmt.Errorf("server: %s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("server: %s: %w", path, err)
+	}
+	pairs, r, err := collection.ReadKeyedSection(r)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("server: %s: %w", path, err)
 	}
 	t, err := rtree.Decode(r, opts)
 	if err != nil {
-		return nil, 0, fmt.Errorf("server: %s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("server: %s: %w", path, err)
 	}
-	return t, lsn, nil
+	return t, pairs, lsn, nil
 }
 
 // LoadShardedSnapshot restores a ShardedTree from a snapshot written by
@@ -176,22 +197,35 @@ func LoadShardedSnapshot(path string, opts shard.Options) (*shard.ShardedTree, e
 }
 
 // LoadShardedSnapshotLSN is LoadShardedSnapshot plus the covered WAL
-// LSN, mirroring LoadSnapshotLSN.
+// LSN, mirroring LoadSnapshotLSN. The key map section, when present, is
+// decoded and dropped; use LoadKeyedShardedSnapshotLSN to keep it.
 func LoadShardedSnapshotLSN(path string, opts shard.Options) (*shard.ShardedTree, uint64, error) {
+	st, _, lsn, err := LoadKeyedShardedSnapshotLSN(path, opts)
+	return st, lsn, err
+}
+
+// LoadKeyedShardedSnapshotLSN is LoadShardedSnapshotLSN plus the keyed
+// section, mirroring LoadKeyedSnapshotLSN for the wire-v2 sharded
+// container.
+func LoadKeyedShardedSnapshotLSN(path string, opts shard.Options) (*shard.ShardedTree, []collection.KeyRect, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("server: open snapshot: %w", err)
+		return nil, nil, 0, fmt.Errorf("server: open snapshot: %w", err)
 	}
 	defer f.Close()
 	lsn, r, err := wal.ReadSnapshotHeader(f)
 	if err != nil {
-		return nil, 0, fmt.Errorf("server: %s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("server: %s: %w", path, err)
+	}
+	pairs, r, err := collection.ReadKeyedSection(r)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("server: %s: %w", path, err)
 	}
 	st, err := shard.Decode(r, opts)
 	if err != nil {
-		return nil, 0, fmt.Errorf("server: %s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("server: %s: %w", path, err)
 	}
-	return st, lsn, nil
+	return st, pairs, lsn, nil
 }
 
 // snapshotLoop writes periodic background snapshots until Close.

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/rlr-tree/rlrtree/internal/collection"
 	"github.com/rlr-tree/rlrtree/internal/geom"
 	"github.com/rlr-tree/rlrtree/internal/wal"
 )
@@ -123,6 +124,46 @@ func (s *Server) appendDelete(r geom.Rect, id string) (bool, error) {
 	return s.index.Delete(r, id), nil
 }
 
+// appendSet logs the keyed upsert and applies it through the
+// collection, under the shared half of the snapshot lock plus the key's
+// ID stripe. The logged rect is the NEW position — replaying Set(key,
+// rect) is self-contained, so a torn log never leaves half a move. Lock
+// order: walMu (shared) → idMu stripe → collection key stripe →
+// index locks; the collection takes its stripe strictly inside ours and
+// the index locks strictly inside that, so the order is acyclic (see
+// DESIGN.md §13).
+func (s *Server) appendSet(key string, r geom.Rect) (collection.SetResult, error) {
+	if s.cfg.WAL == nil {
+		return s.coll.Set(key, r), nil
+	}
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	defer s.lockIDs([]string{key})()
+	if _, err := s.cfg.WAL.AppendSet(r, key); err != nil {
+		return collection.SetResult{}, fmt.Errorf("wal append failed, set not applied: %w", err)
+	}
+	return s.coll.Set(key, r), nil
+}
+
+// appendDelKey logs the keyed delete and applies it. The logged rect is
+// the key's position at append time (informational — replay deletes by
+// key); a del of an absent key logs rect zero and replays as a no-op.
+func (s *Server) appendDelKey(key string) (bool, error) {
+	if s.cfg.WAL == nil {
+		_, ok := s.coll.Del(key)
+		return ok, nil
+	}
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
+	defer s.lockIDs([]string{key})()
+	rect, _ := s.coll.Get(key)
+	if _, err := s.cfg.WAL.AppendDelKey(rect, key); err != nil {
+		return false, fmt.Errorf("wal append failed, del not applied: %w", err)
+	}
+	_, ok := s.coll.Del(key)
+	return ok, nil
+}
+
 // RecoveryResult reports what Recover replayed into the index.
 type RecoveryResult struct {
 	Stats wal.ReplayStats
@@ -139,7 +180,12 @@ type RecoveryResult struct {
 // restores correctly into an M-shard or single-tree one; an epoch
 // mismatch is logged once as a heads-up, not an error. Recover must run
 // before the server starts handling requests.
-func Recover(w *wal.WAL, afterLSN uint64, idx Index, logf func(format string, args ...any)) (RecoveryResult, error) {
+//
+// coll receives the keyed records (RecSet/RecDelKey); build it over idx
+// with collection.Restore from the snapshot's keyed section and pass
+// the same instance to Config.Collection. A nil coll rejects keyed
+// records — only valid for logs written by a pre-keyed server.
+func Recover(w *wal.WAL, afterLSN uint64, idx Index, coll *collection.Collection, logf func(format string, args ...any)) (RecoveryResult, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -163,6 +209,16 @@ func Recover(w *wal.WAL, afterLSN uint64, idx Index, logf func(format string, ar
 			idx.InsertBatch(rec.Rects, data)
 		case wal.RecDelete:
 			idx.Delete(rec.Rects[0], rec.IDs[0])
+		case wal.RecSet:
+			if coll == nil {
+				return fmt.Errorf("server: keyed record at LSN %d but no collection to replay into", rec.LSN)
+			}
+			coll.Set(rec.IDs[0], rec.Rects[0])
+		case wal.RecDelKey:
+			if coll == nil {
+				return fmt.Errorf("server: keyed record at LSN %d but no collection to replay into", rec.LSN)
+			}
+			coll.Del(rec.IDs[0])
 		default:
 			return fmt.Errorf("server: unknown wal record type %v at LSN %d", rec.Type, rec.LSN)
 		}

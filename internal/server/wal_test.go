@@ -187,7 +187,7 @@ func TestServerWALCrashRecovery(t *testing.T) {
 		t.Fatal("snapshot carries no LSN")
 	}
 	idx2 := rtree.NewConcurrent(tree2)
-	res, err := Recover(w2, lsn, idx2, t.Logf)
+	res, err := Recover(w2, lsn, idx2, nil, t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestServerWALSnapshotRetiresSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	idx2 := rtree.NewConcurrent(tree2)
-	if _, err := Recover(w, lsn, idx2, nil); err != nil {
+	if _, err := Recover(w, lsn, idx2, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if idx2.Len() != 200 {
@@ -348,7 +348,7 @@ func TestServerWALShardedRecovery(t *testing.T) {
 	}
 	idx2 := rtree.NewConcurrent(tree)
 	var logged []string
-	res, err := Recover(w2, 0, idx2, func(format string, args ...any) {
+	res, err := Recover(w2, 0, idx2, nil, func(format string, args ...any) {
 		logged = append(logged, fmt.Sprintf(format, args...))
 	})
 	if err != nil {
@@ -441,7 +441,7 @@ func TestConcurrentSnapshotsAndWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	idx2 := rtree.NewConcurrent(tree2)
-	if _, err := Recover(w2, lsn, idx2, t.Logf); err != nil {
+	if _, err := Recover(w2, lsn, idx2, nil, t.Logf); err != nil {
 		t.Fatalf("recovery after concurrent snapshots: %v", err)
 	}
 	if got, want := indexIDs(t, idx2), oracleIDs(oracle); !equalStrings(got, want) {
@@ -520,7 +520,7 @@ func TestWALSameIDRaceReplayConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 	idx2 := rtree.NewConcurrent(tree2)
-	if _, err := Recover(w2, 0, idx2, nil); err != nil {
+	if _, err := Recover(w2, 0, idx2, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := indexIDs(t, idx2); !equalStrings(got, live) {

@@ -13,6 +13,8 @@ type SegmentInfo struct {
 	Inserts   int
 	Deletes   int
 	Batches   int
+	Sets      int // keyed upserts (RecSet)
+	DelKeys   int // keyed deletes (RecDelKey)
 	Items     int // objects mutated by valid records (batch items counted)
 	SizeBytes int64
 	ValidLen  int64 // bytes a recovery would keep
@@ -74,6 +76,8 @@ func fillInfo(info *SegmentInfo, res scanResult) {
 	info.Inserts = res.byType[RecInsert]
 	info.Deletes = res.byType[RecDelete]
 	info.Batches = res.byType[RecInsertBatch]
+	info.Sets = res.byType[RecSet]
+	info.DelKeys = res.byType[RecDelKey]
 	info.SizeBytes = res.sizeBytes
 	info.ValidLen = res.validLen
 	info.Torn = res.torn

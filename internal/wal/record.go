@@ -43,6 +43,14 @@ const (
 	RecDelete RecordType = 2
 	// RecInsertBatch is a multi-object insert applied as one batch.
 	RecInsertBatch RecordType = 3
+	// RecSet is a keyed upsert (collection SET): one rect, one key. On
+	// replay it replaces the key's previous position instead of adding a
+	// second object, which is what distinguishes it from RecInsert.
+	RecSet RecordType = 4
+	// RecDelKey is a keyed delete (collection DEL): the rect is the
+	// position the key held at append time (informational — replay
+	// removes by key, since the replaying collection tracks positions).
+	RecDelKey RecordType = 5
 )
 
 func (t RecordType) String() string {
@@ -53,6 +61,10 @@ func (t RecordType) String() string {
 		return "delete"
 	case RecInsertBatch:
 		return "insert-batch"
+	case RecSet:
+		return "set"
+	case RecDelKey:
+		return "del-key"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}
@@ -115,7 +127,7 @@ func appendFrame(b []byte, rec Record) ([]byte, error) {
 		return b, fmt.Errorf("wal: record has %d rects but %d ids", len(rec.Rects), len(rec.IDs))
 	}
 	switch rec.Type {
-	case RecInsert, RecDelete:
+	case RecInsert, RecDelete, RecSet, RecDelKey:
 		if len(rec.Rects) != 1 {
 			return b, fmt.Errorf("wal: %s record needs exactly 1 item, got %d", rec.Type, len(rec.Rects))
 		}
@@ -185,7 +197,7 @@ func decodePayload(p []byte) (Record, error) {
 
 	count := 1
 	switch rec.Type {
-	case RecInsert, RecDelete:
+	case RecInsert, RecDelete, RecSet, RecDelKey:
 	case RecInsertBatch:
 		c, n := binary.Uvarint(body)
 		if n <= 0 {

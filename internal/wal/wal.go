@@ -145,6 +145,7 @@ type WAL struct {
 	syncCond  *sync.Cond
 	syncedLSN uint64
 	syncErr   error
+	syncReqCh chan struct{} // appenders nudge the committer (capacity 1)
 	stopCh    chan struct{}
 	doneCh    chan struct{}
 
@@ -209,6 +210,7 @@ func Open(opts Options) (*WAL, error) {
 	if opts.Sync == SyncInterval {
 		w.stopCh = make(chan struct{})
 		w.doneCh = make(chan struct{})
+		w.syncReqCh = make(chan struct{}, 1)
 		go w.syncLoop()
 	}
 	return w, nil
@@ -337,6 +339,17 @@ func (w *WAL) AppendInsertBatch(rects []geom.Rect, ids []string) (uint64, error)
 	return w.append(Record{Type: RecInsertBatch, Rects: rects, IDs: ids})
 }
 
+// AppendSet logs a keyed upsert (collection SET) and returns its LSN.
+func (w *WAL) AppendSet(r geom.Rect, key string) (uint64, error) {
+	return w.append(Record{Type: RecSet, Rects: []geom.Rect{r}, IDs: []string{key}})
+}
+
+// AppendDelKey logs a keyed delete (collection DEL) and returns its LSN.
+// r is the position the key held at append time.
+func (w *WAL) AppendDelKey(r geom.Rect, key string) (uint64, error) {
+	return w.append(Record{Type: RecDelKey, Rects: []geom.Rect{r}, IDs: []string{key}})
+}
+
 // append assigns the next LSN, writes the frame to the active segment
 // (rotating first when it is full), and blocks until the record is
 // durable per the fsync policy. On a write fault the log becomes sticky-
@@ -403,6 +416,13 @@ func (w *WAL) append(rec Record) (uint64, error) {
 		return lsn, nil
 	default: // SyncInterval: group commit
 		w.mu.Unlock()
+		// Nudge the committer; the buffered channel makes this a no-op
+		// when a flush is already queued, so a batch's worth of appends
+		// costs one signal.
+		select {
+		case w.syncReqCh <- struct{}{}:
+		default:
+		}
 		return lsn, w.waitSynced(lsn)
 	}
 }
@@ -414,7 +434,7 @@ func (w *WAL) noteFsyncLocked() {
 	w.metrics.pendingSyncBytes = 0
 }
 
-// waitSynced blocks until the periodic syncer has fsynced past lsn.
+// waitSynced blocks until the committer has fsynced past lsn.
 func (w *WAL) waitSynced(lsn uint64) error {
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
@@ -439,9 +459,17 @@ func (w *WAL) wakeSyncWaiters(err error) {
 	w.syncCond.Broadcast()
 }
 
-// syncLoop is the group-commit goroutine: every SyncInterval it fsyncs
-// whatever has been appended since the previous sync and releases the
-// waiters those records belong to.
+// syncLoop is the group-commit committer. Appenders nudge it through
+// syncReqCh the moment their record lands in the segment, and it DRAINS:
+// after each fsync it re-checks for bytes that arrived during the flush
+// and fsyncs again immediately, without ever parking. Under load the
+// committer therefore stays hot — the commit cycle is one fsync plus a
+// pending check, never a goroutine wake-up handoff. That matters on
+// small-core boxes: a parked committer woken by broadcast competes with
+// every request handler for the run queue, and each lost slot stalls
+// all group-commit waiters. The SyncInterval ticker remains only as a
+// liveness backstop (it also bounds staleness when appends race the
+// drain check), so commit latency tracks the device, not the tick.
 func (w *WAL) syncLoop() {
 	defer close(w.doneCh)
 	t := time.NewTicker(w.opts.SyncInterval)
@@ -451,16 +479,34 @@ func (w *WAL) syncLoop() {
 		case <-w.stopCh:
 			return
 		case <-t.C:
+		case <-w.syncReqCh:
+		}
+		for {
 			if err := w.syncOnce(); err != nil {
 				w.wakeSyncWaiters(err)
 				return
+			}
+			w.mu.Lock()
+			pending := w.metrics.pendingSyncBytes
+			w.mu.Unlock()
+			if pending == 0 {
+				break
 			}
 		}
 	}
 }
 
 // syncOnce fsyncs the active segment if it has unsynced appends and
-// publishes the covered LSN to waiters.
+// publishes the covered LSN to waiters. The fsync itself runs OFF w.mu:
+// holding the append lock across the device flush would stall every
+// concurrent appender for the fsync's duration, so group-commit batches
+// could never form — new records must be able to land in the segment
+// while the current batch flushes. Capturing the *os.File and syncing
+// after unlock is safe against a concurrent rotation: os.File refcounts
+// its fd, so a Close during the Sync defers until the Sync returns, and
+// a Sync that starts after the Close fails with os.ErrClosed — in which
+// case the rotation's own fsync already published a watermark at or
+// past our target (it covers lastLSN at close time).
 func (w *WAL) syncOnce() error {
 	w.mu.Lock()
 	if w.err != nil {
@@ -469,18 +515,40 @@ func (w *WAL) syncOnce() error {
 		return err
 	}
 	target := w.lastLSN
-	if w.metrics.pendingSyncBytes == 0 {
+	pending := w.metrics.pendingSyncBytes
+	if pending == 0 {
 		w.mu.Unlock()
 		w.publishSynced(target)
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
+	f := w.f
+	w.mu.Unlock()
+
+	if err := f.Sync(); err != nil {
+		w.syncMu.Lock()
+		covered := w.syncedLSN >= target
+		w.syncMu.Unlock()
+		if covered {
+			// A rotation or explicit Sync got there first and closed or
+			// superseded the file; the records we vouch for are durable.
+			return nil
+		}
+		w.mu.Lock()
 		w.err = fmt.Errorf("wal: fsync failed: %w", err)
-		err := w.err
+		err = w.err
 		w.mu.Unlock()
 		return err
 	}
-	w.noteFsyncLocked()
+
+	w.mu.Lock()
+	w.metrics.fsyncs++
+	// Appends (or a rotation's own accounting) may have run during the
+	// flush; only claim the bytes this fsync was dispatched for.
+	if pending > w.metrics.pendingSyncBytes {
+		pending = w.metrics.pendingSyncBytes
+	}
+	w.metrics.fsyncedBytes += pending
+	w.metrics.pendingSyncBytes -= pending
 	w.mu.Unlock()
 	w.publishSynced(target)
 	return nil

@@ -491,92 +491,106 @@ func waitUntil(t *testing.T, what string, cond func() bool) {
 	}
 }
 
-// TestSyncReleasesGroupCommitWaiters is the regression test for the
-// group-commit wakeup bug: Sync() fsynced and counted the fsync in the
-// metrics but never published the covered LSN, so a blocked append
-// stayed parked until the next ticker tick. With the ticker an hour out,
-// only the publish on the explicit-Sync path can release the waiter.
-func TestSyncReleasesGroupCommitWaiters(t *testing.T) {
-	w := mustOpen(t, Options{Dir: t.TempDir(), Sync: SyncInterval, SyncInterval: time.Hour})
-	defer w.Close()
-
-	appended := make(chan error, 1)
+// appendWithin runs an append with a deadline so a group-commit
+// regression (appender parked on a dead ticker) fails the test instead
+// of hanging it for the hour-long interval the tests configure.
+func appendWithin(t *testing.T, w *WAL, r geom.Rect, id string) uint64 {
+	t.Helper()
+	type res struct {
+		lsn uint64
+		err error
+	}
+	ch := make(chan res, 1)
 	go func() {
-		_, err := w.AppendInsert(geom.Square(0.5, 0.5, 0.01), "a")
-		appended <- err
+		lsn, err := w.AppendInsert(r, id)
+		ch <- res{lsn, err}
 	}()
-	// The record's bytes are in the segment once LastLSN advances; the
-	// appender is then parked in the group-commit wait.
-	waitUntil(t, "append to reach the segment", func() bool { return w.LastLSN() == 1 })
 	select {
-	case err := <-appended:
-		t.Fatalf("append returned before any fsync (err=%v)", err)
-	case <-time.After(50 * time.Millisecond):
-	}
-
-	if err := w.Sync(); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case err := <-appended:
-		if err != nil {
-			t.Fatal(err)
+	case out := <-ch:
+		if out.err != nil {
+			t.Fatal(out.err)
 		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("explicit Sync did not release the group-commit waiter")
+		return out.lsn
+	case <-time.After(5 * time.Second):
+		t.Fatal("append did not commit; the group-commit committer is broken")
+		return 0
 	}
 }
 
-// TestRotationReleasesGroupCommitWaiters covers the same bug on the
-// rotation path: the fsync that seals a full segment makes every record
-// in it durable, so waiters parked on those records must be released by
-// the rotation itself, not by a later ticker tick (an hour out here).
-func TestRotationReleasesGroupCommitWaiters(t *testing.T) {
-	// SegmentBytes=1 forces every append after the first to rotate.
+// TestIntervalAppendSelfCommits pins signal-driven group commit: an
+// append nudges the committer goroutine directly, so with the periodic
+// ticker an hour out the append still returns promptly — and only after
+// an fsync covered its record.
+func TestIntervalAppendSelfCommits(t *testing.T) {
+	w := mustOpen(t, Options{Dir: t.TempDir(), Sync: SyncInterval, SyncInterval: time.Hour})
+	defer w.Close()
+
+	if lsn := appendWithin(t, w, geom.Square(0.5, 0.5, 0.01), "a"); lsn != 1 {
+		t.Fatalf("lsn = %d, want 1", lsn)
+	}
+	if m := w.Metrics(); m.Fsyncs == 0 {
+		t.Fatal("append returned with no fsync covering it")
+	}
+}
+
+// TestIntervalRotationSelfCommits runs signal-driven commits across
+// segment rotations: with SegmentBytes=1 every append seals the
+// previous segment, and each must return durable without ticker help.
+func TestIntervalRotationSelfCommits(t *testing.T) {
 	w := mustOpen(t, Options{Dir: t.TempDir(), Sync: SyncInterval, SyncInterval: time.Hour, SegmentBytes: 1})
 	defer w.Close()
 
-	first := make(chan error, 1)
-	go func() {
-		_, err := w.AppendInsert(geom.Square(0.1, 0.1, 0.01), "a")
-		first <- err
-	}()
-	waitUntil(t, "first append to reach the segment", func() bool { return w.LastLSN() == 1 })
-	select {
-	case err := <-first:
-		t.Fatalf("first append returned before any fsync (err=%v)", err)
-	case <-time.After(50 * time.Millisecond):
-	}
-
-	// The second append rotates before writing its own record; the
-	// rotation fsync covers LSN 1 and must release the first waiter.
-	second := make(chan error, 1)
-	go func() {
-		_, err := w.AppendInsert(geom.Square(0.2, 0.2, 0.01), "b")
-		second <- err
-	}()
-	select {
-	case err := <-first:
-		if err != nil {
-			t.Fatal(err)
+	const n = 5
+	for i := 0; i < n; i++ {
+		want := uint64(i + 1)
+		if lsn := appendWithin(t, w, geom.Square(0.1*float64(i+1), 0.1, 0.01), fmt.Sprintf("r-%d", i)); lsn != want {
+			t.Fatalf("lsn = %d, want %d", lsn, want)
 		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("rotation fsync did not release the waiter in the sealed segment")
 	}
+	m := w.Metrics()
+	if m.LastLSN != n {
+		t.Fatalf("LastLSN = %d, want %d", m.LastLSN, n)
+	}
+	if m.Fsyncs == 0 {
+		t.Fatal("appends returned with no fsync")
+	}
+	if m.Rotations < n-1 {
+		t.Fatalf("rotations = %d, want >= %d", m.Rotations, n-1)
+	}
+}
 
-	// The second record landed in the fresh segment after its fsync, so
-	// its waiter is still parked; release it explicitly.
-	waitUntil(t, "second append to reach the segment", func() bool { return w.LastLSN() == 2 })
-	if err := w.Sync(); err != nil {
-		t.Fatal(err)
+// TestIntervalConcurrentAppendsDurable hammers the committer: many
+// concurrent appenders, hour-out ticker — every append must return,
+// every record must be covered by some group fsync.
+func TestIntervalConcurrentAppendsDurable(t *testing.T) {
+	w := mustOpen(t, Options{Dir: t.TempDir(), Sync: SyncInterval, SyncInterval: time.Hour})
+	defer w.Close()
+
+	const appends = 64
+	errs := make(chan error, appends)
+	for i := 0; i < appends; i++ {
+		go func(i int) {
+			_, err := w.AppendInsert(geom.Square(0.01*float64(i%50), 0.2, 0.005), fmt.Sprintf("c-%d", i))
+			errs <- err
+		}(i)
 	}
-	select {
-	case err := <-second:
-		if err != nil {
-			t.Fatal(err)
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < appends; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatalf("only %d of %d appends committed", i, appends)
 		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("explicit Sync did not release the post-rotation waiter")
+	}
+	m := w.Metrics()
+	if m.LastLSN != appends {
+		t.Fatalf("LastLSN = %d, want %d", m.LastLSN, appends)
+	}
+	if m.Fsyncs == 0 || m.Fsyncs > appends {
+		t.Fatalf("fsyncs = %d, want in [1, %d]", m.Fsyncs, appends)
 	}
 }
 

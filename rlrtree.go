@@ -37,6 +37,7 @@ package rlrtree
 import (
 	"io"
 
+	"github.com/rlr-tree/rlrtree/internal/collection"
 	"github.com/rlr-tree/rlrtree/internal/core"
 	"github.com/rlr-tree/rlrtree/internal/geom"
 	"github.com/rlr-tree/rlrtree/internal/pager"
@@ -296,4 +297,45 @@ func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncP
 // from scratch. The input policy is not modified.
 func ResumeCombined(prev *Policy, data []Rect, cfg TrainConfig) (*Policy, *TrainReport, error) {
 	return core.ResumeCombined(prev, data, cfg)
+}
+
+// Keyed object collection: the live-update layer of internal/collection,
+// re-exported for embedders. Every object has a string key; Set replaces
+// the key's previous position (delete-old + reinsert in the spatial
+// index), Get and Del address objects by key, and the query methods page
+// through stable cursors. This is the layer that makes moving-object
+// workloads expressible — "object X moved" instead of delete-rect +
+// insert-rect — and it is what the serving layer's /set, /get, /del,
+// /within and paged /search, /knn endpoints speak.
+type (
+	// Collection is the keyed layer over a Spatial index. All methods are
+	// safe for concurrent use; Set/Del serialize per key.
+	Collection = collection.Collection
+	// Spatial is the index contract the collection needs; both
+	// *ConcurrentTree and *ShardedTree satisfy it.
+	Spatial = collection.Spatial
+	// SetResult reports whether a Set replaced an existing position and,
+	// if so, what that position was.
+	SetResult = collection.SetResult
+	// Page is one page of a keyed query: parallel Keys/Rects (plus Dists
+	// for Nearby) and a resume Cursor, non-empty while results remain.
+	Page = collection.Page
+	// KeyRect is one (key, position) pair, the unit of the keyed snapshot
+	// section.
+	KeyRect = collection.KeyRect
+	// CollectionStats is the collection's counter snapshot (objects,
+	// sets, updates in place, dels).
+	CollectionStats = collection.Stats
+)
+
+// NewCollection returns an empty keyed collection over ix. Typical
+// wiring: NewCollection(NewConcurrentTree(New(Options{}))) for one tree,
+// or a ShardedTree for per-shard write locks under churn.
+func NewCollection(ix Spatial) *Collection { return collection.New(ix) }
+
+// RestoreCollection rebuilds a collection whose key map comes from a
+// snapshot's keyed section while ix was restored from the same snapshot's
+// index payload; see collection.Restore for the pairing contract.
+func RestoreCollection(ix Spatial, pairs []KeyRect) *Collection {
+	return collection.Restore(ix, pairs)
 }
