@@ -9,21 +9,34 @@
 // by type, CRC verification, and the torn-tail report (what a recovery
 // would truncate) — without modifying anything.
 //
+// The `policy` subcommand dumps a policy file: format version, tree
+// parameters, which inference backends the bundle carries (MLP,
+// distilled branch table, quantized MLP) with their shapes and sizes,
+// and the file's sha256 — the quickest way to check what a serve
+// deployment will actually load.
+//
 // Usage:
 //
 //	rlr-inspect -data objs.csv -index rstar
 //	rlr-inspect -data objs.csv -policy policy.json -svg tree.svg -svg-level 2
 //	rlr-inspect wal -dir ./wal
 //	rlr-inspect wal -dir ./wal -records -strict
+//	rlr-inspect policy bundle.json
 package main
 
 import (
+	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/rlr-tree/rlrtree/internal/cliutil"
+	"github.com/rlr-tree/rlrtree/internal/core"
 	"github.com/rlr-tree/rlrtree/internal/dataset"
+	"github.com/rlr-tree/rlrtree/internal/mlp"
+	"github.com/rlr-tree/rlrtree/internal/policy"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 	"github.com/rlr-tree/rlrtree/internal/wal"
 )
@@ -31,6 +44,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "wal" {
 		walMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "policy" {
+		policyMain(os.Args[2:])
 		return
 	}
 	var (
@@ -94,6 +111,72 @@ func main() {
 		}
 		fmt.Printf("svg:          %s\n", *svgPath)
 	}
+}
+
+// policyMain is the `rlr-inspect policy` subcommand: a read-only report
+// of what a policy file carries — backends, shapes, distillation depth,
+// quantization scales, and a content digest for deployment bookkeeping.
+func policyMain(args []string) {
+	fs := flag.NewFlagSet("rlr-inspect policy", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("policy: exactly one policy file argument is required"))
+	}
+	path := fs.Arg(0)
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	bundle, err := core.LoadBundle(path)
+	if err != nil {
+		if errors.Is(err, core.ErrPolicyVersionTooNew) {
+			fatal(fmt.Errorf("%w — rebuild rlr-inspect from a newer checkout", err))
+		}
+		fatal(err)
+	}
+
+	fmt.Printf("file:          %s (%d bytes)\n", path, len(raw))
+	fmt.Printf("sha256:        %x\n", sha256.Sum256(raw))
+	if bundle.Distilled() {
+		fmt.Printf("format:        v2 bundle (distilled)\n")
+	} else {
+		fmt.Printf("format:        v1 policy (MLP only)\n")
+	}
+	fmt.Printf("k / M / m:     %d / %d / %d\n", bundle.K, bundle.MaxEntries, bundle.MinEntries)
+	fmt.Printf("padded state:  %v\n", bundle.PaddedState)
+	fmt.Printf("split by area: %v\n", bundle.SplitSortByArea)
+
+	describeOp := func(op string, net *mlp.Network, tbl *policy.Table, q *mlp.QuantNetwork) {
+		if net == nil {
+			fmt.Printf("%-7s        heuristic (no network)\n", op+":")
+			return
+		}
+		fmt.Printf("%-7s        mlp %d->%d (%d params)\n", op+":", net.InputSize(), net.OutputSize(), net.NumParams())
+		if tbl != nil {
+			fmt.Printf("               table depth %d (%d/%d live internal nodes, %d leaves, %d actions)\n",
+				tbl.Depth, tbl.InternalNodes(), len(tbl.Thresh), len(tbl.Leaf), tbl.Actions)
+		}
+		if q != nil {
+			scales := make([]string, len(q.Layers))
+			for i, l := range q.Layers {
+				scales[i] = fmt.Sprintf("%.3g", l.WScale)
+			}
+			fmt.Printf("               quant int16 %d->%d (%d params, w-scales %s)\n",
+				q.InputSize(), q.OutputSize(), q.NumParams(), strings.Join(scales, " "))
+		}
+	}
+	describeOp("choose", bundle.ChooseNet, bundle.ChooseTable, bundle.ChooseQuant)
+	describeOp("split", bundle.SplitNet, bundle.SplitTable, bundle.SplitQuant)
+
+	kinds := []string{"mlp"}
+	if bundle.ChooseTable != nil || bundle.SplitTable != nil {
+		kinds = append(kinds, "table")
+	}
+	if bundle.ChooseQuant != nil || bundle.SplitQuant != nil {
+		kinds = append(kinds, "qmlp")
+	}
+	fmt.Printf("backends:      %s\n", strings.Join(kinds, " "))
 }
 
 // walMain is the `rlr-inspect wal` subcommand: a read-only dump/verify

@@ -10,7 +10,9 @@
 //	rlr-query -data objs.csv -queries queries.csv            # batch mode
 //
 // Index kinds for -index: rtree (Guttman), rstar, rrstar. A -policy file
-// overrides -index.
+// overrides -index; -policy-kind picks the inference backend among the
+// ones the policy file carries (table and qmlp need a bundle written by
+// rlr-train -distill).
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 	var (
 		dataPath    = flag.String("data", "", "dataset CSV (required)")
 		policyPath  = flag.String("policy", "", "trained RLR-Tree policy JSON")
+		policyKind  = flag.String("policy-kind", "auto", "inference backend with -policy: auto, mlp, table, qmlp")
 		indexKind   = flag.String("index", "rtree", "heuristic index when no policy: rtree, rstar, rrstar")
 		rangeQ      = flag.String("range", "", "one range query: minx,miny,maxx,maxy")
 		knnQ        = flag.String("knn", "", "one KNN query point: x,y")
@@ -50,9 +53,12 @@ func main() {
 		fatal(err)
 	}
 
-	tree, name, err := cliutil.BuildIndex(*policyPath, *indexKind, *maxE, *minE)
+	tree, name, hot, err := cliutil.BuildIndexPolicy(*policyPath, *policyKind, *indexKind, *maxE, *minE)
 	if err != nil {
 		fatal(err)
+	}
+	if hot != nil && hot.Kind() != "heuristic" {
+		name = fmt.Sprintf("%s(%s)", name, hot.Kind())
 	}
 	start := time.Now()
 	for i, r := range data {

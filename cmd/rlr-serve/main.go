@@ -6,8 +6,16 @@
 //
 //	rlr-serve -addr :8080 -snapshot tree.gob -snapshot-every 30s
 //	rlr-serve -addr :8080 -policy policy.json -snapshot tree.gob
+//	rlr-serve -addr :8080 -policy distilled.json -policy-kind table
 //	rlr-serve -addr :8080 -shards 4
 //	rlr-serve -addr :8080 -snapshot tree.gob -wal-dir ./wal -wal-fsync always
+//
+// With -policy the insert path decides through a hot-swappable policy
+// engine; -policy-kind picks the inference backend (auto, mlp, table,
+// qmlp — table/qmlp need a bundle distilled with rlr-train -distill).
+// POST /policy swaps the backend (and optionally reloads the bundle
+// from disk) without a restart, and /stats grows a "policy" section
+// with per-backend insert counters.
 //
 // With -wal-dir every mutation is appended to a write-ahead log before
 // it is applied, so a crash (power loss, kill -9) loses at most the
@@ -50,6 +58,7 @@ import (
 
 	"github.com/rlr-tree/rlrtree/internal/cliutil"
 	"github.com/rlr-tree/rlrtree/internal/collection"
+	"github.com/rlr-tree/rlrtree/internal/core"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 	"github.com/rlr-tree/rlrtree/internal/server"
 	"github.com/rlr-tree/rlrtree/internal/shard"
@@ -60,6 +69,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		policyPath  = flag.String("policy", "", "trained RLR-Tree policy JSON")
+		policyKind  = flag.String("policy-kind", "auto", "inference backend with -policy: auto, mlp, table, qmlp")
 		indexKind   = flag.String("index", "rtree", "heuristic index when no policy: rtree, rstar, rrstar")
 		maxE        = flag.Int("max-entries", 50, "node capacity M")
 		minE        = flag.Int("min-entries", 20, "minimum node fill m")
@@ -85,9 +95,15 @@ func main() {
 
 	logger := log.New(os.Stderr, "rlr-serve: ", log.LstdFlags)
 
-	opts, name, err := cliutil.IndexOptions(*policyPath, *indexKind, *maxE, *minE)
+	opts, name, hot, err := cliutil.IndexOptionsPolicy(*policyPath, *policyKind, *indexKind, *maxE, *minE)
 	if err != nil {
+		if errors.Is(err, core.ErrPolicyVersionTooNew) {
+			logger.Fatalf("%v — rebuild rlr-serve from a newer checkout, or re-train the policy with an rlr-train matching this build", err)
+		}
 		logger.Fatal(err)
+	}
+	if hot != nil {
+		logger.Printf("policy: %s backend (choose=%s split=%s)", hot.Kind(), hot.Stats().ChooseBackend, hot.Stats().SplitBackend)
 	}
 	var (
 		index      server.Index
@@ -181,6 +197,7 @@ func main() {
 		WAL:            theWAL,
 		AutoIDSeed:     autoIDSeed,
 		Collection:     coll,
+		Policy:         hot,
 		Logf:           logger.Printf,
 
 		RebalanceEvery:    *rebalEvery,

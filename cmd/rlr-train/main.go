@@ -5,10 +5,18 @@
 //
 //	rlr-train -data train.csv -out policy.json            # combined (paper's RLR-Tree)
 //	rlr-train -kind GAU -n 100000 -mode choose -out p.json
+//	rlr-train -kind GAU -n 100000 -distill -out bundle.json
 //
 // Training data comes from a CSV file (-data) or a generated dataset
 // (-kind/-n). Modes: choose (RL ChooseSubtree only), split (RL Split
 // only), combined (alternating training of both agents; the default).
+//
+// With -distill the trained DQN is additionally compiled into a
+// branch-table policy and a quantized fixed-point MLP, and the output
+// becomes a v2 policy bundle carrying all backends; rlr-serve selects
+// among them with -policy-kind. The printed agreement is the fraction
+// of held-out states on which each compiled backend picks the same
+// action as the MLP it was distilled from.
 package main
 
 import (
@@ -40,6 +48,9 @@ func main() {
 		maxE        = flag.Int("max-entries", 50, "node capacity M")
 		minE        = flag.Int("min-entries", 20, "minimum node fill m")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for reward evaluation (1 = sequential; policy is identical either way)")
+		distill     = flag.Bool("distill", false, "distill the trained DQN into branch-table and quantized backends (writes a v2 bundle)")
+		distillDep  = flag.Int("distill-depth", 0, "max branch-table depth (0 = distiller default)")
+		distillSamp = flag.Int("distill-samples", 0, "synthetic states per operation for distillation (0 = distiller default)")
 		quiet       = flag.Bool("quiet", false, "suppress progress output")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -94,7 +105,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := pol.Save(*out); err != nil {
+	if *distill {
+		bundle, dr, err := core.Distill(pol, core.DistillConfig{
+			MaxDepth: *distillDep,
+			Samples:  *distillSamp,
+			Data:     train,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := bundle.Save(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "distilled: choose table agreement %.4f (quant %.4f) over %d states\n",
+			dr.ChooseAgreement, dr.ChooseQuantAgreement, dr.ChooseStates)
+		if pol.SplitNet != nil {
+			fmt.Fprintf(os.Stderr, "distilled: split table agreement %.4f (quant %.4f) over %d states\n",
+				dr.SplitAgreement, dr.SplitQuantAgreement, dr.SplitStates)
+		}
+	} else if err := pol.Save(*out); err != nil {
 		fatal(err)
 	}
 	var inserts, rewardQueries int

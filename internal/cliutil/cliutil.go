@@ -33,18 +33,37 @@ var IndexKinds = []string{"rtree", "rstar", "rrstar"}
 // options are what rtree.Decode needs to restore a snapshot with the same
 // insertion behaviour it was built with.
 func IndexOptions(policyPath, indexKind string, maxE, minE int) (rtree.Options, string, error) {
+	opts, name, _, err := IndexOptionsPolicy(policyPath, core.KindAuto, indexKind, maxE, minE)
+	return opts, name, err
+}
+
+// IndexOptionsPolicy is IndexOptions with an explicit inference-backend
+// kind for the policy path ("auto", "mlp", "table", or "qmlp" — see
+// core.PolicyKinds). When policyPath is set, the returned HotPolicy serves
+// the options' strategies and supports atomic backend swaps while inserts
+// are in flight; it is nil for heuristic indexes. Loading a policy file
+// written by a newer build fails with an error matching
+// core.ErrPolicyVersionTooNew.
+func IndexOptionsPolicy(policyPath, policyKind, indexKind string, maxE, minE int) (rtree.Options, string, *core.HotPolicy, error) {
 	if policyPath != "" {
-		pol, err := core.LoadPolicy(policyPath)
+		bundle, err := core.LoadBundle(policyPath)
 		if err != nil {
-			return rtree.Options{}, "", err
+			return rtree.Options{}, "", nil, err
+		}
+		hot, err := core.NewHotPolicy(bundle, policyKind)
+		if err != nil {
+			return rtree.Options{}, "", nil, err
 		}
 		opts := rtree.Options{
-			MaxEntries: pol.MaxEntries,
-			MinEntries: pol.MinEntries,
-			Chooser:    pol.Chooser(),
-			Splitter:   pol.Splitter(),
+			MaxEntries: bundle.MaxEntries,
+			MinEntries: bundle.MinEntries,
+			Chooser:    hot.Chooser(),
+			Splitter:   hot.Splitter(),
 		}
-		return opts, "RLR-Tree", nil
+		return opts, "RLR-Tree", hot, nil
+	}
+	if policyKind != "" && policyKind != core.KindAuto {
+		return rtree.Options{}, "", nil, fmt.Errorf("-policy-kind %q requires -policy", policyKind)
 	}
 	opts := rtree.Options{MaxEntries: maxE, MinEntries: minE}
 	switch indexKind {
@@ -56,21 +75,32 @@ func IndexOptions(policyPath, indexKind string, maxE, minE int) (rtree.Options, 
 	case "rrstar":
 		opts.Chooser, opts.Splitter = rtree.RRStarChooser{}, rtree.RRStarSplit{}
 	default:
-		return rtree.Options{}, "", fmt.Errorf("unknown index %q (have %s)", indexKind, strings.Join(IndexKinds, ", "))
+		return rtree.Options{}, "", nil, fmt.Errorf("unknown index %q (have %s)", indexKind, strings.Join(IndexKinds, ", "))
 	}
-	return opts, indexKind, nil
+	return opts, indexKind, nil, nil
 }
 
 // BuildIndex returns an empty index: the RLR-Tree from policyPath when it
 // is non-empty, otherwise the named heuristic baseline. The returned name
 // labels the index in tool output.
 func BuildIndex(policyPath, indexKind string, maxE, minE int) (*rtree.Tree, string, error) {
-	opts, name, err := IndexOptions(policyPath, indexKind, maxE, minE)
+	t, name, _, err := BuildIndexPolicy(policyPath, core.KindAuto, indexKind, maxE, minE)
+	return t, name, err
+}
+
+// BuildIndexPolicy is BuildIndex with an explicit inference-backend kind,
+// returning the serving HotPolicy alongside the tree (nil for heuristic
+// indexes).
+func BuildIndexPolicy(policyPath, policyKind, indexKind string, maxE, minE int) (*rtree.Tree, string, *core.HotPolicy, error) {
+	opts, name, hot, err := IndexOptionsPolicy(policyPath, policyKind, indexKind, maxE, minE)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	t, err := rtree.NewChecked(opts)
-	return t, name, err
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return t, name, hot, nil
 }
 
 // ParseFloats parses exactly n comma-separated numbers.

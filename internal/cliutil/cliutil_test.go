@@ -1,7 +1,9 @@
 package cliutil
 
 import (
+	"errors"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -67,6 +69,70 @@ func TestBuildIndexFromPolicy(t *testing.T) {
 	}
 	if _, _, err := BuildIndex(filepath.Join(t.TempDir(), "missing.json"), "", 0, 0); err == nil {
 		t.Fatalf("missing policy accepted")
+	}
+}
+
+func TestBuildIndexPolicyKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]geom.Rect, 600)
+	for i := range data {
+		data[i] = geom.Square(rng.Float64(), rng.Float64(), 0.002)
+	}
+	pol, _, err := core.TrainChoosePolicy(data, core.Config{
+		K: 2, P: 4, ChooseEpochs: 1, Parts: 2,
+		MaxEntries: 16, MinEntries: 6, TrainingQueryFrac: 0.001, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, _, err := core.Distill(pol, core.DistillConfig{Samples: 1000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := bundle.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	tree, name, hot, err := BuildIndexPolicy(path, "table", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "RLR-Tree" || hot == nil || hot.Kind() != "table" {
+		t.Fatalf("name %q hot %v", name, hot)
+	}
+	for i, r := range data {
+		tree.Insert(r, i)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The hot policy can flip backends after the build.
+	if err := hot.Swap(nil, "mlp"); err != nil {
+		t.Fatal(err)
+	}
+	if hot.Kind() != "mlp" {
+		t.Fatalf("kind after swap %q", hot.Kind())
+	}
+
+	// A distilled kind without -policy is a usage error.
+	if _, _, _, err := BuildIndexPolicy("", "table", "rtree", 16, 6); err == nil {
+		t.Fatal("-policy-kind without -policy accepted")
+	}
+	// Heuristic indexes return no hot policy.
+	if _, _, hot, err := BuildIndexPolicy("", "auto", "rtree", 16, 6); err != nil || hot != nil {
+		t.Fatalf("heuristic index: hot=%v err=%v", hot, err)
+	}
+}
+
+func TestIndexOptionsVersionTooNew(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.json")
+	if err := os.WriteFile(path, []byte(`{"format":"rlrtree-policy-v9","k":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := IndexOptions(path, "", 0, 0)
+	if !errors.Is(err, core.ErrPolicyVersionTooNew) {
+		t.Fatalf("err = %v, want ErrPolicyVersionTooNew", err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/rlr-tree/rlrtree/internal/geom"
+	"github.com/rlr-tree/rlrtree/internal/policy"
 	"github.com/rlr-tree/rlrtree/internal/rl"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 )
@@ -39,8 +40,8 @@ func TrainCombined(data []geom.Rect, cfg Config) (*Policy, *TrainReport, error) 
 	// Frozen greedy views of the current policies, used while the other
 	// agent trains. They read the live networks, which only change during
 	// their own epochs.
-	frozenChooser := &policyChooser{net: chooseAgent.Network(), k: cfg.K, padded: cfg.PaddedState}
-	frozenSplitter := &policySplitter{net: splitAgent.Network(), k: cfg.K, byArea: cfg.SplitSortByArea}
+	frozenChooser := newPolicyChooser(policy.NewMLP(chooseAgent.Network()), cfg.K, cfg.PaddedState)
+	frozenSplitter := newPolicySplitter(policy.NewMLP(splitAgent.Network()), cfg.K, cfg.SplitSortByArea)
 
 	pool := newRewardPool(cfg.Workers)
 	defer pool.Close()
@@ -137,8 +138,8 @@ func ResumeCombined(prev *Policy, data []geom.Rect, cfg Config) (*Policy, *Train
 	}, prev.SplitNet.Clone())
 
 	report := &TrainReport{}
-	frozenChooser := &policyChooser{net: chooseAgent.Network(), k: cfg.K, padded: cfg.PaddedState}
-	frozenSplitter := &policySplitter{net: splitAgent.Network(), k: cfg.K, byArea: cfg.SplitSortByArea}
+	frozenChooser := newPolicyChooser(policy.NewMLP(chooseAgent.Network()), cfg.K, cfg.PaddedState)
+	frozenSplitter := newPolicySplitter(policy.NewMLP(splitAgent.Network()), cfg.K, cfg.SplitSortByArea)
 
 	pool := newRewardPool(cfg.Workers)
 	defer pool.Close()

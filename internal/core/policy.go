@@ -2,11 +2,16 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"sync"
 
 	"github.com/rlr-tree/rlrtree/internal/geom"
 	"github.com/rlr-tree/rlrtree/internal/mlp"
+	"github.com/rlr-tree/rlrtree/internal/policy"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 )
 
@@ -82,7 +87,7 @@ func (p *Policy) Chooser() rtree.SubtreeChooser {
 	if p.ChooseNet == nil {
 		return rtree.GuttmanChooser{}
 	}
-	return &policyChooser{net: p.ChooseNet, k: p.K, padded: p.PaddedState}
+	return newPolicyChooser(policy.NewMLP(p.ChooseNet), p.K, p.PaddedState)
 }
 
 // Splitter returns the policy's Split strategy: the greedy learned policy
@@ -91,15 +96,24 @@ func (p *Policy) Splitter() rtree.Splitter {
 	if p.SplitNet == nil {
 		return rtree.MinOverlapSplit{}
 	}
-	return &policySplitter{net: p.SplitNet, k: p.K, byArea: p.SplitSortByArea}
+	return newPolicySplitter(policy.NewMLP(p.SplitNet), p.K, p.SplitSortByArea)
 }
 
-// policyChooser descends by the maximum Q-value over the top-k children,
-// honoring the containment shortcut.
+// policyChooser descends by the engine's action over the top-k children,
+// honoring the containment shortcut. With an MLP engine the decision is
+// arithmetically identical to the pre-engine code path (forward pass +
+// masked argmax), which is what keeps the golden workload digests stable;
+// table and quantized engines approximate it.
 type policyChooser struct {
-	net    *mlp.Network
+	eng    policy.Engine
 	k      int
 	padded bool
+}
+
+// newPolicyChooser wraps an inference engine as the tree's ChooseSubtree
+// strategy.
+func newPolicyChooser(eng policy.Engine, k int, padded bool) *policyChooser {
+	return &policyChooser{eng: eng, k: k, padded: padded}
 }
 
 // Name implements rtree.SubtreeChooser.
@@ -107,31 +121,46 @@ func (c *policyChooser) Name() string { return "rl-choose" }
 
 // Choose implements rtree.SubtreeChooser.
 func (c *policyChooser) Choose(t *rtree.Tree, n *rtree.Node, r geom.Rect) int {
-	cc := chooseState(n, r, c.k, t.MaxEntries(), c.padded)
+	return chooseViaEngine(c.eng, c.k, c.padded, t, n, r)
+}
+
+// chooseScratchPool recycles featurization buffers across ChooseSubtree
+// decisions. Pooled (rather than stored per chooser) because one chooser
+// instance may serve goroutines concurrently during training's overlapped
+// reference-tree cloning; engines never retain the state slice, so the
+// buffers are free the moment the decision returns.
+var chooseScratchPool = sync.Pool{New: func() any { return new(chooseScratch) }}
+
+// chooseViaEngine is the shared ChooseSubtree decision: featurize, honor
+// the containment shortcut, ask the engine, map the action back to a child
+// index. Both the static policyChooser and the server's hot-swappable
+// chooser route through it.
+func chooseViaEngine(eng policy.Engine, k int, padded bool, t *rtree.Tree, n *rtree.Node, r geom.Rect) int {
+	sc := chooseScratchPool.Get().(*chooseScratch)
+	defer chooseScratchPool.Put(sc)
+	cc := chooseStateInto(sc, n, r, k, t.MaxEntries(), padded)
 	if cc.Contained >= 0 {
 		return cc.Contained
 	}
-	q := c.net.Forward(cc.State)
 	valid := len(cc.Children)
-	if !c.padded && valid > c.k {
-		valid = c.k
+	if !padded && valid > k {
+		valid = k
 	}
-	best := 0
-	for i := 1; i < valid && i < len(q); i++ {
-		if q[i] > q[best] {
-			best = i
-		}
-	}
-	return cc.Children[best]
+	return cc.Children[eng.ChooseAction(cc.State, valid)]
 }
 
-// policySplitter splits by the maximum Q-value over the top-k
-// overlap-free candidate splits, falling back to the minimum-overlap
-// partition when fewer than two such candidates exist.
+// policySplitter splits by the engine's action over the top-k overlap-free
+// candidate splits, falling back to the minimum-overlap partition when
+// fewer than two such candidates exist.
 type policySplitter struct {
-	net    *mlp.Network
+	eng    policy.Engine
 	k      int
 	byArea bool
+}
+
+// newPolicySplitter wraps an inference engine as the tree's Split strategy.
+func newPolicySplitter(eng policy.Engine, k int, byArea bool) *policySplitter {
+	return &policySplitter{eng: eng, k: k, byArea: byArea}
 }
 
 // Name implements rtree.Splitter.
@@ -139,49 +168,68 @@ func (s *policySplitter) Name() string { return "rl-split" }
 
 // Split implements rtree.Splitter.
 func (s *policySplitter) Split(t *rtree.Tree, n *rtree.Node) ([]rtree.Entry, []rtree.Entry) {
-	sc := splitState(n.Entries(), t.MinEntries(), s.k, s.byArea)
+	return splitViaEngine(s.eng, s.k, s.byArea, t, n)
+}
+
+// splitViaEngine is the shared Split decision, the splitter analogue of
+// chooseViaEngine.
+func splitViaEngine(eng policy.Engine, k int, byArea bool, t *rtree.Tree, n *rtree.Node) ([]rtree.Entry, []rtree.Entry) {
+	sc := splitState(n.Entries(), t.MinEntries(), k, byArea)
 	if !sc.UseModel {
 		return (rtree.MinOverlapSplit{}).Split(t, n)
 	}
-	q := s.net.Forward(sc.State)
-	best := 0
-	for i := 1; i < len(sc.Cands) && i < len(q); i++ {
-		if q[i] > q[best] {
-			best = i
-		}
-	}
-	return sc.Enum.Materialize(sc.Cands[best])
+	return sc.Enum.Materialize(sc.Cands[eng.ChooseAction(sc.State, len(sc.Cands))])
 }
 
-// policyFile is the on-disk JSON form of a Policy.
+// policyFile is the on-disk JSON form of a Policy (format v1) or a
+// PolicyBundle (format v2, which adds the optional distilled artifacts —
+// see bundle.go). v1 files decode under v2 readers unchanged; a plain
+// Policy still saves as v1 so pre-distillation files stay byte-compatible.
 type policyFile struct {
-	Format          string       `json:"format"`
-	K               int          `json:"k"`
-	MaxEntries      int          `json:"max_entries"`
-	MinEntries      int          `json:"min_entries"`
-	PaddedState     bool         `json:"padded_state,omitempty"`
-	SplitSortByArea bool         `json:"split_sort_by_area,omitempty"`
-	ChooseNet       *mlp.Network `json:"choose_net,omitempty"`
-	SplitNet        *mlp.Network `json:"split_net,omitempty"`
+	Format          string            `json:"format"`
+	K               int               `json:"k"`
+	MaxEntries      int               `json:"max_entries"`
+	MinEntries      int               `json:"min_entries"`
+	PaddedState     bool              `json:"padded_state,omitempty"`
+	SplitSortByArea bool              `json:"split_sort_by_area,omitempty"`
+	ChooseNet       *mlp.Network      `json:"choose_net,omitempty"`
+	SplitNet        *mlp.Network      `json:"split_net,omitempty"`
+	ChooseTable     *policy.Table     `json:"choose_table,omitempty"`
+	SplitTable      *policy.Table     `json:"split_table,omitempty"`
+	ChooseQuant     *mlp.QuantNetwork `json:"choose_quant,omitempty"`
+	SplitQuant      *mlp.QuantNetwork `json:"split_quant,omitempty"`
 }
 
-const policyFormat = "rlrtree-policy-v1"
+const (
+	policyFormatPrefix = "rlrtree-policy-v"
+	policyFormat       = policyFormatPrefix + "1"
+	policyFormatV2     = policyFormatPrefix + "2"
+	// maxPolicyVersion is the newest format this build can decode.
+	maxPolicyVersion = 2
+)
 
-// Save writes the policy to path as JSON.
-func (p *Policy) Save(path string) error {
-	if err := p.Validate(); err != nil {
-		return err
+// ErrPolicyVersionTooNew reports a policy file written by a newer build
+// than this one. Callers (rlr-serve startup in particular) match it with
+// errors.Is to print an actionable upgrade message instead of a generic
+// parse failure.
+var ErrPolicyVersionTooNew = errors.New("policy file format newer than this build supports")
+
+// checkPolicyFormat validates a policy file's format string against the
+// versions this build decodes.
+func checkPolicyFormat(format string) error {
+	if format == policyFormat || format == policyFormatV2 {
+		return nil
 	}
-	data, err := json.MarshalIndent(policyFile{
-		Format:          policyFormat,
-		K:               p.K,
-		MaxEntries:      p.MaxEntries,
-		MinEntries:      p.MinEntries,
-		PaddedState:     p.PaddedState,
-		SplitSortByArea: p.SplitSortByArea,
-		ChooseNet:       p.ChooseNet,
-		SplitNet:        p.SplitNet,
-	}, "", " ")
+	if v, err := strconv.Atoi(strings.TrimPrefix(format, policyFormatPrefix)); err == nil && strings.HasPrefix(format, policyFormatPrefix) && v > maxPolicyVersion {
+		return fmt.Errorf("core: policy format %q (this build reads up to v%d): %w",
+			format, maxPolicyVersion, ErrPolicyVersionTooNew)
+	}
+	return fmt.Errorf("core: unsupported policy format %q", format)
+}
+
+// writePolicyFile encodes and writes a policy file.
+func writePolicyFile(path string, pf policyFile) error {
+	data, err := json.MarshalIndent(pf, "", " ")
 	if err != nil {
 		return fmt.Errorf("core: encode policy: %w", err)
 	}
@@ -191,30 +239,55 @@ func (p *Policy) Save(path string) error {
 	return nil
 }
 
-// LoadPolicy reads a policy previously written by Save.
-func LoadPolicy(path string) (*Policy, error) {
+// readPolicyFile reads and decodes a policy file of any supported version.
+func readPolicyFile(path string) (*policyFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: read policy: %w", err)
+	}
+	// Peek at the format before decoding the body: a too-new file may hold
+	// artifacts whose decoders this build lacks, and the version error must
+	// win over whatever JSON error those would produce.
+	var header struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &header); err != nil {
+		return nil, fmt.Errorf("core: decode policy: %w", err)
+	}
+	if err := checkPolicyFormat(header.Format); err != nil {
+		return nil, err
 	}
 	var pf policyFile
 	if err := json.Unmarshal(data, &pf); err != nil {
 		return nil, fmt.Errorf("core: decode policy: %w", err)
 	}
-	if pf.Format != policyFormat {
-		return nil, fmt.Errorf("core: unsupported policy format %q", pf.Format)
-	}
-	p := &Policy{
-		ChooseNet:       pf.ChooseNet,
-		SplitNet:        pf.SplitNet,
-		K:               pf.K,
-		MaxEntries:      pf.MaxEntries,
-		MinEntries:      pf.MinEntries,
-		PaddedState:     pf.PaddedState,
-		SplitSortByArea: pf.SplitSortByArea,
-	}
+	return &pf, nil
+}
+
+// Save writes the policy to path as JSON (format v1; distilled bundles are
+// saved by PolicyBundle.Save as v2).
+func (p *Policy) Save(path string) error {
 	if err := p.Validate(); err != nil {
+		return err
+	}
+	return writePolicyFile(path, policyFile{
+		Format:          policyFormat,
+		K:               p.K,
+		MaxEntries:      p.MaxEntries,
+		MinEntries:      p.MinEntries,
+		PaddedState:     p.PaddedState,
+		SplitSortByArea: p.SplitSortByArea,
+		ChooseNet:       p.ChooseNet,
+		SplitNet:        p.SplitNet,
+	})
+}
+
+// LoadPolicy reads the Policy part of a policy file of any supported
+// version, dropping distilled artifacts; use LoadBundle to keep them.
+func LoadPolicy(path string) (*Policy, error) {
+	b, err := LoadBundle(path)
+	if err != nil {
 		return nil, err
 	}
-	return p, nil
+	return b.Policy, nil
 }

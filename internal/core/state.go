@@ -28,6 +28,17 @@ type childFeature struct {
 	occupancy           float64
 }
 
+// chooseScratch holds the working buffers of one chooseState computation so
+// hot insert paths can reuse them across decisions. The chooseCandidates
+// returned by chooseStateInto alias these buffers and are valid only until
+// the scratch's next use.
+type chooseScratch struct {
+	feats    []childFeature
+	areas    []float64
+	state    []float64
+	children []int
+}
+
 // chooseState computes the ChooseSubtree MDP state for inserting an object
 // with rectangle r at node n (Section 4.1.1 of the paper):
 //
@@ -40,7 +51,16 @@ type childFeature struct {
 //
 // With padded set (the rejected state design kept as an ablation), step 2
 // keeps *all* children and the vector is zero-padded to 4·maxEntries.
+//
+// The returned slices are freshly allocated and may be retained; the
+// recording paths (training, harvesting) rely on that. The serving insert
+// path uses chooseStateInto with a pooled scratch instead.
 func chooseState(n *rtree.Node, r geom.Rect, k, maxEntries int, padded bool) chooseCandidates {
+	return chooseStateInto(new(chooseScratch), n, r, k, maxEntries, padded)
+}
+
+// chooseStateInto is chooseState computing into sc's reusable buffers.
+func chooseStateInto(sc *chooseScratch, n *rtree.Node, r geom.Rect, k, maxEntries int, padded bool) chooseCandidates {
 	entries := n.Entries()
 	cc := chooseCandidates{Contained: -1}
 
@@ -48,7 +68,7 @@ func chooseState(n *rtree.Node, r geom.Rect, k, maxEntries int, padded bool) cho
 	// the new object, no MBR grows — descend into the smallest such child
 	// (Guttman's zero-enlargement tie-break) without consulting the model.
 	bestArea := 0.0
-	feats := make([]childFeature, 0, len(entries))
+	feats := sc.feats[:0]
 	for i := range entries {
 		er := entries[i].Rect
 		if er.Contains(r) {
@@ -67,6 +87,7 @@ func chooseState(n *rtree.Node, r geom.Rect, k, maxEntries int, padded bool) cho
 			occupancy: float64(n.ChildAt(i).NumEntries()) / float64(maxEntries),
 		})
 	}
+	sc.feats = feats // retain grown capacity for the next call
 	if cc.Contained >= 0 {
 		return cc
 	}
@@ -76,7 +97,8 @@ func chooseState(n *rtree.Node, r geom.Rect, k, maxEntries int, padded bool) cho
 	// (many children need zero or equal enlargement), and without the
 	// secondary key the shortlist order, and therefore action 0, would be
 	// arbitrary among tied children.
-	areas := make([]float64, len(entries))
+	areas := growFloats(sc.areas, len(entries))
+	sc.areas = areas
 	for i := range entries {
 		areas[i] = entries[i].Rect.Area()
 	}
@@ -123,8 +145,13 @@ func chooseState(n *rtree.Node, r geom.Rect, k, maxEntries int, padded bool) cho
 	if padded {
 		dim = 4 * maxEntries
 	}
-	cc.State = make([]float64, dim)
-	cc.Children = make([]int, len(feats))
+	cc.State = growFloats(sc.state, dim)
+	sc.state = cc.State
+	for i := range cc.State {
+		cc.State[i] = 0 // a reused buffer must present clean zero padding
+	}
+	cc.Children = growInts(sc.children, len(feats))
+	sc.children = cc.Children
 	for i, f := range feats {
 		cc.Children[i] = f.idx
 		cc.State[4*i+0] = norm(f.dArea, maxA)
@@ -183,6 +210,23 @@ func splitState(entries []rtree.Entry, minFill, k int, byArea bool) splitCandida
 		sc.State[4*i+3] = norm(c.MBR2.Perimeter(), maxP)
 	}
 	return sc
+}
+
+// growFloats returns a slice of length n, reusing buf's storage when it is
+// large enough.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growInts is growFloats for []int.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 func maxf(a, b float64) float64 {

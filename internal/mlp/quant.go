@@ -1,0 +1,222 @@
+package mlp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// QuantLayer is an int16 fixed-point quantization of a dense layer. Weights
+// are stored flat row-major as int16 codes with one symmetric scale per
+// layer: w_float ≈ float64(W[o*In+i]) * WScale. Biases stay float64 — they
+// are added after the integer dot product is dequantized, so quantizing
+// them would only add error for no speed.
+type QuantLayer struct {
+	In, Out int
+	Act     Activation
+	W       []int16
+	WScale  float64
+	B       []float64
+}
+
+// QuantNetwork is a fixed-point inference copy of a Network. It holds no
+// mutable state: Forward is safe for concurrent use with caller-owned
+// scratch, and the struct can be shared freely after construction.
+type QuantNetwork struct {
+	Layers []*QuantLayer
+}
+
+// quantCap is the symmetric int16 code range. ±32767 keeps the codes inside
+// int16 without ever producing the asymmetric -32768.
+const quantCap = 32767
+
+// Quantize converts a float network to int16 fixed point with one symmetric
+// per-layer weight scale (max |w| maps to ±32767). The activations and
+// biases remain float64; only the dot products run in integer arithmetic.
+func Quantize(n *Network) *QuantNetwork {
+	q := &QuantNetwork{}
+	for _, l := range n.Layers {
+		ql := &QuantLayer{
+			In:  l.In,
+			Out: l.Out,
+			Act: l.Act,
+			W:   make([]int16, l.In*l.Out),
+			B:   append([]float64(nil), l.B...),
+		}
+		maxAbs := 0.0
+		for _, row := range l.W {
+			for _, w := range row {
+				if a := math.Abs(w); a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+		if maxAbs == 0 {
+			ql.WScale = 1
+		} else {
+			ql.WScale = maxAbs / quantCap
+		}
+		for o, row := range l.W {
+			for i, w := range row {
+				ql.W[o*l.In+i] = int16(math.Round(w / ql.WScale))
+			}
+		}
+		q.Layers = append(q.Layers, ql)
+	}
+	return q
+}
+
+// InputSize returns the expected input dimensionality.
+func (q *QuantNetwork) InputSize() int { return q.Layers[0].In }
+
+// OutputSize returns the output dimensionality.
+func (q *QuantNetwork) OutputSize() int { return q.Layers[len(q.Layers)-1].Out }
+
+// NumParams returns the total number of quantized weights plus biases.
+func (q *QuantNetwork) NumParams() int {
+	total := 0
+	for _, l := range q.Layers {
+		total += len(l.W) + len(l.B)
+	}
+	return total
+}
+
+// QuantScratch holds the reusable buffers for QuantNetwork.Forward. The zero
+// value is ready to use. A scratch must not be shared between concurrent
+// callers; give each goroutine its own.
+type QuantScratch struct {
+	xq  []int16
+	act [2][]float64
+}
+
+// growI16 mirrors grow for int16 buffers.
+func growI16(buf []int16, n int) []int16 {
+	if cap(buf) < n {
+		return make([]int16, n)
+	}
+	return buf[:n]
+}
+
+// quantizeInput converts one activation vector to int16 codes with a
+// dynamic symmetric scale (max |x| maps to ±32767) and returns the scale.
+// Non-finite inputs get deterministic codes on every platform — NaN → 0,
+// +Inf → +32767, -Inf → -32767 — because Go leaves float-to-int conversion
+// of non-finite values implementation-defined. They are also excluded from
+// the scale so one poisoned slot cannot zero out the rest of the vector.
+func quantizeInput(x []float64, xq []int16) float64 {
+	maxAbs := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs && a < math.Inf(1) {
+			maxAbs = a
+		}
+	}
+	scale := 1.0
+	if maxAbs > 0 {
+		scale = maxAbs / quantCap
+	}
+	for i, v := range x {
+		switch {
+		case math.IsNaN(v):
+			xq[i] = 0
+		case math.IsInf(v, 1):
+			xq[i] = quantCap
+		case math.IsInf(v, -1):
+			xq[i] = -quantCap
+		default:
+			xq[i] = int16(math.Round(v / scale))
+		}
+	}
+	return scale
+}
+
+// Forward computes the network output with integer dot products: each
+// layer's input is dynamically quantized to int16, the matvec accumulates
+// in int64 (no overflow: |w·x| ≤ In · 32767² needs In > 2^33 to overflow),
+// and the result is dequantized before bias and activation. The returned
+// slice is owned by sc and valid until the next call with the same scratch.
+func (q *QuantNetwork) Forward(x []float64, sc *QuantScratch) []float64 {
+	if len(x) != q.InputSize() {
+		panic(fmt.Sprintf("mlp: quant input size %d, want %d", len(x), q.InputSize()))
+	}
+	a := x
+	buf := 0
+	for _, l := range q.Layers {
+		sc.xq = growI16(sc.xq, l.In)
+		sx := quantizeInput(a, sc.xq)
+		if cap(sc.act[buf]) < l.Out {
+			sc.act[buf] = make([]float64, l.Out)
+		}
+		out := sc.act[buf][:l.Out]
+		deq := l.WScale * sx
+		for o := 0; o < l.Out; o++ {
+			var acc int64
+			w := l.W[o*l.In : (o+1)*l.In]
+			for i, wi := range w {
+				acc += int64(wi) * int64(sc.xq[i])
+			}
+			out[o] = l.Act.apply(float64(acc)*deq + l.B[o])
+		}
+		a = out
+		buf ^= 1
+	}
+	return a
+}
+
+// quantLayerJSON is the portable form of a QuantLayer.
+type quantLayerJSON struct {
+	In     int        `json:"in"`
+	Out    int        `json:"out"`
+	Act    Activation `json:"act"`
+	WScale float64    `json:"w_scale"`
+	W      []int16    `json:"w"`
+	B      []float64  `json:"b"`
+}
+
+// quantNetworkJSON is the portable form of a QuantNetwork.
+type quantNetworkJSON struct {
+	Layers []quantLayerJSON `json:"layers"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (q *QuantNetwork) MarshalJSON() ([]byte, error) {
+	p := quantNetworkJSON{}
+	for _, l := range q.Layers {
+		p.Layers = append(p.Layers, quantLayerJSON{
+			In: l.In, Out: l.Out, Act: l.Act, WScale: l.WScale, W: l.W, B: l.B,
+		})
+	}
+	return json.Marshal(p)
+}
+
+// UnmarshalJSON implements json.Unmarshaler with shape validation.
+func (q *QuantNetwork) UnmarshalJSON(data []byte) error {
+	var p quantNetworkJSON
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	if len(p.Layers) == 0 {
+		return fmt.Errorf("mlp: quant network has no layers")
+	}
+	q.Layers = nil
+	for li, pl := range p.Layers {
+		if pl.In <= 0 || pl.Out <= 0 {
+			return fmt.Errorf("mlp: quant layer %d has invalid shape %dx%d", li, pl.Out, pl.In)
+		}
+		if len(pl.W) != pl.In*pl.Out {
+			return fmt.Errorf("mlp: quant layer %d has %d weights, want %d", li, len(pl.W), pl.In*pl.Out)
+		}
+		if len(pl.B) != pl.Out {
+			return fmt.Errorf("mlp: quant layer %d has %d biases, want %d", li, len(pl.B), pl.Out)
+		}
+		if li > 0 && pl.In != p.Layers[li-1].Out {
+			return fmt.Errorf("mlp: quant layer %d input %d does not match previous output %d", li, pl.In, p.Layers[li-1].Out)
+		}
+		if !(pl.WScale > 0) || math.IsInf(pl.WScale, 0) {
+			return fmt.Errorf("mlp: quant layer %d has invalid weight scale %v", li, pl.WScale)
+		}
+		q.Layers = append(q.Layers, &QuantLayer{
+			In: pl.In, Out: pl.Out, Act: pl.Act, WScale: pl.WScale, W: pl.W, B: pl.B,
+		})
+	}
+	return nil
+}

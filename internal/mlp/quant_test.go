@@ -1,0 +1,170 @@
+package mlp
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantForwardApproximatesFloat checks that the int16 fixed-point
+// forward tracks the float forward closely on the state distribution the
+// policies actually see ([0,1] features) and that the argmax — the only
+// thing policy inference consumes — agrees on the overwhelming majority of
+// inputs.
+func TestQuantForwardApproximatesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := New(rng, SELU, 8, 64, 2)
+	q := Quantize(n)
+	var sc QuantScratch
+
+	const trials = 5000
+	agree := 0
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, 8)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		want := n.Forward(x)
+		got := q.Forward(x, &sc)
+		if len(got) != len(want) {
+			t.Fatalf("output size %d, want %d", len(got), len(want))
+		}
+		for o := range want {
+			if math.Abs(got[o]-want[o]) > 1e-2+1e-2*math.Abs(want[o]) {
+				t.Fatalf("trial %d output %d: quant %v vs float %v", trial, o, got[o], want[o])
+			}
+		}
+		if argmax(got) == argmax(want) {
+			agree++
+		}
+	}
+	rate := float64(agree) / trials
+	t.Logf("quant argmax agreement: %.4f", rate)
+	if rate < 0.99 {
+		t.Fatalf("quant argmax agreement %.4f below 0.99", rate)
+	}
+}
+
+func argmax(q []float64) int {
+	best := 0
+	for i := 1; i < len(q); i++ {
+		if q[i] > q[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TestQuantForwardDeterministicNonFinite pins the documented handling of
+// poisoned state slots: NaN → code 0, ±Inf → ±32767, other slots still
+// quantized against a finite scale. The output must be finite and identical
+// across calls.
+func TestQuantForwardDeterministicNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := New(rng, SELU, 8, 16, 2)
+	q := Quantize(n)
+	var sc, sc2 QuantScratch
+
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for slot := 0; slot < 8; slot++ {
+			x := make([]float64, 8)
+			for i := range x {
+				x[i] = rng.Float64()
+			}
+			x[slot] = bad
+			out1 := append([]float64(nil), q.Forward(x, &sc)...)
+			out2 := q.Forward(x, &sc2)
+			for o := range out1 {
+				if math.IsNaN(out1[o]) {
+					t.Fatalf("bad=%v slot=%d: NaN output %v", bad, slot, out1)
+				}
+				if out1[o] != out2[o] {
+					t.Fatalf("bad=%v slot=%d: nondeterministic output %v vs %v", bad, slot, out1, out2)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantScratchReuseZeroAlloc verifies the forward pass does not allocate
+// once the scratch is warm — the serving insert path depends on it.
+func TestQuantScratchReuseZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	n := New(rng, SELU, 8, 64, 2)
+	q := Quantize(n)
+	var sc QuantScratch
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	q.Forward(x, &sc) // warm the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		q.Forward(x, &sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("quant forward allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestQuantJSONRoundTrip checks the portable form restores a byte-identical
+// forward pass.
+func TestQuantJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	n := New(rng, SELU, 8, 32, 2)
+	q := Quantize(n)
+	blob, err := json.Marshal(q)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back QuantNetwork
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	var sc, sc2 QuantScratch
+	for trial := 0; trial < 100; trial++ {
+		x := make([]float64, 8)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 0.5
+		}
+		a := q.Forward(x, &sc)
+		b := back.Forward(x, &sc2)
+		for o := range a {
+			if a[o] != b[o] {
+				t.Fatalf("round-trip output differs: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+// TestQuantUnmarshalRejectsBadShapes covers the validation paths.
+func TestQuantUnmarshalRejectsBadShapes(t *testing.T) {
+	cases := []string{
+		`{"layers":[]}`,
+		`{"layers":[{"in":0,"out":2,"act":0,"w_scale":1,"w":[],"b":[0,0]}]}`,
+		`{"layers":[{"in":2,"out":2,"act":0,"w_scale":1,"w":[1,2,3],"b":[0,0]}]}`,
+		`{"layers":[{"in":2,"out":2,"act":0,"w_scale":1,"w":[1,2,3,4],"b":[0]}]}`,
+		`{"layers":[{"in":2,"out":2,"act":0,"w_scale":0,"w":[1,2,3,4],"b":[0,0]}]}`,
+		`{"layers":[{"in":2,"out":2,"act":0,"w_scale":1,"w":[1,2,3,4],"b":[0,0]},{"in":3,"out":1,"act":0,"w_scale":1,"w":[1,2,3],"b":[0]}]}`,
+	}
+	for i, c := range cases {
+		var q QuantNetwork
+		if err := json.Unmarshal([]byte(c), &q); err == nil {
+			t.Fatalf("case %d: bad shape accepted", i)
+		}
+	}
+}
+
+// TestQuantizeZeroNetwork: an all-zero network must quantize without
+// dividing by zero and produce the bias-only output.
+func TestQuantizeZeroNetwork(t *testing.T) {
+	l := newLayer(4, 2, Linear)
+	l.B[0], l.B[1] = 1.5, -2.5
+	n := &Network{Layers: []*Layer{l}}
+	q := Quantize(n)
+	var sc QuantScratch
+	out := q.Forward([]float64{1, 2, 3, 4}, &sc)
+	if out[0] != 1.5 || out[1] != -2.5 {
+		t.Fatalf("zero-weight quant forward = %v, want [1.5 -2.5]", out)
+	}
+}

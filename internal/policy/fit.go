@@ -1,0 +1,258 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FitConfig bounds the distilled tree.
+type FitConfig struct {
+	// MaxDepth is the number of internal levels (default 8, capped at
+	// maxTableDepth). The table always materializes the full depth; levels
+	// the fit does not need are padded.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples each side of an accepted
+	// split must keep (default 4). It is the usual CART regularizer: tiny
+	// leaves memorize Q-network noise instead of the policy.
+	MinLeaf int
+}
+
+func (c FitConfig) withDefaults() FitConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MaxDepth > maxTableDepth {
+		c.MaxDepth = maxTableDepth
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 4
+	}
+	return c
+}
+
+// Fit distills labeled states into a branch table with greedy CART splits:
+// at each node it scans every (feature, threshold) pair, takes the one with
+// the highest Gini impurity decrease, and recurses until the node is pure,
+// too small to split, or the depth budget runs out. Thresholds are
+// midpoints between adjacent distinct feature values; ties break to the
+// lowest feature then the lowest threshold, so the fit is deterministic for
+// a given sample order.
+//
+// states is row-major with dim columns; labels[i] in [0, numActions) is the
+// action for row i (typically the Q-network argmax).
+func Fit(states []float64, dim int, labels []int, numActions int, cfg FitConfig) (*Table, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("policy: fit dim %d", dim)
+	}
+	if numActions <= 0 {
+		return nil, fmt.Errorf("policy: fit action count %d", numActions)
+	}
+	if len(states)%dim != 0 {
+		return nil, fmt.Errorf("policy: %d state values not a multiple of dim %d", len(states), dim)
+	}
+	rows := len(states) / dim
+	if rows == 0 {
+		return nil, fmt.Errorf("policy: fit needs at least one sample")
+	}
+	if len(labels) != rows {
+		return nil, fmt.Errorf("policy: %d labels for %d rows", len(labels), rows)
+	}
+	for i, a := range labels {
+		if a < 0 || a >= numActions {
+			return nil, fmt.Errorf("policy: label %d of row %d outside [0,%d)", a, i, numActions)
+		}
+	}
+	for i, v := range states {
+		// Non-finite features would make the sort-and-sweep and the
+		// partition disagree with the evaluator's NaN-goes-left rule;
+		// the featurizer only produces [0,1] values, so reject outright.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("policy: non-finite state value %v at row %d col %d", v, i/dim, i%dim)
+		}
+	}
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Dim:     dim,
+		Actions: numActions,
+		Depth:   cfg.MaxDepth,
+		Feat:    make([]int32, (1<<cfg.MaxDepth)-1),
+		Thresh:  make([]float64, (1<<cfg.MaxDepth)-1),
+		Leaf:    make([]int32, 1<<cfg.MaxDepth),
+	}
+	f := &fitter{t: t, states: states, labels: labels, cfg: cfg,
+		counts: make([]int, numActions),
+		lCnt:   make([]int, numActions),
+		rCnt:   make([]int, numActions),
+	}
+	idx := make([]int, rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	f.fitNode(0, 0, idx)
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("policy: fit produced invalid table: %w", err)
+	}
+	return t, nil
+}
+
+type fitter struct {
+	t      *Table
+	states []float64
+	labels []int
+	cfg    FitConfig
+	// class-count scratch reused across nodes
+	counts, lCnt, rCnt []int
+}
+
+// majority returns the most frequent label among idx (lowest label wins
+// ties) and whether the node is pure.
+func (f *fitter) majority(idx []int) (int32, bool) {
+	for c := range f.counts {
+		f.counts[c] = 0
+	}
+	for _, i := range idx {
+		f.counts[f.labels[i]]++
+	}
+	best, classes := 0, 0
+	for c, n := range f.counts {
+		if n > 0 {
+			classes++
+		}
+		if n > f.counts[best] {
+			best = c
+		}
+	}
+	return int32(best), classes <= 1
+}
+
+// gini computes Sum n_c^2; impurity = 1 - that/n^2, but only relative
+// ordering matters, so the sweep works with the raw sum of squares.
+func sumSq(cnt []int) float64 {
+	s := 0.0
+	for _, n := range cnt {
+		s += float64(n) * float64(n)
+	}
+	return s
+}
+
+// fitNode fits the internal node at heap position pos on level, owning the
+// sample rows in idx, partitioning idx in place for the recursion.
+func (f *fitter) fitNode(pos, level int, idx []int) {
+	maj, pure := f.majority(idx)
+	if level == f.cfg.MaxDepth {
+		f.t.Leaf[pos-len(f.t.Feat)] = maj
+		return
+	}
+	if pure || len(idx) < 2*f.cfg.MinLeaf {
+		f.padSubtree(pos, level, maj)
+		return
+	}
+	feat, thresh, ok := f.bestSplit(idx)
+	if !ok {
+		f.padSubtree(pos, level, maj)
+		return
+	}
+	f.t.Feat[pos] = int32(feat)
+	f.t.Thresh[pos] = thresh
+	// Partition in place: rows with value <= thresh go left, matching the
+	// evaluator's "> goes right".
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		if f.states[idx[lo]*f.t.Dim+feat] <= thresh {
+			lo++
+		} else {
+			hi--
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+	}
+	f.fitNode(2*pos+1, level+1, idx[:lo])
+	f.fitNode(2*pos+2, level+1, idx[lo:])
+}
+
+// padSubtree fills the complete subtree under pos with pad nodes and sets
+// every leaf below to action: the table stays a complete tree, and the
+// padded comparisons' outcomes cannot matter.
+func (f *fitter) padSubtree(pos, level int, action int32) {
+	if level == f.cfg.MaxDepth {
+		f.t.Leaf[pos-len(f.t.Feat)] = action
+		return
+	}
+	f.t.Feat[pos] = 0
+	f.t.Thresh[pos] = PadThreshold
+	f.padSubtree(2*pos+1, level+1, action)
+	f.padSubtree(2*pos+2, level+1, action)
+}
+
+// bestSplit scans every feature with a sort-and-sweep over the node's
+// samples, maximizing the Gini gain n_l*SS_l/n_l + ... equivalently
+// SS_l/n_l + SS_r/n_r (SS = sum of squared class counts), subject to
+// MinLeaf on both sides.
+func (f *fitter) bestSplit(idx []int) (feat int, thresh float64, ok bool) {
+	bestScore := math.Inf(-1)
+	order := make([]int, len(idx))
+	n := len(idx)
+	for d := 0; d < f.t.Dim; d++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool {
+			va := f.states[order[a]*f.t.Dim+d]
+			vb := f.states[order[b]*f.t.Dim+d]
+			if va != vb {
+				return va < vb
+			}
+			return order[a] < order[b]
+		})
+		for c := range f.lCnt {
+			f.lCnt[c] = 0
+			f.rCnt[c] = 0
+		}
+		for _, i := range order {
+			f.rCnt[f.labels[i]]++
+		}
+		ssL, ssR := 0.0, sumSq(f.rCnt)
+		for cut := 1; cut < n; cut++ {
+			lab := f.labels[order[cut-1]]
+			// Move row cut-1 from right to left, updating the sums of
+			// squares incrementally.
+			ssL += float64(2*f.lCnt[lab] + 1)
+			ssR -= float64(2*f.rCnt[lab] - 1)
+			f.lCnt[lab]++
+			f.rCnt[lab]--
+			v := f.states[order[cut-1]*f.t.Dim+d]
+			next := f.states[order[cut]*f.t.Dim+d]
+			if v == next {
+				continue // can't split between equal values
+			}
+			if cut < f.cfg.MinLeaf || n-cut < f.cfg.MinLeaf {
+				continue
+			}
+			score := ssL/float64(cut) + ssR/float64(n-cut)
+			if score > bestScore+1e-12 {
+				mid := v + (next-v)/2
+				if mid <= v || mid > next {
+					// Degenerate midpoint from rounding; fall back to the
+					// left value so the partition stays consistent with
+					// the evaluator's > test.
+					mid = v
+				}
+				bestScore = score
+				feat, thresh, ok = d, mid, true
+			}
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	// A split that improves on the unsplit node must beat the parent's
+	// sum-of-squares ratio; otherwise report no split.
+	for c := range f.lCnt {
+		f.lCnt[c] = 0
+	}
+	for _, i := range idx {
+		f.lCnt[f.labels[i]]++
+	}
+	if bestScore <= sumSq(f.lCnt)/float64(n)+1e-12 {
+		return 0, 0, false
+	}
+	return feat, thresh, true
+}

@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"sync"
+
+	"github.com/rlr-tree/rlrtree/internal/mlp"
+)
+
+// MLP is the reference engine: the trained float network with a masked
+// argmax over its Q-values, arithmetically identical to the pre-refactor
+// insert path (mlp.ForwardBatch is bit-identical per row to Forward). A
+// sync.Pool of batch scratches makes concurrent ChooseAction calls safe
+// and allocation-free in steady state; the network itself is never
+// mutated.
+type MLP struct {
+	net  *mlp.Network
+	pool sync.Pool
+}
+
+// NewMLP wraps a network as an Engine. The caller must not train the
+// network afterwards.
+func NewMLP(net *mlp.Network) *MLP {
+	m := &MLP{net: net}
+	m.pool.New = func() any { return new(mlp.BatchScratch) }
+	return m
+}
+
+// Network returns the wrapped float network.
+func (m *MLP) Network() *mlp.Network { return m.net }
+
+// Kind implements Engine.
+func (m *MLP) Kind() string { return KindMLP }
+
+// InputDim implements Engine.
+func (m *MLP) InputDim() int { return m.net.InputSize() }
+
+// NumActions implements Engine.
+func (m *MLP) NumActions() int { return m.net.OutputSize() }
+
+// ChooseAction implements Engine.
+func (m *MLP) ChooseAction(state []float64, numActions int) int {
+	sc := m.pool.Get().(*mlp.BatchScratch)
+	a := argmaxPrefix(m.net.ForwardBatch(state, sc), clampActions(numActions, m.net.OutputSize()))
+	m.pool.Put(sc)
+	return a
+}
+
+// ChooseBatch implements Engine, amortizing one scratch acquisition and
+// one batched forward over all rows.
+func (m *MLP) ChooseBatch(states []float64, numActions int, dst []int) []int {
+	in, out := m.net.InputSize(), m.net.OutputSize()
+	n := clampActions(numActions, out)
+	sc := m.pool.Get().(*mlp.BatchScratch)
+	q := m.net.ForwardBatch(states, sc)
+	for r := 0; r*in+in <= len(states); r++ {
+		dst = append(dst, argmaxPrefix(q[r*out:(r+1)*out], n))
+	}
+	m.pool.Put(sc)
+	return dst
+}
+
+// Quant is the fixed-point fallback engine: the quantized network's integer
+// forward pass with the same masked argmax. Like MLP it shares one
+// immutable network across goroutines and pools the per-call scratch.
+type Quant struct {
+	net  *mlp.QuantNetwork
+	pool sync.Pool
+}
+
+// NewQuant wraps a quantized network as an Engine.
+func NewQuant(net *mlp.QuantNetwork) *Quant {
+	q := &Quant{net: net}
+	q.pool.New = func() any { return new(mlp.QuantScratch) }
+	return q
+}
+
+// Network returns the wrapped quantized network.
+func (q *Quant) Network() *mlp.QuantNetwork { return q.net }
+
+// Kind implements Engine.
+func (q *Quant) Kind() string { return KindQuant }
+
+// InputDim implements Engine.
+func (q *Quant) InputDim() int { return q.net.InputSize() }
+
+// NumActions implements Engine.
+func (q *Quant) NumActions() int { return q.net.OutputSize() }
+
+// ChooseAction implements Engine.
+func (q *Quant) ChooseAction(state []float64, numActions int) int {
+	sc := q.pool.Get().(*mlp.QuantScratch)
+	a := argmaxPrefix(q.net.Forward(state, sc), clampActions(numActions, q.net.OutputSize()))
+	q.pool.Put(sc)
+	return a
+}
+
+// ChooseBatch implements Engine.
+func (q *Quant) ChooseBatch(states []float64, numActions int, dst []int) []int {
+	in := q.net.InputSize()
+	n := clampActions(numActions, q.net.OutputSize())
+	sc := q.pool.Get().(*mlp.QuantScratch)
+	for r := 0; r+in <= len(states); r += in {
+		dst = append(dst, argmaxPrefix(q.net.Forward(states[r:r+in], sc), n))
+	}
+	q.pool.Put(sc)
+	return dst
+}

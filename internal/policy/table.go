@@ -1,0 +1,184 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// PadThreshold marks a padded internal node in a table: a real split
+// threshold is always a midpoint of two finite feature values, so
+// MaxFloat64 cannot occur naturally. Padded nodes exist because the table
+// is a complete binary tree — when fitting stops early (pure node, too few
+// samples) the remaining levels are filled with this threshold and every
+// leaf below carries the same action, so the comparison's outcome is
+// irrelevant. MaxFloat64 rather than +Inf keeps the arrays JSON-encodable.
+const PadThreshold = math.MaxFloat64
+
+// Table is a distilled decision-tree policy stored as a complete binary
+// tree of depth Depth in heap order: internal node i tests
+// state[Feat[i]] > Thresh[i] (false → child 2i+1, true → child 2i+2), and
+// the leaves hold actions. The three arrays are flat and fixed-size
+// (2^Depth-1 internal nodes, 2^Depth leaves), so evaluation is a short
+// data-dependent walk with no pointer chasing, no bounds surprises and no
+// allocation — the same design that made the rtree scan kernels fast.
+//
+// NaN feature values fail the > comparison and descend left, mirroring the
+// rtree package's comparison semantics for NaN rects: deterministic on
+// every platform, never a crash.
+type Table struct {
+	// Dim is the state dimensionality, Actions the action count.
+	Dim, Actions int
+	// Depth is the number of internal levels (0 = a single constant leaf).
+	Depth int
+	// Feat[i] and Thresh[i] describe internal node i; len 2^Depth-1.
+	Feat   []int32
+	Thresh []float64
+	// Leaf holds the action per leaf; len 2^Depth.
+	Leaf []int32
+}
+
+// cmpGT returns 1 if a > b, else 0. The compiler lowers this to a flag-set
+// (SETcc) with no branch, exactly like the rtree package's cmpLE; kept tiny
+// so it always inlines. NaN compares false, so poisoned states take the
+// left child deterministically.
+func cmpGT(a, b float64) int {
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+// Eval walks the table and returns the raw leaf action for state. The walk
+// is branch-free apart from the loop itself: each level computes the child
+// index arithmetically from a SETcc comparison. len(state) must be >= Dim.
+func (t *Table) Eval(state []float64) int {
+	idx := 0
+	feat, thresh := t.Feat, t.Thresh
+	for d := 0; d < t.Depth; d++ {
+		idx = 2*idx + 1 + cmpGT(state[feat[idx]], thresh[idx])
+	}
+	return int(t.Leaf[idx-len(feat)])
+}
+
+// Kind implements Engine.
+func (t *Table) Kind() string { return KindTable }
+
+// InputDim implements Engine.
+func (t *Table) InputDim() int { return t.Dim }
+
+// NumActions implements Engine.
+func (t *Table) NumActions() int { return t.Actions }
+
+// ChooseAction implements Engine. The mask clamps the leaf action into
+// [0, numActions): the table cannot re-rank the masked prefix the way an
+// argmax over Q-values can, so an out-of-mask action falls back to the
+// highest masked action. With the default k=2 this is exact — a mask below
+// the action count means a single candidate, which forces action 0 in both
+// forms.
+func (t *Table) ChooseAction(state []float64, numActions int) int {
+	a := t.Eval(state)
+	if n := clampActions(numActions, t.Actions); a >= n {
+		a = n - 1
+	}
+	return a
+}
+
+// ChooseBatch implements Engine.
+func (t *Table) ChooseBatch(states []float64, numActions int, dst []int) []int {
+	for r := 0; r+t.Dim <= len(states); r += t.Dim {
+		dst = append(dst, t.ChooseAction(states[r:r+t.Dim], numActions))
+	}
+	return dst
+}
+
+// maxTableDepth bounds accepted depths: 2^16 leaves is already far past
+// any useful distillation and keeps hostile inputs from allocating GiBs.
+const maxTableDepth = 16
+
+// Validate checks the structural invariants a decoded table must satisfy
+// before the insert path may walk it blind: array lengths matching the
+// depth, features inside the state, leaf actions inside the action set.
+func (t *Table) Validate() error {
+	if t.Dim <= 0 {
+		return fmt.Errorf("policy: table dim %d", t.Dim)
+	}
+	if t.Actions <= 0 {
+		return fmt.Errorf("policy: table action count %d", t.Actions)
+	}
+	if t.Depth < 0 || t.Depth > maxTableDepth {
+		return fmt.Errorf("policy: table depth %d outside [0,%d]", t.Depth, maxTableDepth)
+	}
+	internal := (1 << t.Depth) - 1
+	if len(t.Feat) != internal || len(t.Thresh) != internal {
+		return fmt.Errorf("policy: table depth %d wants %d internal nodes, has %d feats / %d thresholds",
+			t.Depth, internal, len(t.Feat), len(t.Thresh))
+	}
+	if len(t.Leaf) != 1<<t.Depth {
+		return fmt.Errorf("policy: table depth %d wants %d leaves, has %d", t.Depth, 1<<t.Depth, len(t.Leaf))
+	}
+	for i, f := range t.Feat {
+		if f < 0 || int(f) >= t.Dim {
+			return fmt.Errorf("policy: table node %d tests feature %d outside state dim %d", i, f, t.Dim)
+		}
+		if math.IsNaN(t.Thresh[i]) || math.IsInf(t.Thresh[i], 0) {
+			return fmt.Errorf("policy: table node %d has non-finite threshold %v", i, t.Thresh[i])
+		}
+	}
+	for i, a := range t.Leaf {
+		if a < 0 || int(a) >= t.Actions {
+			return fmt.Errorf("policy: table leaf %d holds action %d outside [0,%d)", i, a, t.Actions)
+		}
+	}
+	return nil
+}
+
+// InternalNodes returns the number of non-padded internal nodes — the size
+// figure rlr-inspect reports.
+func (t *Table) InternalNodes() int {
+	n := 0
+	for _, th := range t.Thresh {
+		if th != PadThreshold {
+			n++
+		}
+	}
+	return n
+}
+
+// tableJSON is the portable form of a Table.
+type tableJSON struct {
+	Dim     int       `json:"dim"`
+	Actions int       `json:"actions"`
+	Depth   int       `json:"depth"`
+	Feat    []int32   `json:"feat"`
+	Thresh  []float64 `json:"thresh"`
+	Leaf    []int32   `json:"leaf"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		Dim: t.Dim, Actions: t.Actions, Depth: t.Depth,
+		Feat: t.Feat, Thresh: t.Thresh, Leaf: t.Leaf,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the result, so a
+// decoded table is always safe to evaluate.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var p tableJSON
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	*t = Table{
+		Dim: p.Dim, Actions: p.Actions, Depth: p.Depth,
+		Feat: p.Feat, Thresh: p.Thresh, Leaf: p.Leaf,
+	}
+	if t.Feat == nil {
+		t.Feat = []int32{}
+	}
+	if t.Thresh == nil {
+		t.Thresh = []float64{}
+	}
+	return t.Validate()
+}

@@ -1,0 +1,192 @@
+package policy
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// refEval is a plain recursive tree-walk evaluator used as the oracle for
+// the branch-free Eval: explicit branch per node, explicit NaN-goes-left.
+func refEval(t *Table, state []float64) int {
+	idx := 0
+	for d := 0; d < t.Depth; d++ {
+		v := state[t.Feat[idx]]
+		if v > t.Thresh[idx] { // NaN compares false → left, like Eval
+			idx = 2*idx + 2
+		} else {
+			idx = 2*idx + 1
+		}
+	}
+	return int(t.Leaf[idx-len(t.Feat)])
+}
+
+// handTable builds a depth-2 table by hand:
+//
+//	         f0 > 0.5?
+//	  no /            \ yes
+//	f1 > 0.25?      f1 > 0.75?
+//	0       1       1        0
+func handTable() *Table {
+	return &Table{
+		Dim: 2, Actions: 2, Depth: 2,
+		Feat:   []int32{0, 1, 1},
+		Thresh: []float64{0.5, 0.25, 0.75},
+		Leaf:   []int32{0, 1, 1, 0},
+	}
+}
+
+func TestTableEvalHandBuilt(t *testing.T) {
+	tbl := handTable()
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	cases := []struct {
+		state []float64
+		want  int
+	}{
+		{[]float64{0.2, 0.1}, 0},
+		{[]float64{0.2, 0.3}, 1},
+		{[]float64{0.9, 0.5}, 1},
+		{[]float64{0.9, 0.9}, 0},
+		{[]float64{0.5, 0.25}, 0},  // boundary: > is strict, both go left
+		{[]float64{0.5, 0.251}, 1}, // f0 boundary left, f1 just over
+	}
+	for _, c := range cases {
+		if got := tbl.Eval(c.state); got != c.want {
+			t.Fatalf("Eval(%v) = %d, want %d", c.state, got, c.want)
+		}
+		if got := refEval(tbl, c.state); got != c.want {
+			t.Fatalf("refEval(%v) = %d, want %d", c.state, got, c.want)
+		}
+	}
+}
+
+// TestTableEvalNonFinite substitutes NaN/±Inf into every state slot over a
+// grid of otherwise-valid states — the same style as the rtree hitRect NaN
+// pin — and requires (a) branch-free Eval equals the branchy reference
+// walk, and (b) the action is always in range, never a panic.
+func TestTableEvalNonFinite(t *testing.T) {
+	tbl := handTable()
+	bads := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	grid := []float64{0, 0.25, 0.5, 0.75, 1}
+	for _, bad := range bads {
+		for slot := 0; slot < tbl.Dim; slot++ {
+			for _, v0 := range grid {
+				for _, v1 := range grid {
+					state := []float64{v0, v1}
+					state[slot] = bad
+					got := tbl.Eval(state)
+					want := refEval(tbl, state)
+					if got != want {
+						t.Fatalf("bad=%v slot=%d state=%v: Eval %d != ref %d", bad, slot, state, got, want)
+					}
+					if got < 0 || got >= tbl.Actions {
+						t.Fatalf("bad=%v slot=%d: action %d out of range", bad, slot, got)
+					}
+					// ChooseAction with a mask must stay in the mask too.
+					if a := tbl.ChooseAction(state, 1); a != 0 {
+						t.Fatalf("masked ChooseAction = %d, want 0", a)
+					}
+				}
+			}
+		}
+	}
+	// NaN specifically must mirror "comparison false → left child".
+	nanState := []float64{math.NaN(), 0.1}
+	if got, want := tbl.Eval(nanState), 0; got != want {
+		t.Fatalf("NaN f0 state: got %d, want left-left leaf %d", got, want)
+	}
+}
+
+func TestTableDepthZero(t *testing.T) {
+	tbl := &Table{Dim: 3, Actions: 4, Depth: 0, Feat: []int32{}, Thresh: []float64{}, Leaf: []int32{2}}
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got := tbl.Eval([]float64{9, 9, 9}); got != 2 {
+		t.Fatalf("depth-0 Eval = %d, want 2", got)
+	}
+	if got := tbl.ChooseAction([]float64{9, 9, 9}, 2); got != 1 {
+		t.Fatalf("depth-0 masked ChooseAction = %d, want clamp to 1", got)
+	}
+}
+
+func TestTableEvalZeroAlloc(t *testing.T) {
+	tbl := handTable()
+	state := []float64{0.3, 0.6}
+	allocs := testing.AllocsPerRun(200, func() {
+		if tbl.Eval(state) < 0 {
+			t.Fatal("impossible")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Eval allocates %.1f per op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if tbl.ChooseAction(state, 2) < 0 {
+			t.Fatal("impossible")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ChooseAction allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTableValidateRejects(t *testing.T) {
+	mk := func(mut func(*Table)) *Table {
+		tbl := handTable()
+		mut(tbl)
+		return tbl
+	}
+	cases := map[string]*Table{
+		"dim":           mk(func(t *Table) { t.Dim = 0 }),
+		"actions":       mk(func(t *Table) { t.Actions = 0 }),
+		"depth":         mk(func(t *Table) { t.Depth = maxTableDepth + 1 }),
+		"feat-len":      mk(func(t *Table) { t.Feat = t.Feat[:2] }),
+		"leaf-len":      mk(func(t *Table) { t.Leaf = t.Leaf[:3] }),
+		"feat-range":    mk(func(t *Table) { t.Feat[1] = 7 }),
+		"leaf-range":    mk(func(t *Table) { t.Leaf[0] = 9 }),
+		"nan-thresh":    mk(func(t *Table) { t.Thresh[0] = math.NaN() }),
+		"inf-thresh":    mk(func(t *Table) { t.Thresh[0] = math.Inf(1) }),
+		"neg-feat":      mk(func(t *Table) { t.Feat[0] = -1 }),
+		"neg-leaf":      mk(func(t *Table) { t.Leaf[2] = -2 }),
+		"thresh-len":    mk(func(t *Table) { t.Thresh = append(t.Thresh, 1) }),
+		"depth-mislead": mk(func(t *Table) { t.Depth = 1 }),
+	}
+	for name, tbl := range cases {
+		if err := tbl.Validate(); err == nil {
+			t.Fatalf("%s: invalid table accepted", name)
+		}
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl := handTable()
+	// Include a padded node so PadThreshold (MaxFloat64) goes through JSON.
+	tbl.Thresh[2] = PadThreshold
+	tbl.Leaf[2], tbl.Leaf[3] = 1, 1
+	blob, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Table
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Thresh[2] != PadThreshold {
+		t.Fatalf("pad threshold did not survive JSON: %v", back.Thresh[2])
+	}
+	for _, state := range [][]float64{{0, 0}, {1, 1}, {0.3, 0.9}, {0.8, 0.2}} {
+		if back.Eval(state) != tbl.Eval(state) {
+			t.Fatalf("round-trip Eval differs on %v", state)
+		}
+	}
+	if back.InternalNodes() != 2 {
+		t.Fatalf("InternalNodes = %d, want 2", back.InternalNodes())
+	}
+	// Invalid JSON table must be rejected at decode.
+	if err := json.Unmarshal([]byte(`{"dim":2,"actions":2,"depth":1,"feat":[5],"thresh":[0.5],"leaf":[0,1]}`), &back); err == nil {
+		t.Fatal("out-of-range feature accepted at decode")
+	}
+}

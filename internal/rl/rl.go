@@ -261,6 +261,16 @@ func NewDQNFromNetwork(cfg Config, net *mlp.Network) *DQN {
 // Network returns the main (online) Q-network.
 func (d *DQN) Network() *mlp.Network { return d.main }
 
+// QValues returns the online network's Q-values for a state as a freshly
+// allocated slice the caller owns. This is the stable read-only accessor
+// for consumers that need the raw values rather than an action — the
+// policy distiller labels its training states through it — without
+// reaching into Network().Forward.
+func (d *DQN) QValues(state []float64) []float64 {
+	q := d.main.ForwardBatch(state, &d.actScratch)
+	return append([]float64(nil), q...)
+}
+
 // Epsilon returns the current exploration rate.
 func (d *DQN) Epsilon() float64 { return d.eps }
 

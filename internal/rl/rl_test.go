@@ -186,8 +186,8 @@ func TestDQNPropagatesValueThroughBootstrap(t *testing.T) {
 		d.Observe(Transition{State: sB, Action: 0, Reward: 1})
 		d.TrainStep()
 	}
-	qA := d.Network().Forward(sA)[0]
-	qB := d.Network().Forward(sB)[0]
+	qA := d.QValues(sA)[0]
+	qB := d.QValues(sB)[0]
 	if math.Abs(qB-1) > 0.1 {
 		t.Fatalf("Q(B) = %v, want ~1", qB)
 	}
@@ -206,7 +206,7 @@ func TestDQNDeterministicGivenSeed(t *testing.T) {
 			d.Observe(Transition{State: s, Action: a, Reward: rng.Float64()})
 			d.TrainStep()
 		}
-		return d.Network().Forward([]float64{0.5, 0.5, 0.5})
+		return d.QValues([]float64{0.5, 0.5, 0.5})
 	}
 	a, b := run(), run()
 	for i := range a {
@@ -224,7 +224,7 @@ func TestNewDQNFromNetwork(t *testing.T) {
 		t.Fatalf("resumed agent epsilon = %v, want frozen minimum", d2.Epsilon())
 	}
 	x := []float64{0.1, 0.2, 0.3}
-	a, b := d.Network().Forward(x), d2.Network().Forward(x)
+	a, b := d.QValues(x), d2.QValues(x)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("resumed network differs")

@@ -98,6 +98,9 @@ func (s *Server) handleSet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	if !res.Replaced {
+		s.countPolicyInserts(1) // a fresh key inserts into the tree
+	}
 	resp := setResponse{Replaced: res.Replaced, Size: s.coll.Len()}
 	if res.Replaced {
 		resp.Prev = &[4]float64{res.Prev.MinX, res.Prev.MinY, res.Prev.MaxX, res.Prev.MaxY}

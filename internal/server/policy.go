@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/rlr-tree/rlrtree/internal/core"
+)
+
+// policyRequest is the POST /policy body. Both fields are optional but at
+// least one must be set: path reloads a (possibly newly distilled) policy
+// bundle from disk, kind flips the inference backend. A reload without a
+// kind keeps the active backend.
+type policyRequest struct {
+	Path string `json:"path,omitempty"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// policyResponse echoes the policy section after a successful swap.
+type policyResponse struct {
+	Policy core.PolicyStats `json:"policy"`
+}
+
+// handlePolicy hot-swaps the serving inference backend (and optionally the
+// whole policy bundle) while inserts are in flight. The swap is atomic:
+// every insert decision sees either the old or the new engine, never a
+// partial one (see core.HotPolicy).
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Policy == nil {
+		httpError(w, http.StatusServiceUnavailable, errors.New("server is not using a learned policy (start with -policy)"))
+		return
+	}
+	var req policyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad policy body: %w", err))
+		return
+	}
+	if req.Path == "" && req.Kind == "" {
+		httpError(w, http.StatusBadRequest, errors.New("policy swap needs path or kind"))
+		return
+	}
+	kind := req.Kind
+	if kind == "" {
+		// Reload keeping the active backend; a heuristic-serving policy
+		// (no networks) has no backend name Swap accepts, so resolve it
+		// through auto.
+		kind = s.cfg.Policy.Kind()
+		if !core.ValidPolicyKind(kind) {
+			kind = core.KindAuto
+		}
+	}
+	var bundle *core.PolicyBundle
+	if req.Path != "" {
+		b, err := core.LoadBundle(req.Path)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, core.ErrPolicyVersionTooNew) {
+				status = http.StatusConflict
+			}
+			httpError(w, status, err)
+			return
+		}
+		bundle = b
+	}
+	if err := s.cfg.Policy.Swap(bundle, kind); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cfg.Logf("policy swap: kind=%s path=%q", s.cfg.Policy.Kind(), req.Path)
+	writeJSON(w, http.StatusOK, policyResponse{Policy: s.cfg.Policy.Stats()})
+}
+
+// countPolicyInserts attributes n inserted objects to the active policy
+// backend; a no-op for heuristic-only servers.
+func (s *Server) countPolicyInserts(n int) {
+	if s.cfg.Policy != nil && n > 0 {
+		s.cfg.Policy.CountInserts(n)
+	}
+}

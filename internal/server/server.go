@@ -46,6 +46,7 @@ import (
 
 	"github.com/rlr-tree/rlrtree/internal/cliutil"
 	"github.com/rlr-tree/rlrtree/internal/collection"
+	"github.com/rlr-tree/rlrtree/internal/core"
 	"github.com/rlr-tree/rlrtree/internal/geom"
 	"github.com/rlr-tree/rlrtree/internal/rtree"
 	"github.com/rlr-tree/rlrtree/internal/shard"
@@ -152,6 +153,11 @@ type Config struct {
 	// snapshot's keyed section); nil makes New build an empty one over
 	// Index.
 	Collection *collection.Collection
+	// Policy, when non-nil, is the hot-swappable learned policy whose
+	// strategies the served tree was built with (cliutil.BuildIndexPolicy
+	// returns it). It enables POST /policy backend swaps and the /stats
+	// "policy" section with per-backend insert counters.
+	Policy *core.HotPolicy
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -315,6 +321,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /knn", s.instrument("knn", s.handleKNN))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("POST /snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.HandleFunc("POST /policy", s.instrument("policy", s.handlePolicy))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -460,6 +467,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.countPolicyInserts(len(items))
 	resp := insertResponse{Inserted: len(items), Size: s.index.Len()}
 	if assigned {
 		resp.IDs = ids
@@ -662,6 +670,10 @@ type statsResponse struct {
 	Snapshots snapshotStats            `json:"snapshots"`
 	// WAL carries the write-ahead log's counters when one is attached.
 	WAL *walStatsPayload `json:"wal,omitempty"`
+	// Policy carries the learned-policy inference section (active backend
+	// kind, swap count, per-backend insert counters) when the server was
+	// started with a policy; absent otherwise.
+	Policy *core.PolicyStats `json:"policy,omitempty"`
 	// PanicsRecovered counts handler panics converted to 500 responses
 	// by the recovery middleware.
 	PanicsRecovered int64 `json:"panics_recovered"`
@@ -716,6 +728,10 @@ func (s *Server) statsPayload() statsResponse {
 			LSN:     s.snapLSN.Load(),
 		},
 		PanicsRecovered: s.metrics.panics.Value(),
+	}
+	if s.cfg.Policy != nil {
+		ps := s.cfg.Policy.Stats()
+		resp.Policy = &ps
 	}
 	if s.cfg.WAL != nil {
 		resp.WAL = &walStatsPayload{

@@ -164,6 +164,49 @@ func TrainCombined(data []Rect, cfg TrainConfig) (*Policy, *TrainReport, error) 
 // LoadPolicy reads a policy saved with Policy.Save.
 func LoadPolicy(path string) (*Policy, error) { return core.LoadPolicy(path) }
 
+// Policy-inference engine types. A trained policy's DQN can be distilled
+// into cheaper exact-inference backends: a branch-table policy (a
+// depth-bounded decision tree evaluated as a flat-array walk) and a
+// quantized int16 fixed-point copy of the network. The bundle carries
+// the reference MLP plus those artifacts; HotPolicy serves any of them
+// behind an atomically swappable chooser/splitter pair.
+type (
+	// PolicyBundle is a Policy plus its optional distilled artifacts.
+	// Save writes a v2 policy file when distilled; LoadBundle reads
+	// files of any supported version.
+	PolicyBundle = core.PolicyBundle
+	// DistillConfig parameterizes Distill; the zero value uses the
+	// distiller defaults.
+	DistillConfig = core.DistillConfig
+	// DistillReport carries per-operation agreement between the MLP and
+	// each compiled backend on held-out states.
+	DistillReport = core.DistillReport
+	// HotPolicy publishes a policy bundle's inference engines behind an
+	// atomic pointer so the serving insert path can switch backends (or
+	// reload a new bundle) without a restart and without locking
+	// decisions.
+	HotPolicy = core.HotPolicy
+)
+
+// Distill compiles the policy's networks into branch-table and quantized
+// backends and returns them as a bundle alongside an agreement report.
+func Distill(p *Policy, cfg DistillConfig) (*PolicyBundle, *DistillReport, error) {
+	return core.Distill(p, cfg)
+}
+
+// LoadBundle reads a policy file of any supported version as a bundle
+// (v1 files load with no distilled artifacts).
+func LoadBundle(path string) (*PolicyBundle, error) { return core.LoadBundle(path) }
+
+// NewHotPolicy wraps a bundle for hot-swappable serving. Kind selects
+// the initial backend: "auto", "mlp", "table" or "qmlp" (PolicyKinds).
+func NewHotPolicy(b *PolicyBundle, kind string) (*HotPolicy, error) {
+	return core.NewHotPolicy(b, kind)
+}
+
+// PolicyKinds lists the recognized inference-backend selectors.
+func PolicyKinds() []string { return append([]string(nil), core.PolicyKinds...) }
+
 // ConcurrentTree makes a Tree safe for concurrent use with a lock-free
 // read path: queries load the currently published epoch (an immutable
 // snapshot) through an atomic pointer and take no lock at all, while

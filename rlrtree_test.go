@@ -118,6 +118,60 @@ func TestPublicTrainAndUse(t *testing.T) {
 	}
 }
 
+func TestPublicDistillAndHotPolicy(t *testing.T) {
+	data := trainData(1500)
+	pol, _, err := rlrtree.TrainChoosePolicy(data[:800], tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, report, err := rlrtree.Distill(pol, rlrtree.DistillConfig{Samples: 1500, Data: data[:800], Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bundle.Distilled() || report.ChooseAgreement == 0 {
+		t.Fatalf("distill produced nothing: %+v", report)
+	}
+	// Bundles persist as v2 files and reload with artifacts intact.
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := bundle.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rlrtree.LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ChooseTable == nil || back.ChooseQuant == nil {
+		t.Fatalf("reloaded bundle lost artifacts")
+	}
+	// The hot policy drives a tree and swaps backends mid-stream.
+	hot, err := rlrtree.NewHotPolicy(back, "table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := rlrtree.New(rlrtree.Options{
+		MaxEntries: back.MaxEntries, MinEntries: back.MinEntries,
+		Chooser: hot.Chooser(), Splitter: hot.Splitter(),
+	})
+	for i, r := range data[:700] {
+		tree.Insert(r, i)
+	}
+	if err := hot.Swap(nil, "qmlp"); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range data[700:] {
+		tree.Insert(r, 700+i)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != len(data) {
+		t.Fatalf("tree holds %d objects, want %d", tree.Len(), len(data))
+	}
+	if got := len(rlrtree.PolicyKinds()); got != 4 {
+		t.Fatalf("PolicyKinds has %d entries", got)
+	}
+}
+
 func TestPublicSingleOperationTraining(t *testing.T) {
 	data := trainData(1000)
 	if pol, _, err := rlrtree.TrainChoosePolicy(data, tinyCfg()); err != nil || pol.ChooseNet == nil {
